@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: one study instance serves every bench.
+
+The benches print each regenerated paper artifact (tables/figures as
+text) in addition to timing the regeneration, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's full evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CryoStudy, StudyConfig
+
+
+@pytest.fixture(scope="session")
+def study() -> CryoStudy:
+    """Fast-mode study (golden device parameters, full cell catalog)."""
+    return CryoStudy(StudyConfig(fast=True, shots=15))
+
+
+@pytest.fixture(scope="session")
+def calibrated_study() -> CryoStudy:
+    """The honest flow: calibration included (used by the Fig. 3 bench)."""
+    return CryoStudy(StudyConfig(fast=False, shots=15))

@@ -1,0 +1,18 @@
+"""EXP-F2 bench: regenerate Fig. 2 (readout scatter + decoherence)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_readout
+
+
+def test_bench_fig2_readout(benchmark):
+    result = benchmark.pedantic(
+        fig2_readout.run, kwargs={"n_shots": 256}, rounds=1, iterations=1
+    )
+    print("\n" + fig2_readout.report(result))
+    # Shape assertions: 27 qubits, high assignment fidelity, 1/e at T2.
+    assert result["n_qubits"] == 27
+    assert result["accuracy"].overall > 0.95
+    decay = result["decay_fidelity"]
+    assert decay[0] == 1.0
+    assert decay[-1] < 0.5

@@ -1,0 +1,19 @@
+"""EXP-F3 bench: regenerate Fig. 3 (measurement vs. calibrated model)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_calibration
+
+
+def test_bench_fig3_calibration(benchmark):
+    result = benchmark.pedantic(fig3_calibration.run, rounds=1, iterations=1)
+    print("\n" + fig3_calibration.report(result))
+    # Fit quality: every corner within a small fraction of a decade.
+    for cal in result["calibration"].values():
+        for corner, err in cal.validation.items():
+            assert err < 0.15, corner
+    # Headline physics recovered from the fit alone.
+    n_figs = result["metrics"]["n"]
+    rise = n_figs[10.0].vth / n_figs[300.0].vth - 1.0
+    assert 0.3 < rise < 0.65  # paper: +47 %
+    assert n_figs[300.0].ioff / n_figs[10.0].ioff > 100

@@ -1,0 +1,17 @@
+"""EXP-F5 bench: regenerate Fig. 5 (delay histograms, 300 K vs. 10 K)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_delays
+
+
+def test_bench_fig5_delays(benchmark, study):
+    result = benchmark.pedantic(
+        fig5_delays.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + fig5_delays.report(result))
+    # "The large overlap of the histograms ... delay is only slightly
+    # increased at cryogenic temperatures."
+    assert result["overlap"] > 0.75
+    assert 1.0 < result["mean_ratio"] < 1.10
+    assert 180 <= result["n_cells"] <= 220

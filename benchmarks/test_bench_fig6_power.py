@@ -1,0 +1,24 @@
+"""EXP-F6 bench: regenerate Fig. 6 (power breakdown per corner)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_power
+
+
+def test_bench_fig6_power(benchmark, study):
+    result = benchmark.pedantic(
+        fig6_power.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + fig6_power.report(result))
+    r300 = result["reports"][300.0]
+    r10 = result["reports"][10.0]
+    # 300 K: SRAM leakage alone breaks the 100 mW budget (paper: 193 mW).
+    assert not result["feasible"][300.0]
+    assert r300.leakage_sram > 0.100
+    # 10 K: total leakage collapses (paper: 0.48 mW) and the SoC fits.
+    assert result["feasible"][10.0]
+    assert r10.leakage_total < 1.5e-3
+    # Dynamic power similar, slightly lower at 10 K (paper: -9.6 %).
+    assert 0.85 < result["dynamic_change"] + 1.0 < 1.0
+    # Leakage reduction (paper: 99.76 %).
+    assert result["leakage_reduction"] > 0.99

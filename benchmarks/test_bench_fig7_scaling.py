@@ -1,0 +1,21 @@
+"""EXP-F7 bench: regenerate Fig. 7 (scaling vs. decoherence budget)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_scaling
+
+
+def test_bench_fig7_scaling(benchmark, study):
+    result = benchmark.pedantic(
+        fig7_scaling.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + fig7_scaling.report(result))
+    # Paper Section VII: kNN bottleneck "for about 1500 qubits".
+    assert 900 < result["knn_crossover"] < 2200
+    # HDC "too many cycles to be competitive".
+    assert result["hdc_crossover"] < result["knn_crossover"]
+    # The series must be monotone and cross no budget below 1200 qubits
+    # for kNN (best case of Fig. 7).
+    times = result["knn"].times_us()
+    assert all(a < b for a, b in zip(times, times[1:]))
+    assert result["knn"].points[-1].budget_fraction < 1.0

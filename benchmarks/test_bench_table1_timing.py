@@ -1,0 +1,22 @@
+"""EXP-T1 bench: regenerate Table 1 (critical path per corner)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_timing
+
+
+def test_bench_table1_timing(benchmark, study):
+    result = benchmark.pedantic(
+        table1_timing.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + table1_timing.report(result))
+    corners = result["corners"]
+    # Paper: 1.04 ns / 960 MHz at 300 K; 1.09 ns / 917 MHz at 10 K.
+    assert 0.8 < corners[300.0]["delay_ns"] < 1.4
+    assert 700 < corners[300.0]["freq_mhz"] < 1300
+    assert corners[10.0]["delay_ns"] > corners[300.0]["delay_ns"]
+    # "The difference is less than 10 %."
+    assert 0.0 < result["slowdown"] < 0.10
+    # "The hold times of the circuit are not impacted."
+    assert corners[300.0]["hold_clean"]
+    assert corners[10.0]["hold_clean"]

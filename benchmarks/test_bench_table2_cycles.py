@@ -1,0 +1,23 @@
+"""EXP-T2 bench: regenerate Table 2 (cycles per classification)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_cycles
+
+
+def test_bench_table2_cycles(benchmark, study):
+    result = benchmark.pedantic(
+        table2_cycles.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + table2_cycles.report(result))
+    cycles = result["cycles"]
+    # Paper: kNN 41.5 / 72.8, HDC 184.8 / 242.4.
+    assert 30 < cycles["knn"][20] < 55
+    assert 50 < cycles["knn"][400] < 95
+    assert 100 < cycles["hdc"][20] < 250
+    assert 130 < cycles["hdc"][400] < 320
+    # "More qubits result in more cache misses."
+    assert cycles["knn"][400] > cycles["knn"][20]
+    assert cycles["hdc"][400] > cycles["hdc"][20]
+    # "It is 3.3x slower."
+    assert 2.0 < result["hdc_knn_ratio_20"] < 5.0

@@ -1,0 +1,60 @@
+"""Power management and hardware-support exploration (paper Section VII).
+
+The paper's closing argument is that a software-controlled SoC makes it
+cheap to *explore* cryogenic trade-offs.  This example does exactly that,
+using the extension modules:
+
+1. thermal burst windows on the 10 K stage;
+2. a burst/idle duty cycle for large-system classification;
+3. the SRAM-based FPGA fabric in both of its configurations;
+4. repetition-code error correction inside the decoherence budget;
+5. the VQE feedback-loop advantage of staying inside the cryostat.
+
+    python examples/power_management.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CryoStudy, StudyConfig
+from repro.experiments import (
+    ext_fpga,
+    ext_qec,
+    ext_thermal,
+    ext_vqe,
+)
+from repro.power.thermal import BurstSchedule, CryostatStage
+
+
+def main() -> None:
+    study = CryoStudy(StudyConfig(fast=True, shots=15))
+
+    print("=== 1-2. Thermal bursts on the 10 K stage ===")
+    print(ext_thermal.report())
+
+    print("\n=== Sweep: how hard can a 1 ms-period duty cycle burst? ===")
+    stage = CryostatStage()
+    for burst_mw in (150, 300, 600, 1200):
+        schedule = BurstSchedule(
+            burst_power_w=burst_mw / 1e3,
+            idle_power_w=0.002,
+            burst_duration_s=110e-6,
+            period_s=1e-3,
+        )
+        verdict = "ok" if schedule.admissible(stage) else "TOO HOT"
+        print(
+            f"  burst {burst_mw:5d} mW x 110 us / 1 ms "
+            f"(avg {schedule.average_power_w * 1e3:6.1f} mW): {verdict}"
+        )
+
+    print("\n=== 3. The reconfigurable-fabric option ===")
+    print(ext_fpga.report(ext_fpga.run(study)))
+
+    print("\n=== 4. Error correction inside the budget ===")
+    print(ext_qec.report(ext_qec.run(study)))
+
+    print("\n=== 5. Hybrid-loop (VQE) advantage ===")
+    print(ext_vqe.report(ext_vqe.run(study)))
+
+
+if __name__ == "__main__":
+    main()

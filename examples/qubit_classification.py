@@ -1,0 +1,72 @@
+"""Qubit-measurement classification: Fig. 2, Table 2 and Fig. 7.
+
+Generates Falcon-like readout data, classifies it with kNN and HDC both
+in Python and on the RV64 SoC simulator (bit-identical labels), and runs
+the scaling study against the 110 us decoherence budget.
+
+    python examples/qubit_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classify import (
+    HDCClassifier,
+    HDCEncoder,
+    KNNClassifier,
+    evaluate_accuracy,
+)
+from repro.core import CryoStudy, StudyConfig
+from repro.experiments import fig7_scaling, table2_cycles
+from repro.quantum import falcon_backend, generate_dataset
+from repro.soc import RocketSoC
+from repro.soc.programs import pack_hdc_tables
+
+
+def main() -> None:
+    print("=== Falcon-like readout (Fig. 2) ===")
+    backend = falcon_backend()
+    dataset = generate_dataset(backend, n_shots=200)
+    qubit, truth, points = dataset.interleaved()
+    print(
+        f"  {backend.n_qubits} qubits, {dataset.n_measurements} "
+        f"measurements, T2 = {backend.t2 * 1e6:.0f} us"
+    )
+
+    knn = KNNClassifier(dataset.calibration_centers)
+    encoder = HDCEncoder.random(seed=2023)
+    hdc = HDCClassifier.calibrate(encoder, dataset.calibration_centers)
+    for name, clf in (("kNN", knn), ("HDC", hdc)):
+        acc = evaluate_accuracy(
+            clf.classify(qubit, points), truth, qubit, backend.n_qubits
+        )
+        print(f"  {name} accuracy: {acc.overall:.4f} "
+              f"(worst qubit {acc.per_qubit.min():.3f})")
+
+    print("\n=== Same algorithms on the RV64 SoC (bit-identical) ===")
+    soc = RocketSoC()
+    knn_result = soc.run_knn(
+        dataset.calibration_centers, points, backend.n_qubits
+    )
+    assert np.array_equal(knn_result.labels, knn.classify(qubit, points))
+    tables = pack_hdc_tables(
+        encoder.y_items, xc0=hdc.xc_tables[:, 0], xc1=hdc.xc_tables[:, 1]
+    )
+    hdc_result = soc.run_hdc(tables, points, backend.n_qubits)
+    assert np.array_equal(hdc_result.labels, hdc.classify(qubit, points))
+    n = len(points)
+    print(f"  kNN: {knn_result.cycles / n:6.1f} cycles/measurement "
+          f"(CPI {knn_result.stats.cpi:.2f})")
+    print(f"  HDC: {hdc_result.cycles / n:6.1f} cycles/measurement "
+          f"(no popcount instruction!)")
+
+    print("\n=== Scaling to thousands of qubits (Table 2 + Fig. 7) ===")
+    study = CryoStudy(StudyConfig(fast=True, shots=15))
+    print(table2_cycles.report(table2_cycles.run(study)))
+    print()
+    print(fig7_scaling.report(fig7_scaling.run(study)))
+
+
+if __name__ == "__main__":
+    main()

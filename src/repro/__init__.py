@@ -1,0 +1,24 @@
+"""repro: cryogenic embedded-system design flow, from 5-nm FinFET to SoC.
+
+Reproduction of "Cryogenic Embedded System to Support Quantum Computing:
+From 5-nm FinFET to Full Processor" (IEEE TQE, 2023).  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Layers (bottom-up):
+
+* :mod:`repro.device`   -- FinFET compact model, synthetic measurements,
+  staged calibration (paper Section III).
+* :mod:`repro.spice`    -- small MNA circuit simulator (DC + transient).
+* :mod:`repro.cells`    -- standard-cell catalog, NLDM characterization at
+  300 K / 10 K, Liberty I/O (Section IV).
+* :mod:`repro.synth`    -- gate-level netlists, structural RTL, synthesis,
+  the Rocket-class SoC datapath (Section V-A).
+* :mod:`repro.sta`      -- static timing analysis (Table 1).
+* :mod:`repro.power`    -- dynamic/leakage power, SRAM macros (Fig. 6).
+* :mod:`repro.soc`      -- RV64 ISS with pipeline + cache timing (Table 2).
+* :mod:`repro.quantum`  -- I/Q readout generation, decoherence (Fig. 2).
+* :mod:`repro.classify` -- kNN and HDC classifiers (Section V-B).
+* :mod:`repro.core`     -- the end-to-end plausibility study (Fig. 7).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+    python -m repro table1          # SoC timing (Table 1)
+    python -m repro fig6            # power breakdown (Fig. 6)
+    python -m repro table2          # cycles per classification (Table 2)
+    python -m repro fig7            # scaling study (Fig. 7)
+    python -m repro fig2|fig3|fig5  # the remaining artifacts
+    python -m repro ablations       # ABL-1..4
+    python -m repro extensions      # EXT-THERMAL/FPGA/QEC/VDD/VQE/MISMATCH
+    python -m repro all             # everything above
+
+``--calibrated`` runs the honest flow (staged calibration first) instead
+of the fast golden-parameter flow; ``--shots N`` controls the ISS
+workload size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+COMMANDS = (
+    "fig2", "fig3", "fig5", "table1", "fig6", "table2", "fig7",
+    "ablations", "extensions", "all",
+)
+
+
+def _build_study(args):
+    from repro.core import CryoStudy, StudyConfig
+
+    return CryoStudy(
+        StudyConfig(fast=not args.calibrated, shots=args.shots)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument(
+        "--calibrated", action="store_true",
+        help="run the full flow including compact-model calibration",
+    )
+    parser.add_argument("--shots", type=int, default=15,
+                        help="shots per qubit for ISS workloads")
+    args = parser.parse_args(argv)
+
+    from repro import experiments as exp
+
+    wanted = COMMANDS[:-1] if args.command == "all" else (args.command,)
+    study = None
+    for command in wanted:
+        if command == "fig2":
+            print(exp.fig2_readout.report())
+        elif command == "fig3":
+            print(exp.fig3_calibration.report())
+        else:
+            study = study or _build_study(args)
+            if command == "fig5":
+                print(exp.fig5_delays.report(exp.fig5_delays.run(study)))
+            elif command == "table1":
+                print(exp.table1_timing.report(exp.table1_timing.run(study)))
+            elif command == "fig6":
+                print(exp.fig6_power.report(exp.fig6_power.run(study)))
+            elif command == "table2":
+                print(exp.table2_cycles.report(exp.table2_cycles.run(study)))
+            elif command == "fig7":
+                print(exp.fig7_scaling.report(exp.fig7_scaling.run(study)))
+            elif command == "ablations":
+                print(exp.ablations.report_all(study))
+            elif command == "extensions":
+                print(exp.ext_thermal.report())
+                print()
+                print(exp.ext_fpga.report(exp.ext_fpga.run(study)))
+                print()
+                print(exp.ext_qec.report(exp.ext_qec.run(study)))
+                print()
+                print(exp.ext_vdd.report(exp.ext_vdd.run(study)))
+                print()
+                print(exp.ext_vqe.report(exp.ext_vqe.run(study)))
+                print()
+                print(exp.ext_mismatch.report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

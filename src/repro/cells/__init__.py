@@ -1,0 +1,43 @@
+"""Standard-cell layer: catalog, characterization, libraries, Liberty I/O.
+
+The PrimeLib-equivalent of the paper's flow (Section IV): a ~200-cell
+ASAP7-flavoured catalog is characterized against the calibrated FinFET
+models at any temperature, producing NLDM libraries consumed by synthesis,
+STA and power analysis.
+"""
+
+from repro.cells.catalog import cell_by_name, core_catalog, full_catalog
+from repro.cells.cell import SequentialCell, Stage, StandardCell
+from repro.cells.characterize import (
+    CellCharacterizer,
+    CharacterizationConfig,
+    CharacterizedCell,
+    TechModels,
+)
+from repro.cells.library import CellLibrary, build_library
+from repro.cells.liberty import read_liberty, write_liberty
+from repro.cells.nldm import NLDMTable, TimingArc
+from repro.cells.stacks import Stack, device, parallel, series
+
+__all__ = [
+    "CellCharacterizer",
+    "CellLibrary",
+    "CharacterizationConfig",
+    "CharacterizedCell",
+    "NLDMTable",
+    "SequentialCell",
+    "Stack",
+    "Stage",
+    "StandardCell",
+    "TechModels",
+    "TimingArc",
+    "build_library",
+    "cell_by_name",
+    "core_catalog",
+    "device",
+    "full_catalog",
+    "parallel",
+    "read_liberty",
+    "series",
+    "write_liberty",
+]

@@ -1,0 +1,594 @@
+"""Standard-cell characterization: the PrimeLib/PrimeSim substitute.
+
+Given a cell catalog and a pair of calibrated FinFET models, this module
+fills NLDM timing tables (7x7 slew/load grids for every timing arc), pin
+capacitances, state-dependent leakage and switching energy -- at any
+temperature the compact model supports.  Two engines are provided:
+
+* ``analytic`` (default) -- effective-current / RC delay model evaluated
+  directly from the compact model.  Fast enough to characterize the full
+  ~200-cell catalog at two temperatures in seconds.  All temperature
+  dependence flows through the compact model (Ieff, Ioff), so 300 K vs
+  10 K *ratios* -- the paper's object of study -- are preserved.
+* ``spice`` -- full transient simulation of the transistor netlist via
+  :mod:`repro.spice`.  Used for representative cells and for validating
+  the analytic engine (see tests/cells/test_engines_agree.py).
+
+The analytic constants (`REFF_GAMMA`, `SLEW_GAMMA`, `SLEW_COUPLING`) were
+fitted once against the SPICE engine on inverter/NAND cells at 300 K.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cells.cell import SequentialCell, Stage, StandardCell
+from repro.cells.nldm import (
+    DEFAULT_LOAD_INDEX,
+    DEFAULT_SLEW_INDEX,
+    NLDMTable,
+    TimingArc,
+)
+from repro.cells.stacks import device, series
+from repro.device.finfet import FinFET
+from repro.device.params import FinFETParams
+
+__all__ = ["CharacterizationConfig", "CellCharacterizer", "TechModels"]
+
+# Analytic-engine constants, fitted against the SPICE engine.
+REFF_GAMMA = 0.443
+"""Effective switching resistance: Reff = REFF_GAMMA * Vdd / Ieff.
+Fitted by least squares against SPICE transients of INV/NAND2/NOR2."""
+
+SLEW_GAMMA = 1.11
+"""Output slew = SLEW_GAMMA * Reff * Ctot (fitted against SPICE)."""
+
+SLEW_COUPLING = 0.204
+"""Fraction of the input slew added to the stage delay (fitted)."""
+
+SLEW_FEEDTHROUGH = 0.21
+"""Fraction of the input slew reaching the output slew (fitted)."""
+
+SHORT_CIRCUIT_FACTOR = 1.15
+"""Multiplier on CV^2/2 accounting for short-circuit current."""
+
+
+@dataclass(frozen=True)
+class TechModels:
+    """The n/p device models a library build characterizes against."""
+
+    nfet: FinFETParams
+    pfet: FinFETParams
+
+    def n_device(self, nfin: int) -> FinFET:
+        return FinFET(self.nfet.copy(nfin=nfin))
+
+    def p_device(self, nfin: int) -> FinFET:
+        return FinFET(self.pfet.copy(nfin=nfin))
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Operating conditions and table axes for one library build."""
+
+    temperature_k: float = 300.0
+    vdd: float = 0.70
+    slew_index: tuple[float, ...] = DEFAULT_SLEW_INDEX
+    load_index: tuple[float, ...] = DEFAULT_LOAD_INDEX
+    engine: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("analytic", "spice"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+
+@dataclass
+class CharacterizedPin:
+    """An input pin's capacitance in F."""
+
+    name: str
+    capacitance: float
+
+
+@dataclass
+class CharacterizedCell:
+    """Everything the library stores about one cell."""
+
+    name: str
+    footprint: str
+    area_um2: float
+    is_sequential: bool
+    inputs: list[CharacterizedPin]
+    output: str
+    arcs: list[TimingArc] = field(default_factory=list)
+    leakage_by_state: dict[str, float] = field(default_factory=dict)
+    leakage_avg: float = 0.0
+    switching_energy: float = 0.0
+    truth: int | None = None
+    input_order: tuple[str, ...] = ()
+    # Sequential-only attributes (seconds):
+    setup_time: float = 0.0
+    hold_time: float = 0.0
+    clock_pin: str = ""
+    data_pin: str = ""
+
+    def pin_capacitance(self, pin: str) -> float:
+        for p in self.inputs:
+            if p.name == pin:
+                return p.capacitance
+        raise KeyError(f"{self.name}: no input pin {pin!r}")
+
+    def arc_from(self, pin: str) -> TimingArc:
+        for arc in self.arcs:
+            if arc.related_pin == pin:
+                return arc
+        raise KeyError(f"{self.name}: no timing arc from pin {pin!r}")
+
+    @property
+    def worst_arc_delay_nominal(self) -> float:
+        """max arc delay at mid slew/load -- a quick cell-speed metric."""
+        if not self.arcs:
+            return 0.0
+        return max(a.worst_delay(16e-12, 2e-15) for a in self.arcs)
+
+
+class CellCharacterizer:
+    """Characterizes catalog cells under one configuration."""
+
+    def __init__(self, models: TechModels, config: CharacterizationConfig):
+        self.models = models
+        self.config = config
+        t = config.temperature_k
+        # Per-fin figures from the compact model -- the only place
+        # temperature enters the analytic engine.
+        n1 = models.n_device(1)
+        p1 = models.p_device(1)
+        self._ieff_n = n1.effective_current(t, config.vdd)
+        self._ieff_p = p1.effective_current(t, config.vdd)
+        self._ioff_n = n1.ioff(t, config.vdd)
+        self._ioff_p = p1.ioff(t, config.vdd)
+        self._cg_n = n1.gate_capacitance()
+        self._cg_p = p1.gate_capacitance()
+        self._cd_n = n1.drain_capacitance()
+        self._cd_p = p1.drain_capacitance()
+
+    # ------------------------------------------------------------------ #
+    # Structural helpers
+    # ------------------------------------------------------------------ #
+    def pin_capacitance(self, cell: StandardCell, pin: str) -> float:
+        """Input capacitance of one pin: all gates it drives."""
+        total = 0.0
+        for stage, n_fanin, p_fanin in cell.loads_of(pin):
+            total += n_fanin * stage.nfin_n * self._cg_n
+            total += p_fanin * stage.nfin_p * self._cg_p
+        return total
+
+    def _stage_parasitic_cap(self, stage: Stage) -> float:
+        """Diffusion capacitance at the stage output node."""
+        n_branches = (
+            len(stage.pdn.children) if stage.pdn.kind == "parallel" else 1
+        )
+        pun = stage.pdn.dual()
+        p_branches = len(pun.children) if pun.kind == "parallel" else 1
+        return (
+            n_branches * stage.nfin_n * self._cd_n
+            + p_branches * stage.nfin_p * self._cd_p
+        )
+
+    def _stage_resistance(self, stage: Stage, transition: str) -> float:
+        """Effective switching resistance for an output rise or fall."""
+        if transition == "fall":
+            height = stage.pdn.height()
+            return REFF_GAMMA * self.config.vdd * height / (
+                self._ieff_n * stage.nfin_n
+            )
+        height = stage.pdn.dual().height()
+        return REFF_GAMMA * self.config.vdd * height / (
+            self._ieff_p * stage.nfin_p
+        )
+
+    def _stage_input_cap(self, stage: Stage, signal: str) -> float:
+        n_fanin = stage.pdn.input_fanin(signal)
+        p_fanin = stage.pdn.dual().input_fanin(signal)
+        return n_fanin * stage.nfin_n * self._cg_n + p_fanin * stage.nfin_p * self._cg_p
+
+    def _stage_output_load(
+        self, cell: StandardCell, stage: Stage, external_load: float
+    ) -> float:
+        """Total load at a stage output: parasitics + internal fanout
+        gate caps + the external load if this is the cell output."""
+        load = self._stage_parasitic_cap(stage)
+        for consumer in cell.sized_stages:
+            load += self._stage_input_cap(consumer, stage.output)
+        if stage.output == cell.output:
+            load += external_load
+        return load
+
+    def _stage_delay_slew(
+        self, stage: Stage, transition: str, slew_in: float, load: float
+    ) -> tuple[float, float]:
+        """(propagation delay, output slew) of one stage."""
+        r = self._stage_resistance(stage, transition)
+        delay = np.log(2.0) * r * load + SLEW_COUPLING * slew_in
+        slew_out = SLEW_GAMMA * r * load + SLEW_FEEDTHROUGH * slew_in
+        return delay, slew_out
+
+    # ------------------------------------------------------------------ #
+    # Analytic timing: worst-path DP over the stage DAG
+    # ------------------------------------------------------------------ #
+    def _arc_timing_analytic(
+        self,
+        cell: StandardCell,
+        pin: str,
+        input_transition: str,
+        slew_in: float,
+        load: float,
+    ) -> dict[str, tuple[float, float]]:
+        """Worst (arrival, slew) per output transition for one input edge.
+
+        Returns ``{"rise": (delay, slew), ...}`` with only the transitions
+        that can actually occur at the output.
+        """
+        # state: (signal, transition) -> (arrival, slew)
+        state: dict[tuple[str, str], tuple[float, float]] = {
+            (pin, input_transition): (0.0, slew_in)
+        }
+        for stage in cell.sized_stages:
+            stage_load = self._stage_output_load(cell, stage, load)
+            for signal in stage.pdn.inputs():
+                for tr in ("rise", "fall"):
+                    if (signal, tr) not in state:
+                        continue
+                    arrival, slew = state[(signal, tr)]
+                    out_tr = "fall" if tr == "rise" else "rise"
+                    d, s = self._stage_delay_slew(stage, out_tr, slew, stage_load)
+                    cand = (arrival + d, s)
+                    key = (stage.output, out_tr)
+                    if key not in state or cand[0] > state[key][0]:
+                        state[key] = cand
+        out: dict[str, tuple[float, float]] = {}
+        for tr in ("rise", "fall"):
+            if (cell.output, tr) in state:
+                out[tr] = state[(cell.output, tr)]
+        return out
+
+    def _characterize_arc_analytic(
+        self, cell: StandardCell, pin: str
+    ) -> TimingArc:
+        slews = self.config.slew_index
+        loads = self.config.load_index
+
+        shape = (len(slews), len(loads))
+        tables = {
+            key: np.zeros(shape)
+            for key in ("cell_rise", "cell_fall", "rise_transition",
+                        "fall_transition")
+        }
+        reach_rise_from = set()
+        reach_fall_from = set()
+        for i, s in enumerate(slews):
+            for j, c in enumerate(loads):
+                for in_tr in ("rise", "fall"):
+                    result = self._arc_timing_analytic(cell, pin, in_tr, s, c)
+                    for out_tr, (delay, out_slew) in result.items():
+                        dkey = f"cell_{out_tr}"
+                        skey = f"{out_tr}_transition"
+                        if delay > tables[dkey][i, j]:
+                            tables[dkey][i, j] = delay
+                            tables[skey][i, j] = out_slew
+                        if out_tr == "rise":
+                            reach_rise_from.add(in_tr)
+                        else:
+                            reach_fall_from.add(in_tr)
+
+        if reach_rise_from == {"fall"} and reach_fall_from == {"rise"}:
+            sense = "negative_unate"
+        elif reach_rise_from == {"rise"} and reach_fall_from == {"fall"}:
+            sense = "positive_unate"
+        else:
+            sense = "non_unate"
+
+        # A transition that never occurs keeps zeros; fill it with the
+        # other polarity so downstream lookups stay sane.
+        for a, b in (("cell_rise", "cell_fall"),
+                     ("rise_transition", "fall_transition")):
+            if not tables[a].any():
+                tables[a] = tables[b].copy()
+            if not tables[b].any():
+                tables[b] = tables[a].copy()
+
+        def mk(key: str) -> NLDMTable:
+            return NLDMTable(np.asarray(slews), np.asarray(loads), tables[key])
+
+        return TimingArc(
+            related_pin=pin,
+            sense=sense,
+            cell_rise=mk("cell_rise"),
+            cell_fall=mk("cell_fall"),
+            rise_transition=mk("rise_transition"),
+            fall_transition=mk("fall_transition"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # SPICE timing
+    # ------------------------------------------------------------------ #
+    def _sensitize(self, cell: StandardCell, pin: str) -> dict[str, bool] | None:
+        """Find side-input values making the output follow ``pin``."""
+        others = [p for p in cell.inputs if p != pin]
+        fn = cell.function()
+        for bits in itertools.product([False, True], repeat=len(others)):
+            asg = dict(zip(others, bits))
+            lo = fn.evaluate({**asg, pin: False})
+            hi = fn.evaluate({**asg, pin: True})
+            if lo != hi:
+                return asg
+        return None
+
+    def build_cell_circuit(
+        self,
+        cell: StandardCell,
+        load: float,
+        input_map: dict[str, object],
+    ):
+        """Build the transistor-level circuit for one cell instance.
+
+        ``input_map`` maps pin names to waveform objects (sources).
+        Returns the configured :class:`~repro.spice.netlist.Circuit`.
+        """
+        from repro.spice import Circuit, DC
+
+        cfg = self.config
+        circuit = Circuit(cell.name, temperature_k=cfg.temperature_k)
+        circuit.add_vsource("vdd_src", "vdd", "0", DC(cfg.vdd))
+        for pin, wave in input_map.items():
+            circuit.add_vsource(f"src_{pin}", pin, "0", wave)
+        for k, stage in enumerate(cell.sized_stages):
+            nmodel = self.models.n_device(stage.nfin_n)
+            pmodel = self.models.p_device(stage.nfin_p)
+            stage.pdn.emit(circuit, nmodel, "0", stage.output, f"s{k}n")
+            stage.pdn.dual().emit(
+                circuit, pmodel, "vdd", stage.output, f"s{k}p"
+            )
+        if load > 0:
+            circuit.add_capacitor("c_load", cell.output, "0", load)
+        return circuit
+
+    def _characterize_arc_spice(self, cell: StandardCell, pin: str) -> TimingArc:
+        from repro.spice import DC, propagation_delay, ramp, transient
+
+        cfg = self.config
+        side = self._sensitize(cell, pin)
+        if side is None:
+            raise ValueError(f"{cell.name}: pin {pin!r} cannot toggle output")
+
+        slews = cfg.slew_index
+        loads = cfg.load_index
+        shape = (len(slews), len(loads))
+        tables = {
+            key: np.zeros(shape)
+            for key in ("cell_rise", "cell_fall", "rise_transition",
+                        "fall_transition")
+        }
+        fn = cell.function()
+        senses = set()
+        for i, s in enumerate(slews):
+            for j, c in enumerate(loads):
+                for in_tr in ("rise", "fall"):
+                    v0 = 0.0 if in_tr == "rise" else cfg.vdd
+                    v1 = cfg.vdd - v0
+                    out0 = fn.evaluate({**side, pin: v0 > cfg.vdd / 2})
+                    out1 = fn.evaluate({**side, pin: v1 > cfg.vdd / 2})
+                    out_tr = "rise" if (out1 and not out0) else "fall"
+                    senses.add((in_tr, out_tr))
+
+                    # Time scales from the analytic estimate.
+                    est = self._arc_timing_analytic(cell, pin, in_tr, s, c)
+                    est_d, est_s = est.get(out_tr, (20e-12, 20e-12))
+                    t_start = 3e-12 + 2 * s
+                    ramp_dur = s / 0.8
+                    t_stop = t_start + ramp_dur + 4 * est_d + 4 * est_s + 20e-12
+                    dt = max(min(s / 30.0, est_s / 20.0, 0.5e-12), 0.02e-12)
+
+                    wave_map: dict[str, object] = {
+                        p: DC(cfg.vdd if val else 0.0) for p, val in side.items()
+                    }
+                    wave_map[pin] = ramp(t_start, ramp_dur, v0, v1)
+                    circuit = self.build_cell_circuit(cell, c, wave_map)
+                    res = transient(
+                        circuit, t_stop, dt, record=[pin, cell.output]
+                    )
+                    win = res.waveform(pin)
+                    wout = res.waveform(cell.output)
+                    d = propagation_delay(win, wout, cfg.vdd, in_tr, out_tr)
+                    sl = wout.transition_time(0.0, cfg.vdd, direction=out_tr)
+                    if d > tables[f"cell_{out_tr}"][i, j]:
+                        tables[f"cell_{out_tr}"][i, j] = d
+                        tables[f"{out_tr}_transition"][i, j] = sl
+
+        if senses == {("rise", "fall"), ("fall", "rise")}:
+            sense = "negative_unate"
+        elif senses == {("rise", "rise"), ("fall", "fall")}:
+            sense = "positive_unate"
+        else:
+            sense = "non_unate"
+        for a, b in (("cell_rise", "cell_fall"),
+                     ("rise_transition", "fall_transition")):
+            if not tables[a].any():
+                tables[a] = tables[b].copy()
+            if not tables[b].any():
+                tables[b] = tables[a].copy()
+
+        def mk(key: str) -> NLDMTable:
+            return NLDMTable(np.asarray(slews), np.asarray(loads), tables[key])
+
+        return TimingArc(
+            related_pin=pin,
+            sense=sense,
+            cell_rise=mk("cell_rise"),
+            cell_fall=mk("cell_fall"),
+            rise_transition=mk("rise_transition"),
+            fall_transition=mk("fall_transition"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Leakage and energy
+    # ------------------------------------------------------------------ #
+    def leakage_by_state(self, cell: StandardCell) -> dict[str, float]:
+        """Leakage power (W) per input state, via the stack-effect model."""
+        out: dict[str, float] = {}
+        for bits in itertools.product([False, True], repeat=len(cell.inputs)):
+            asg = dict(zip(cell.inputs, bits))
+            total = 0.0
+            values = dict(asg)
+            for stage in cell.sized_stages:
+                stage_in = {s: values[s] for s in stage.pdn.inputs()}
+                pdn_on = stage.pdn.conduction(stage_in)
+                values[stage.output] = not pdn_on
+                if pdn_on:
+                    # Output low: the PUN (off) leaks.  PMOS devices are on
+                    # when their gate is low.
+                    pun_state = {s: not values[s] for s in stage_in}
+                    leak = stage.pdn.dual().leakage_current(
+                        pun_state, self._ioff_p * stage.nfin_p
+                    )
+                else:
+                    leak = stage.pdn.leakage_current(
+                        stage_in, self._ioff_n * stage.nfin_n
+                    )
+                total += leak * self.config.vdd
+            key = "".join("1" if b else "0" for b in bits)
+            out[key] = total
+        return out
+
+    def switching_energy(self, cell: StandardCell) -> float:
+        """Internal energy per output event (J): CV^2/2 + short circuit."""
+        total_cap = 0.0
+        for stage in cell.sized_stages:
+            total_cap += self._stage_parasitic_cap(stage)
+            for consumer in cell.sized_stages:
+                total_cap += self._stage_input_cap(consumer, stage.output)
+        return SHORT_CIRCUIT_FACTOR * 0.5 * total_cap * self.config.vdd**2
+
+    # ------------------------------------------------------------------ #
+    # Sequential cells
+    # ------------------------------------------------------------------ #
+    def _nand2_reference_stage(self, drive: int) -> Stage:
+        pdn = series(device("A"), device("B"))
+        return Stage("Y", pdn).sized(drive)
+
+    def characterize_sequential(self, cell: SequentialCell) -> CharacterizedCell:
+        """Derive flop timing from the library's own NAND2 stage delays."""
+        ref = self._nand2_reference_stage(cell.drive)
+        internal = self._nand2_reference_stage(1)
+        internal_load = self._stage_parasitic_cap(internal) + 2 * (
+            self._stage_input_cap(ref, "A")
+        )
+
+        def clk_to_q(slew: float, load: float, tr: str) -> tuple[float, float]:
+            d1, s1 = self._stage_delay_slew(internal, tr, slew, internal_load)
+            stage_load = self._stage_parasitic_cap(ref) + load
+            d2, s2 = self._stage_delay_slew(ref, tr, s1, stage_load)
+            extra = max(cell.clk_to_q_stages - 2, 0)
+            return d1 * (1 + extra) + d2, s2
+
+        slews = np.asarray(self.config.slew_index)
+        loads = np.asarray(self.config.load_index)
+
+        def table(tr: str, want_slew: bool) -> NLDMTable:
+            vals = np.zeros((len(slews), len(loads)))
+            for i, s in enumerate(slews):
+                for j, c in enumerate(loads):
+                    d, sl = clk_to_q(float(s), float(c), tr)
+                    vals[i, j] = sl if want_slew else d
+            return NLDMTable(slews, loads, vals)
+
+        arc = TimingArc(
+            related_pin=cell.clock_pin,
+            sense="non_unate",
+            cell_rise=table("rise", False),
+            cell_fall=table("fall", False),
+            rise_transition=table("rise", True),
+            fall_transition=table("fall", True),
+            timing_type=(
+                "rising_edge" if cell.edge == "rising" else
+                "falling_edge" if cell.edge == "falling" else "latch"
+            ),
+        )
+
+        nominal_stage_delay, _ = self._stage_delay_slew(
+            internal, "fall", 10e-12, internal_load
+        )
+        pin_cap_clk = 2 * self._stage_input_cap(internal, "A")
+        pin_cap_d = self._stage_input_cap(internal, "A")
+        pins = [
+            CharacterizedPin(cell.data_pin, pin_cap_d),
+            CharacterizedPin(cell.clock_pin, pin_cap_clk),
+        ]
+        for extra in (cell.reset_pin, cell.set_pin, cell.scan_pin):
+            if extra:
+                pins.append(CharacterizedPin(extra, pin_cap_d))
+
+        # Leakage: approximate as the equivalent number of NAND2 gates.
+        nand = StandardCell(
+            name="_NANDREF_X1",
+            inputs=("A", "B"),
+            output="Y",
+            stages=(Stage("Y", series(device("A"), device("B"))),),
+        ).with_drive(cell.drive, name="_NANDREF")
+        nand_leak = float(np.mean(list(self.leakage_by_state(nand).values())))
+        n_gates = cell.transistor_count() / 4.0
+        leak_avg = nand_leak * n_gates
+
+        return CharacterizedCell(
+            name=cell.name,
+            footprint=cell.footprint or cell.name,
+            area_um2=cell.area_um2,
+            is_sequential=True,
+            inputs=pins,
+            output=cell.output,
+            arcs=[arc],
+            leakage_by_state={},
+            leakage_avg=leak_avg,
+            switching_energy=self.switching_energy(nand) * n_gates / 2.0,
+            setup_time=cell.setup_stages * nominal_stage_delay,
+            hold_time=cell.hold_stages * nominal_stage_delay * 0.5,
+            clock_pin=cell.clock_pin,
+            data_pin=cell.data_pin,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def characterize(self, cell: StandardCell | SequentialCell) -> CharacterizedCell:
+        """Characterize one cell with the configured engine."""
+        if cell.is_sequential:
+            return self.characterize_sequential(cell)  # type: ignore[arg-type]
+        assert isinstance(cell, StandardCell)
+        arcs = []
+        for pin in cell.inputs:
+            if self.config.engine == "spice":
+                arcs.append(self._characterize_arc_spice(cell, pin))
+            else:
+                arcs.append(self._characterize_arc_analytic(cell, pin))
+        leakage = self.leakage_by_state(cell)
+        pins = [
+            CharacterizedPin(p, self.pin_capacitance(cell, p))
+            for p in cell.inputs
+        ]
+        return CharacterizedCell(
+            name=cell.name,
+            footprint=cell.footprint or cell.name,
+            area_um2=cell.area_um2,
+            is_sequential=False,
+            inputs=pins,
+            output=cell.output,
+            arcs=arcs,
+            leakage_by_state=leakage,
+            leakage_avg=float(np.mean(list(leakage.values()))),
+            switching_energy=self.switching_energy(cell),
+            truth=cell.truth(),
+            input_order=cell.inputs,
+        )

@@ -1,0 +1,259 @@
+"""Liberty (.lib) writer and reader for characterized libraries.
+
+The paper's flow emits "standard cell libraries ... in the industry-
+standard Liberty format making them usable in most established EDA tools".
+This module writes the NLDM subset our STA/power tools need and parses it
+back, so libraries can be inspected, diffed and round-tripped through
+files exactly like the real flow's artifacts.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.cells.characterize import CharacterizedCell, CharacterizedPin
+from repro.cells.library import CellLibrary
+from repro.cells.nldm import NLDMTable, TimingArc
+
+__all__ = ["write_liberty", "read_liberty", "dumps", "loads"]
+
+_TIME_UNIT = 1e-9  # ns
+_CAP_UNIT = 1e-15  # fF
+_POWER_UNIT = 1e-9  # nW
+
+
+def _fmt_table(name: str, table: NLDMTable, indent: str) -> list[str]:
+    lines = [f'{indent}{name} (tbl_7x7) {{']
+    idx1 = ", ".join(f"{s / _TIME_UNIT:.6g}" for s in table.slews)
+    idx2 = ", ".join(f"{c / _CAP_UNIT:.6g}" for c in table.loads)
+    lines.append(f'{indent}  index_1 ("{idx1}");')
+    lines.append(f'{indent}  index_2 ("{idx2}");')
+    lines.append(f"{indent}  values ( \\")
+    for row in table.values:
+        vals = ", ".join(f"{v / _TIME_UNIT:.6g}" for v in row)
+        lines.append(f'{indent}    "{vals}", \\')
+    lines[-1] = lines[-1].rstrip(", \\") + '"'
+    lines[-1] = lines[-1]  # keep the final row's closing quote
+    lines.append(f"{indent}  );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def dumps(library: CellLibrary) -> str:
+    """Serialize a library to Liberty text."""
+    out: list[str] = []
+    out.append(f"library ({library.name}) {{")
+    out.append('  delay_model : "table_lookup";')
+    out.append('  time_unit : "1ns";')
+    out.append('  capacitive_load_unit (1, ff);')
+    out.append('  leakage_power_unit : "1nW";')
+    out.append(f"  nom_temperature : {library.temperature_k:g};")
+    out.append(f"  nom_voltage : {library.vdd:g};")
+    for cell in library.cells.values():
+        out.append(f"  cell ({cell.name}) {{")
+        out.append(f"    area : {cell.area_um2:.6g};")
+        out.append(f'    footprint : "{cell.footprint}";')
+        out.append(
+            f"    cell_leakage_power : {cell.leakage_avg / _POWER_UNIT:.6g};"
+        )
+        out.append(
+            f"    switching_energy : {cell.switching_energy:.6g};"
+        )
+        if cell.is_sequential:
+            out.append(f'    ff_data_pin : "{cell.data_pin}";')
+            out.append(f'    ff_clock_pin : "{cell.clock_pin}";')
+            out.append(
+                f"    setup_time : {cell.setup_time / _TIME_UNIT:.6g};"
+            )
+            out.append(f"    hold_time : {cell.hold_time / _TIME_UNIT:.6g};")
+        if cell.truth is not None:
+            out.append(f"    truth_table : {cell.truth};")
+            order = " ".join(cell.input_order)
+            out.append(f'    input_order : "{order}";')
+        for state, leak in cell.leakage_by_state.items():
+            out.append(
+                f'    leakage_power () {{ when : "{state}"; '
+                f"value : {leak / _POWER_UNIT:.6g}; }}"
+            )
+        for pin in cell.inputs:
+            out.append(f"    pin ({pin.name}) {{")
+            out.append("      direction : input;")
+            out.append(
+                f"      capacitance : {pin.capacitance / _CAP_UNIT:.6g};"
+            )
+            out.append("    }")
+        out.append(f"    pin ({cell.output}) {{")
+        out.append("      direction : output;")
+        for arc in cell.arcs:
+            out.append("      timing () {")
+            out.append(f'        related_pin : "{arc.related_pin}";')
+            out.append(f"        timing_sense : {arc.sense};")
+            out.append(f"        timing_type : {arc.timing_type};")
+            for key in ("cell_rise", "cell_fall", "rise_transition",
+                        "fall_transition"):
+                out.extend(_fmt_table(key, getattr(arc, key), "        "))
+            out.append("      }")
+        out.append("    }")
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def write_liberty(library: CellLibrary, path: str | Path) -> None:
+    """Write a library to a .lib file."""
+    Path(path).write_text(dumps(library))
+
+
+# --------------------------------------------------------------------- #
+# Parsing (supports exactly the subset the writer emits)
+# --------------------------------------------------------------------- #
+_NUM = r"[-+0-9.eE]+"
+
+
+def _parse_table(block: str) -> NLDMTable:
+    idx = re.findall(r'index_\d \("([^"]*)"\);', block)
+    slews = np.array([float(x) for x in idx[0].split(",")]) * _TIME_UNIT
+    loads = np.array([float(x) for x in idx[1].split(",")]) * _CAP_UNIT
+    rows = re.findall(r'"([^"]*)"', block.split("values", 1)[1])
+    values = (
+        np.array([[float(x) for x in row.split(",")] for row in rows])
+        * _TIME_UNIT
+    )
+    return NLDMTable(slews, loads, values)
+
+
+def _extract_braced(text: str, start: int) -> tuple[str, int]:
+    """Return the content of the brace block opening at/after ``start``."""
+    open_idx = text.index("{", start)
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1 : i], i + 1
+    raise ValueError("unbalanced braces in liberty text")
+
+
+def loads(text: str) -> CellLibrary:
+    """Parse Liberty text produced by :func:`dumps`."""
+    m = re.search(r"library \(([^)]*)\)", text)
+    if not m:
+        raise ValueError("not a liberty file: no library() group")
+    name = m.group(1)
+    body, _ = _extract_braced(text, m.start())
+    temp = float(re.search(rf"nom_temperature : ({_NUM});", body).group(1))
+    vdd = float(re.search(rf"nom_voltage : ({_NUM});", body).group(1))
+    library = CellLibrary(name=name, temperature_k=temp, vdd=vdd)
+
+    pos = 0
+    while True:
+        m = re.search(r"cell \(([^)]*)\)", body[pos:])
+        if not m:
+            break
+        cell_name = m.group(1)
+        cell_body, end = _extract_braced(body, pos + m.start())
+        pos = pos + m.start() + (end - (pos + m.start()))
+        library.add(_parse_cell(cell_name, cell_body))
+    return library
+
+
+def _parse_cell(name: str, body: str) -> CharacterizedCell:
+    def scalar(key: str, default: float = 0.0) -> float:
+        m = re.search(rf"{key} : ({_NUM});", body)
+        return float(m.group(1)) if m else default
+
+    footprint = re.search(r'footprint : "([^"]*)";', body).group(1)
+    is_seq = "ff_clock_pin" in body
+    truth_m = re.search(r"truth_table : (\d+);", body)
+    order_m = re.search(r'input_order : "([^"]*)";', body)
+
+    leakage_by_state = {
+        state: float(value) * _POWER_UNIT
+        for state, value in re.findall(
+            rf'when : "([01]+)"; value : ({_NUM});', body
+        )
+    }
+
+    inputs: list[CharacterizedPin] = []
+    output = ""
+    arcs: list[TimingArc] = []
+    pos = 0
+    while True:
+        m = re.search(r"pin \(([^)]*)\)", body[pos:])
+        if not m:
+            break
+        pin_name = m.group(1)
+        pin_body, end_rel = _extract_braced(body[pos:], m.start())
+        pos += m.start() + len(pin_body) + 2
+        if "direction : input;" in pin_body:
+            cap = float(
+                re.search(rf"capacitance : ({_NUM});", pin_body).group(1)
+            ) * _CAP_UNIT
+            inputs.append(CharacterizedPin(pin_name, cap))
+        else:
+            output = pin_name
+            tpos = 0
+            while True:
+                tm = re.search(r"timing \(\)", pin_body[tpos:])
+                if not tm:
+                    break
+                arc_body, _ = _extract_braced(pin_body[tpos:], tm.start())
+                tpos += tm.start() + len(arc_body) + 2
+                related = re.search(
+                    r'related_pin : "([^"]*)";', arc_body
+                ).group(1)
+                sense = re.search(
+                    r"timing_sense : (\w+);", arc_body
+                ).group(1)
+                ttype = re.search(r"timing_type : (\w+);", arc_body).group(1)
+                tables = {}
+                for key in ("cell_rise", "cell_fall", "rise_transition",
+                            "fall_transition"):
+                    tb = re.search(
+                        rf"{key} \(tbl_7x7\)", arc_body
+                    )
+                    tbody, _ = _extract_braced(arc_body, tb.start())
+                    tables[key] = _parse_table(tbody)
+                arcs.append(
+                    TimingArc(
+                        related_pin=related,
+                        sense=sense,
+                        timing_type=ttype,
+                        **tables,
+                    )
+                )
+
+    cell = CharacterizedCell(
+        name=name,
+        footprint=footprint,
+        area_um2=scalar("area"),
+        is_sequential=is_seq,
+        inputs=inputs,
+        output=output,
+        arcs=arcs,
+        leakage_by_state=leakage_by_state,
+        leakage_avg=scalar("cell_leakage_power") * _POWER_UNIT,
+        switching_energy=scalar("switching_energy"),
+        truth=int(truth_m.group(1)) if truth_m else None,
+        input_order=tuple(order_m.group(1).split()) if order_m else (),
+    )
+    if is_seq:
+        cell.setup_time = scalar("setup_time") * _TIME_UNIT
+        cell.hold_time = scalar("hold_time") * _TIME_UNIT
+        cell.clock_pin = re.search(
+            r'ff_clock_pin : "([^"]*)";', body
+        ).group(1)
+        cell.data_pin = re.search(r'ff_data_pin : "([^"]*)";', body).group(1)
+    if not leakage_by_state and not is_seq:
+        cell.leakage_by_state = {}
+    return cell
+
+
+def read_liberty(path: str | Path) -> CellLibrary:
+    """Read a .lib file written by :func:`write_liberty`."""
+    return loads(Path(path).read_text())

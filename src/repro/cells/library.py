@@ -1,0 +1,128 @@
+"""Cell-library container: the product of a characterization run.
+
+A :class:`CellLibrary` is what logic synthesis, STA and power analysis
+consume -- the in-memory equivalent of the Liberty files the paper's flow
+produces (Fig. 4 outputs, one per temperature corner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cells.catalog import full_catalog
+from repro.cells.cell import SequentialCell, StandardCell
+from repro.cells.characterize import (
+    CellCharacterizer,
+    CharacterizationConfig,
+    CharacterizedCell,
+    TechModels,
+)
+
+__all__ = ["CellLibrary", "build_library"]
+
+
+@dataclass
+class CellLibrary:
+    """A characterized library at one operating corner."""
+
+    name: str
+    temperature_k: float
+    vdd: float
+    cells: dict[str, CharacterizedCell] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> CharacterizedCell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"library {self.name!r} has no cell {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def add(self, cell: CharacterizedCell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name!r}")
+        self.cells[cell.name] = cell
+
+    # ------------------------------------------------------------------ #
+    def combinational(self) -> list[CharacterizedCell]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def sequential(self) -> list[CharacterizedCell]:
+        return [c for c in self.cells.values() if c.is_sequential]
+
+    def by_footprint(self, footprint: str) -> list[CharacterizedCell]:
+        """All drive variants of one logical family, weakest first."""
+        variants = [
+            c for c in self.cells.values() if c.footprint == footprint
+        ]
+        return sorted(variants, key=lambda c: c.area_um2)
+
+    def match_function(self, truth: int, n_inputs: int) -> list[CharacterizedCell]:
+        """Cells whose truth table matches exactly (same input order).
+
+        Used by the technology mapper; variable order must agree with the
+        caller's.
+        """
+        return [
+            c
+            for c in self.combinational()
+            if c.truth == truth and len(c.input_order) == n_inputs
+        ]
+
+    def all_delays(self) -> np.ndarray:
+        """Every delay value stored in every table of every arc (s).
+
+        This is the population Fig. 5 histograms: "delays across all 200
+        cells in the standard cell library ... all cells and conditions".
+        """
+        chunks = []
+        for cell in self.cells.values():
+            for arc in cell.arcs:
+                chunks.append(arc.cell_rise.values.ravel())
+                chunks.append(arc.cell_fall.values.ravel())
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def all_leakages(self) -> np.ndarray:
+        """Average leakage power per cell (W)."""
+        return np.array([c.leakage_avg for c in self.cells.values()])
+
+    def summary(self) -> dict[str, float]:
+        """Headline statistics for reports."""
+        delays = self.all_delays()
+        leaks = self.all_leakages()
+        return {
+            "cells": float(len(self.cells)),
+            "median_delay_s": float(np.median(delays)),
+            "mean_delay_s": float(np.mean(delays)),
+            "p95_delay_s": float(np.percentile(delays, 95)),
+            "total_leakage_w": float(np.sum(leaks)),
+            "median_leakage_w": float(np.median(leaks)),
+        }
+
+
+def build_library(
+    models: TechModels,
+    config: CharacterizationConfig,
+    catalog: list[StandardCell | SequentialCell] | None = None,
+    name: str | None = None,
+) -> CellLibrary:
+    """Characterize a catalog into a library at one corner.
+
+    With the default analytic engine the full ~200-cell catalog takes a
+    few seconds; the SPICE engine is practical for small catalogs only.
+    """
+    catalog = full_catalog() if catalog is None else catalog
+    name = name or f"repro5nm_{config.temperature_k:g}K"
+    library = CellLibrary(
+        name=name, temperature_k=config.temperature_k, vdd=config.vdd
+    )
+    characterizer = CellCharacterizer(models, config)
+    for cell in catalog:
+        library.add(characterizer.characterize(cell))
+    return library

@@ -1,0 +1,190 @@
+"""Series/parallel transistor-network algebra for static CMOS cells.
+
+A :class:`Stack` describes one rail network (pull-down or pull-up) as a
+series/parallel tree of gate-controlled devices.  Static CMOS duality maps
+a pull-down network onto its complementary pull-up by swapping series and
+parallel -- :meth:`Stack.dual` -- so complex cells are specified once, as
+their NMOS network.
+
+The same tree answers the characterization flow's questions:
+
+* :meth:`Stack.height` -- worst-case series depth (drive degradation);
+* :meth:`Stack.device_count` -- transistor count (area, input load);
+* :meth:`Stack.conduction` -- does the network conduct for a given input
+  state (functional verification of generated netlists);
+* :meth:`Stack.leakage_current` -- equivalent OFF current with the series
+  stack effect (leakage characterization);
+* :meth:`Stack.emit` -- instantiate actual transistors into a
+  :class:`~repro.spice.netlist.Circuit` for SPICE characterization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.device.finfet import FinFET
+
+__all__ = ["Stack", "device", "series", "parallel"]
+
+#: Current-division factor applied per extra OFF device in series (the
+#: classic "stack effect": two off transistors in series leak ~10x less).
+STACK_EFFECT_FACTOR = 0.1
+
+
+@dataclass(frozen=True)
+class Stack:
+    """Series/parallel network node: a device leaf or a composite."""
+
+    kind: str  # "device" | "series" | "parallel"
+    input_name: str | None = None
+    children: tuple["Stack", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind == "device":
+            if not self.input_name:
+                raise ValueError("device leaf needs an input name")
+        elif self.kind in ("series", "parallel"):
+            if len(self.children) < 2:
+                raise ValueError(f"{self.kind} needs at least two children")
+        else:
+            raise ValueError(f"unknown stack kind {self.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    def dual(self) -> "Stack":
+        """The complementary network (series <-> parallel)."""
+        if self.kind == "device":
+            return self
+        swapped = "parallel" if self.kind == "series" else "series"
+        return Stack(swapped, children=tuple(c.dual() for c in self.children))
+
+    def inputs(self) -> tuple[str, ...]:
+        """Sorted distinct input names."""
+        if self.kind == "device":
+            return (self.input_name,)  # type: ignore[return-value]
+        names: set[str] = set()
+        for c in self.children:
+            names.update(c.inputs())
+        return tuple(sorted(names))
+
+    def height(self) -> int:
+        """Worst-case number of devices in series."""
+        if self.kind == "device":
+            return 1
+        if self.kind == "series":
+            return sum(c.height() for c in self.children)
+        return max(c.height() for c in self.children)
+
+    def device_count(self) -> int:
+        """Total transistors in the network."""
+        if self.kind == "device":
+            return 1
+        return sum(c.device_count() for c in self.children)
+
+    def input_fanin(self, name: str) -> int:
+        """How many devices the given input drives in this network."""
+        if self.kind == "device":
+            return 1 if self.input_name == name else 0
+        return sum(c.input_fanin(name) for c in self.children)
+
+    # ------------------------------------------------------------------ #
+    def conduction(self, state: dict[str, bool]) -> bool:
+        """Whether the network conducts when ON-inputs are ``True``.
+
+        ``state`` maps input names to *device on/off* (the cell layer
+        handles the PMOS inversion before calling this).
+        """
+        if self.kind == "device":
+            return bool(state[self.input_name])  # type: ignore[index]
+        if self.kind == "series":
+            return all(c.conduction(state) for c in self.children)
+        return any(c.conduction(state) for c in self.children)
+
+    def leakage_current(self, state: dict[str, bool], ioff: float) -> float:
+        """Equivalent subthreshold leakage through the network in A.
+
+        ``ioff`` is the OFF current of a single device at full Vds.  ON
+        devices pass current freely (modelled as a very large current);
+        series composition is current-limited by its weakest branch and
+        attenuated by the stack effect per *additional* OFF device;
+        parallel branches add.
+        """
+        leaks = self._leak(state, ioff)
+        return min(leaks, ioff * self.device_count() * 10.0)
+
+    def _leak(self, state: dict[str, bool], ioff: float) -> float:
+        on_current = ioff * 1e9  # effectively a short for this analysis
+        if self.kind == "device":
+            return on_current if state[self.input_name] else ioff  # type: ignore[index]
+        if self.kind == "parallel":
+            return sum(c._leak(state, ioff) for c in self.children)
+        # Series: limited by the smallest branch current; every further
+        # branch that is itself limiting multiplies the stack factor.
+        branch = sorted(c._leak(state, ioff) for c in self.children)
+        current = branch[0]
+        for b in branch[1:]:
+            if b < on_current * 0.5:
+                current *= STACK_EFFECT_FACTOR
+        return current
+
+    # ------------------------------------------------------------------ #
+    def emit(
+        self,
+        circuit,
+        model: FinFET,
+        rail: str,
+        output: str,
+        prefix: str,
+        invert_inputs: bool = False,
+        input_map: dict[str, str] | None = None,
+    ) -> int:
+        """Instantiate the network into ``circuit`` between rail and output.
+
+        Returns the number of transistors emitted.  ``invert_inputs`` is
+        unused at netlist level (gate nodes are shared between PUN and PDN
+        in static CMOS) but kept for clarity at call sites.  ``input_map``
+        renames logical inputs to circuit nodes.
+        """
+        input_map = input_map or {}
+        counter = itertools.count()
+
+        def node_name() -> str:
+            return f"{prefix}_x{next(counter)}"
+
+        def build(stack: Stack, top: str, bottom: str) -> int:
+            if stack.kind == "device":
+                gate = input_map.get(stack.input_name, stack.input_name)
+                circuit.add_finfet(
+                    f"{prefix}_m{next(counter)}", top, gate, bottom, model
+                )
+                return 1
+            if stack.kind == "series":
+                count = 0
+                nodes = [top]
+                for _ in range(len(stack.children) - 1):
+                    nodes.append(node_name())
+                nodes.append(bottom)
+                for child, (a, b) in zip(stack.children, zip(nodes, nodes[1:])):
+                    count += build(child, a, b)
+                return count
+            count = 0
+            for child in stack.children:
+                count += build(child, top, bottom)
+            return count
+
+        return build(self, output, rail)
+
+
+def device(input_name: str) -> Stack:
+    """A single gate-controlled device leaf."""
+    return Stack("device", input_name=input_name)
+
+
+def series(*children: Stack) -> Stack:
+    """Devices/subnetworks in series (AND in a pull-down network)."""
+    return Stack("series", children=children)
+
+
+def parallel(*children: Stack) -> Stack:
+    """Devices/subnetworks in parallel (OR in a pull-down network)."""
+    return Stack("parallel", children=children)

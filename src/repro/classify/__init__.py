@@ -1,0 +1,27 @@
+"""Classification layer: kNN and HDC (paper Section V-B), plus accuracy.
+
+Python reference implementations of the two classifiers the paper runs on
+the SoC; the RV64 kernels in :mod:`repro.soc.programs` implement the same
+algorithms and tests assert bit-identical labels.
+"""
+
+from repro.classify.accuracy import AccuracyReport, evaluate_accuracy
+from repro.classify.hdc import (
+    DIMENSION,
+    HDCClassifier,
+    HDCEncoder,
+    LEVELS,
+    popcount64,
+)
+from repro.classify.knn import KNNClassifier
+
+__all__ = [
+    "AccuracyReport",
+    "DIMENSION",
+    "HDCClassifier",
+    "HDCEncoder",
+    "KNNClassifier",
+    "LEVELS",
+    "evaluate_accuracy",
+    "popcount64",
+]

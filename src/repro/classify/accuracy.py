@@ -1,0 +1,54 @@
+"""Classification-accuracy evaluation against known prepared states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AccuracyReport", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate and per-qubit assignment accuracy."""
+
+    overall: float
+    per_qubit: np.ndarray
+    n_measurements: int
+
+    @property
+    def worst_qubit(self) -> int:
+        return int(np.argmin(self.per_qubit))
+
+    @property
+    def error_rate(self) -> float:
+        return 1.0 - self.overall
+
+
+def evaluate_accuracy(
+    predicted: np.ndarray,
+    truth: np.ndarray,
+    qubit: np.ndarray,
+    n_qubits: int,
+) -> AccuracyReport:
+    """Compare predicted labels with prepared states.
+
+    ``qubit`` assigns each measurement to its qubit for the per-qubit
+    breakdown (readout fidelity varies across the device, Fig. 2(a)).
+    """
+    predicted = np.asarray(predicted, dtype=int)
+    truth = np.asarray(truth, dtype=int)
+    qubit = np.asarray(qubit, dtype=int)
+    if predicted.shape != truth.shape or predicted.shape != qubit.shape:
+        raise ValueError("predicted, truth and qubit must align")
+    correct = predicted == truth
+    per_qubit = np.empty(n_qubits)
+    for q in range(n_qubits):
+        mask = qubit == q
+        per_qubit[q] = correct[mask].mean() if mask.any() else np.nan
+    return AccuracyReport(
+        overall=float(correct.mean()),
+        per_qubit=per_qubit,
+        n_measurements=len(predicted),
+    )

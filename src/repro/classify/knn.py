@@ -1,0 +1,77 @@
+"""Nearest-centroid kNN classifier (paper Eq. 2) -- Python reference.
+
+The calibration phase returns per-qubit center points for |0> and |1>;
+classification assigns each I/Q measurement the label of the nearer
+center.  The radicand shortcut ("comparing the radicands is sufficient...
+the computationally expensive square root operation is unnecessary and
+removed") is exposed explicitly so the ABL-2 ablation can quantify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """Per-qubit nearest-centroid classifier.
+
+    Parameters
+    ----------
+    centers:
+        Array of shape (n_qubits, 2, 2): [qubit][class][i/q component].
+    """
+
+    def __init__(self, centers: np.ndarray):
+        centers = np.asarray(centers, dtype=float)
+        if centers.ndim != 3 or centers.shape[1:] != (2, 2):
+            raise ValueError("centers must have shape (n_qubits, 2, 2)")
+        self.centers = centers
+
+    @property
+    def n_qubits(self) -> int:
+        return self.centers.shape[0]
+
+    @classmethod
+    def calibrate(
+        cls, shots_0: np.ndarray, shots_1: np.ndarray
+    ) -> "KNNClassifier":
+        """Train from calibration shots.
+
+        ``shots_0``/``shots_1``: arrays (n_qubits, n_shots, 2) measured
+        with every qubit prepared in |0> / |1> -- exactly the paper's
+        calibration procedure (Section II).
+        """
+        c0 = np.asarray(shots_0, dtype=float).mean(axis=1)
+        c1 = np.asarray(shots_1, dtype=float).mean(axis=1)
+        return cls(np.stack([c0, c1], axis=1))
+
+    def distances(
+        self, qubit: np.ndarray, points: np.ndarray, sqrt: bool = False
+    ) -> np.ndarray:
+        """Distances (or radicands) to both centers: shape (n, 2)."""
+        qubit = np.asarray(qubit, dtype=int)
+        points = np.asarray(points, dtype=float)
+        diff = points[:, None, :] - self.centers[qubit]
+        radicand = np.sum(diff * diff, axis=2)
+        return np.sqrt(radicand) if sqrt else radicand
+
+    def classify(
+        self, qubit: np.ndarray, points: np.ndarray, sqrt: bool = False
+    ) -> np.ndarray:
+        """Labels (0/1) for measurements of the given qubits.
+
+        ``sqrt=True`` takes the square root first; by monotonicity the
+        labels are identical (the shortcut's correctness argument), which
+        the property tests assert.
+        """
+        d = self.distances(qubit, points, sqrt=sqrt)
+        return (d[:, 1] < d[:, 0]).astype(int)
+
+    def classify_interleaved(self, points: np.ndarray) -> np.ndarray:
+        """Classify shot-major interleaved measurements (qubit cycles
+        fastest), the layout the SoC kernel consumes."""
+        n = len(points)
+        qubit = np.arange(n) % self.n_qubits
+        return self.classify(qubit, points)

@@ -1,0 +1,77 @@
+"""Repetition-code error correction: the paper's "other tasks" workload.
+
+Section VII: beyond classification, the cryogenic SoC must run "complex
+quantum error correction protocols".  As the simplest representative we
+implement a distance-d repetition code: each logical qubit is encoded in
+d physical qubits, and decoding is a majority vote over the d classified
+measurement bits.  The same decoder runs:
+
+* here as a numpy reference;
+* on the RV64 ISS as machine code
+  (:func:`repro.soc.programs.qec_majority_source`), extending the Fig.-7
+  budget analysis with a classify-then-decode pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RepetitionDecoder", "logical_error_rate"]
+
+
+@dataclass(frozen=True)
+class RepetitionDecoder:
+    """Majority-vote decoder for a distance-``d`` repetition code."""
+
+    distance: int
+
+    def __post_init__(self) -> None:
+        if self.distance < 1 or self.distance % 2 == 0:
+            raise ValueError("distance must be a positive odd number")
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Decode physical measurement bits into logical values.
+
+        ``bits``: (n_logical, distance) or flat with length divisible by
+        the distance (physical-qubit-major).  Returns (n_logical,) 0/1.
+        """
+        bits = np.asarray(bits, dtype=int)
+        if bits.ndim == 1:
+            if bits.size % self.distance:
+                raise ValueError(
+                    f"bit count {bits.size} not divisible by distance "
+                    f"{self.distance}"
+                )
+            bits = bits.reshape(-1, self.distance)
+        if bits.shape[1] != self.distance:
+            raise ValueError("second axis must equal the code distance")
+        return (bits.sum(axis=1) * 2 > self.distance).astype(int)
+
+    def physical_qubits(self, n_logical: int) -> int:
+        return n_logical * self.distance
+
+
+def logical_error_rate(physical_error: float, distance: int) -> float:
+    """Analytic logical error rate of majority voting.
+
+    Sum of binomial tail terms: the decoder fails when more than half the
+    physical bits flip.  Demonstrates the exponential suppression that
+    motivates running QEC close to the qubits.
+    """
+    from math import comb
+
+    if not 0 <= physical_error <= 1:
+        raise ValueError("physical_error must be a probability")
+    if distance < 1 or distance % 2 == 0:
+        raise ValueError("distance must be a positive odd number")
+    k_min = distance // 2 + 1
+    return float(
+        sum(
+            comb(distance, k)
+            * physical_error**k
+            * (1 - physical_error) ** (distance - k)
+            for k in range(k_min, distance + 1)
+        )
+    )

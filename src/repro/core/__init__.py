@@ -1,0 +1,25 @@
+"""Core orchestration: the end-to-end cryogenic plausibility study."""
+
+from repro.core.feasibility import (
+    COOLING_BUDGET_10K,
+    COOLING_BUDGET_100MK,
+    ScalingPoint,
+    ScalingStudy,
+    bottleneck_qubits,
+    classification_time,
+)
+from repro.core.flow import CryoStudy, StudyConfig
+from repro.core.report import format_table, histogram_rows
+
+__all__ = [
+    "COOLING_BUDGET_100MK",
+    "COOLING_BUDGET_10K",
+    "CryoStudy",
+    "ScalingPoint",
+    "ScalingStudy",
+    "StudyConfig",
+    "bottleneck_qubits",
+    "classification_time",
+    "format_table",
+    "histogram_rows",
+]

@@ -1,0 +1,116 @@
+"""Feasibility analysis: time and power budgets (Figs. 6-7, Section VII).
+
+Two budgets govern the cryogenic SoC:
+
+* **cooling**: 100 mW at 10 K (10 mW at 0.1 K) -- paper ref. [5];
+* **time**: all qubits must be classified within the decoherence time
+  (~110 us on the Falcon), or the classifier stalls the quantum computer
+  (Fig. 2(c)).
+
+This module turns per-measurement cycle counts into classification times,
+finds the qubit count at which the SoC becomes the bottleneck, and builds
+the Fig. 7 sweep series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "COOLING_BUDGET_10K",
+    "COOLING_BUDGET_100MK",
+    "ScalingPoint",
+    "ScalingStudy",
+    "classification_time",
+    "bottleneck_qubits",
+]
+
+COOLING_BUDGET_10K = 0.100
+"""Cooling capacity at 10 K in W (paper ref. [5])."""
+
+COOLING_BUDGET_100MK = 0.010
+"""Cooling capacity at 0.1 K in W."""
+
+
+def classification_time(
+    n_qubits: int, cycles_per_measurement: float, frequency_hz: float
+) -> float:
+    """Time to classify one measurement per qubit (s)."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return n_qubits * cycles_per_measurement / frequency_hz
+
+
+def bottleneck_qubits(
+    cycles_per_measurement: float,
+    frequency_hz: float,
+    time_budget_s: float,
+) -> int:
+    """Largest qubit count classifiable within the time budget."""
+    # The epsilon keeps exact integer ratios from truncating down by one.
+    return int(time_budget_s * frequency_hz / cycles_per_measurement + 1e-9)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One Fig.-7 sample: a qubit count and its measured cost."""
+
+    n_qubits: int
+    cycles_per_measurement: float
+    frequency_hz: float
+    time_budget_s: float
+
+    @property
+    def classification_time_s(self) -> float:
+        return classification_time(
+            self.n_qubits, self.cycles_per_measurement, self.frequency_hz
+        )
+
+    @property
+    def budget_fraction(self) -> float:
+        """Share of the decoherence budget consumed (1.0 = bottleneck)."""
+        return self.classification_time_s / self.time_budget_s
+
+    @property
+    def feasible(self) -> bool:
+        return self.budget_fraction <= 1.0
+
+
+@dataclass
+class ScalingStudy:
+    """A full Fig.-7 series for one classification method."""
+
+    method: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def qubit_counts(self) -> np.ndarray:
+        return np.array([p.n_qubits for p in self.points])
+
+    def times_us(self) -> np.ndarray:
+        return np.array([p.classification_time_s * 1e6 for p in self.points])
+
+    def crossover_qubits(self) -> int | None:
+        """Interpolated qubit count where the budget is exhausted.
+
+        ``None`` when every sampled point is still feasible.
+        """
+        fractions = np.array([p.budget_fraction for p in self.points])
+        counts = self.qubit_counts().astype(float)
+        above = np.nonzero(fractions >= 1.0)[0]
+        if len(above) == 0:
+            # Extrapolate from the last point's per-qubit cost.
+            last = self.points[-1]
+            return bottleneck_qubits(
+                last.cycles_per_measurement,
+                last.frequency_hz,
+                last.time_budget_s,
+            )
+        k = above[0]
+        if k == 0:
+            return int(counts[0])
+        # Linear interpolation between the straddling samples.
+        f0, f1 = fractions[k - 1], fractions[k]
+        n0, n1 = counts[k - 1], counts[k]
+        return int(n0 + (1.0 - f0) * (n1 - n0) / (f1 - f0))

@@ -1,0 +1,46 @@
+"""Text reports: the paper's tables and figure data as printable rows.
+
+Every experiment bench prints through these helpers so the regenerated
+artifacts read like the paper's own tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "histogram_rows"]
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str = ""
+) -> str:
+    """Monospace table with a title line."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def histogram_rows(
+    values: np.ndarray,
+    bins: np.ndarray | int = 20,
+    label: str = "",
+    bar_width: int = 40,
+) -> str:
+    """ASCII histogram (the Fig.-5 renderer)."""
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(counts.max(), 1)
+    lines = [label] if label else []
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(bar_width * count / peak))
+        lines.append(f"{lo:10.3e} - {hi:10.3e} |{bar} {count}")
+    return "\n".join(lines)

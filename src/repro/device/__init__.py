@@ -1,0 +1,41 @@
+"""Device layer: cryogenic-aware 5-nm FinFET compact model and calibration.
+
+Public surface:
+
+* :class:`~repro.device.params.FinFETParams` -- the BSIM-CMG-style knob set.
+* :class:`~repro.device.finfet.FinFET` -- the evaluable compact model.
+* :class:`~repro.device.measurement.MeasurementCampaign` -- synthetic
+  probe-station campaign (the substitution for the paper's silicon data).
+* :class:`~repro.device.calibration.Calibrator` -- staged extraction flow.
+* :mod:`~repro.device.metrics` -- Vth/SS/Ion/Ioff extraction.
+* :mod:`~repro.device.modelcard` -- parameter-deck serialization.
+"""
+
+from repro.device.calibration import CalibrationResult, Calibrator, rms_log_error
+from repro.device.finfet import FinFET
+from repro.device.measurement import (
+    IVCurve,
+    IVDataset,
+    MeasurementCampaign,
+    golden_nfet,
+    golden_pfet,
+)
+from repro.device.metrics import DeviceFigures, extract_figures
+from repro.device.params import FinFETParams, default_nfet, default_pfet
+
+__all__ = [
+    "CalibrationResult",
+    "Calibrator",
+    "DeviceFigures",
+    "FinFET",
+    "FinFETParams",
+    "IVCurve",
+    "IVDataset",
+    "MeasurementCampaign",
+    "default_nfet",
+    "default_pfet",
+    "extract_figures",
+    "golden_nfet",
+    "golden_pfet",
+    "rms_log_error",
+]

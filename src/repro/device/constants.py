@@ -1,0 +1,60 @@
+"""Physical constants and technology-level defaults for the 5-nm FinFET model.
+
+All quantities are in SI units unless the name says otherwise.  The
+technology defaults mirror an ASAP7-class FinFET geometry (the paper uses
+7-nm ASAP7 cells, "geometrically very close" to its 5-nm transistors).
+"""
+
+from __future__ import annotations
+
+# Fundamental constants
+BOLTZMANN_EV: float = 8.617333262e-5
+"""Boltzmann constant in eV/K."""
+
+BOLTZMANN_J: float = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+"""Elementary charge in C."""
+
+EPS_0: float = 8.8541878128e-12
+"""Vacuum permittivity in F/m."""
+
+EPS_SIO2: float = 3.9 * EPS_0
+"""Permittivity of SiO2 in F/m (effective-oxide-thickness convention)."""
+
+T_ROOM: float = 300.0
+"""Room temperature in K -- the paper's baseline corner."""
+
+T_CRYO: float = 10.0
+"""Cryogenic temperature in K -- the paper's second corner."""
+
+TNOM: float = 300.0
+"""Nominal temperature for all temperature-coefficient expansions."""
+
+# Technology geometry (ASAP7-class FinFET)
+LGATE: float = 21e-9
+"""Physical gate length in m."""
+
+HFIN: float = 50e-9
+"""Fin height in m."""
+
+TFIN: float = 6e-9
+"""Fin thickness in m."""
+
+EOT: float = 1.0e-9
+"""Equivalent oxide thickness in m."""
+
+VDD: float = 0.70
+"""Nominal supply voltage in V."""
+
+FIN_WIDTH_EFF: float = 2.0 * HFIN + TFIN
+"""Effective electrical width of a single fin in m (2*HFIN + TFIN)."""
+
+COX: float = EPS_SIO2 / EOT
+"""Oxide capacitance per unit area in F/m^2."""
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return the thermal voltage kT/q in volts at ``temperature_k``."""
+    return BOLTZMANN_EV * temperature_k

@@ -1,0 +1,330 @@
+"""Charge-based analytic FinFET compact model with cryogenic extensions.
+
+This module stands in for the (licensed) BSIM-CMG + cryogenic extensions the
+paper calibrates.  It is a single-piece, C-infinity model valid from deep
+subthreshold to strong inversion, from millikelvin to 400 K:
+
+* EKV-style normalized charge linearization ``2q + ln q = u`` solved in
+  closed form with the Lambert-W function;
+* drift-diffusion current ``i = (qs^2 + qs) - (qd^2 + qd)`` which reduces to
+  the Boltzmann exponential in weak inversion and the square law in strong
+  inversion;
+* velocity saturation via a smoothed ``Vdseff`` (MEXP) and an ``Esat*L``
+  degradation factor, both with nonlinear temperature laws (AT*, TMEXP*,
+  KSATIVT*);
+* DIBL (ETA0/PDIBL2) and channel-length modulation (PCLM);
+* bias-dependent source/drain series resistance (RSW*/RDW*) solved by a
+  damped fixed point;
+* band-tail effective temperature (T0/D0) saturating the subthreshold swing
+  and a temperature-independent source-drain tunneling floor (ITUN/STUN)
+  that bounds the OFF-current collapse -- the two effects that make 10 K
+  behaviour qualitatively different from a naive kT/q extrapolation.
+
+Sign conventions: the public API takes *terminal* voltages ``vgs`` and
+``vds`` referenced to the source.  For p-FinFETs these are negative in
+normal operation; drain current is returned signed (negative for p-devices
+in conduction), matching SPICE conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import lambertw
+
+from repro.device import constants as const
+from repro.device.mobility import effective_mobility
+from repro.device.params import FinFETParams
+from repro.device.thermal import (
+    cooldown_fraction,
+    effective_thermal_voltage,
+    subthreshold_slope_factor,
+    threshold_voltage,
+)
+
+__all__ = ["FinFET", "normalized_charge"]
+
+# Beyond this normalized overdrive the Lambert-W argument overflows double
+# precision; switch to the (very accurate) asymptotic expansion.
+_LAMBERT_SWITCH = 500.0
+
+
+def normalized_charge(u: np.ndarray) -> np.ndarray:
+    """Solve ``2q + ln(q) = u`` for the normalized inversion charge q > 0.
+
+    Exact solution ``q = W0(2 * exp(u)) / 2``; for large ``u`` the argument
+    overflows and the asymptotic ``W(x) ~ ln x - ln ln x`` is used instead.
+
+    >>> import numpy as np
+    >>> q = normalized_charge(np.array([0.0]))
+    >>> bool(abs(2 * q[0] + np.log(q[0])) < 1e-12)
+    True
+    """
+    u = np.asarray(u, dtype=float)
+    q = np.empty_like(u)
+    small = u < _LAMBERT_SWITCH
+    if np.any(small):
+        q[small] = 0.5 * np.real(lambertw(2.0 * np.exp(u[small])))
+    if np.any(~small):
+        x = u[~small] + np.log(2.0)
+        w = x - np.log(x)
+        # One Newton step of w + ln w = x polishes to ~1e-12 relative.
+        w = w - (w + np.log(w) - x) * w / (w + 1.0)
+        q[~small] = 0.5 * w
+    return q
+
+
+class FinFET:
+    """Evaluable FinFET device bound to a parameter set.
+
+    The heavy lifting happens in :meth:`ids`; everything else (conductances,
+    capacitances, curve helpers) derives from it.
+
+    Parameters
+    ----------
+    params:
+        The device parameter record.  ``params.polarity`` selects n/p
+        behaviour; ``params.nfin`` multiplies current and capacitance.
+    """
+
+    def __init__(self, params: FinFETParams):
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+    # Derived operating-point quantities
+    # ------------------------------------------------------------------ #
+    def vth(self, temperature_k: float, vds: float = 0.0) -> float:
+        """Return the DIBL-corrected threshold magnitude at ``vds`` in V."""
+        p = self.params
+        vds_mag = abs(vds)
+        dibl = p.ETA0 * vds_mag / (1.0 + p.PDIBL2 * vds_mag)
+        return threshold_voltage(temperature_k, p) - dibl
+
+    def _vsat(self, temperature_k: float) -> float:
+        """Saturation velocity with its nonlinear temperature law (m/s)."""
+        p = self.params
+        dtn = cooldown_fraction(temperature_k)
+        factor = 1.0 + p.AT * dtn + p.AT1 * dtn * dtn + p.AT2 * dtn**3
+        return max(p.VSAT * factor, 1e3)
+
+    def _mexp(self, temperature_k: float) -> float:
+        """Vdseff smoothing exponent with temperature law (dimensionless)."""
+        p = self.params
+        dtn = cooldown_fraction(temperature_k)
+        return max(p.MEXP + p.TMEXP1 * dtn + p.TMEXP2 * dtn * dtn, 1.2)
+
+    def _ksativ(self, temperature_k: float) -> float:
+        """Pinch-off (Vdsat) scaling with temperature law (dimensionless)."""
+        p = self.params
+        dtn = cooldown_fraction(temperature_k)
+        return max(p.KSATIV * (1.0 + p.KSATIVT1 * dtn + p.KSATIVT2 * dtn * dtn), 0.1)
+
+    # ------------------------------------------------------------------ #
+    # Core current
+    # ------------------------------------------------------------------ #
+    def _ids_intrinsic(
+        self,
+        vgs: np.ndarray,
+        vds: np.ndarray,
+        temperature_k: float,
+    ) -> np.ndarray:
+        """Channel current (A, positive) for *internal* positive vgs/vds."""
+        p = self.params
+        vt = effective_thermal_voltage(temperature_k, p)
+        nslope = subthreshold_slope_factor(vds, p)
+        vth_eff = threshold_voltage(temperature_k, p) - p.ETA0 * vds / (
+            1.0 + p.PDIBL2 * vds
+        )
+
+        u_s = (vgs - vth_eff) / (nslope * vt)
+        qs = normalized_charge(u_s)
+
+        mu = effective_mobility(vgs, qs, np.maximum(vth_eff, 0.0), temperature_k, p)
+        esat_l = 2.0 * self._vsat(temperature_k) * p.lgate / np.maximum(mu, 1e-6)
+
+        # Smooth pinch-off voltage: strong-inversion branch ~2*n*vt*qs capped
+        # by Esat*L, plus a ~3*vt subthreshold floor.
+        vov = 2.0 * nslope * vt * qs
+        vdsat = self._ksativ(temperature_k) * (
+            vov * esat_l / (vov + esat_l) + 3.0 * vt
+        )
+        mexp = self._mexp(temperature_k)
+        ratio = np.maximum(vds, 0.0) / vdsat
+        vdseff = vds / np.power(1.0 + np.power(ratio, mexp), 1.0 / mexp)
+
+        u_d = u_s - vdseff / vt
+        qd = normalized_charge(u_d)
+
+        i_norm = (qs * qs + qs) - (qd * qd + qd)
+        prefactor = (
+            2.0
+            * nslope
+            * mu
+            * p.cox
+            * (p.weff * p.nfin / p.lgate)
+            * vt
+            * vt
+        )
+        ids = prefactor * i_norm
+        ids = ids / (1.0 + vdseff / esat_l)
+        ids = ids * (1.0 + p.PCLM * np.maximum(vds - vdseff, 0.0))
+
+        # Source-drain tunneling / GIDL-like floor: nearly temperature
+        # independent, weak gate control (large swing STUN), vanishes at
+        # vds = 0.
+        floor = (
+            p.ITUN
+            * p.nfin
+            * np.exp(np.clip((vgs - p.VTH0) / p.STUN, -60.0, 3.0))
+            * (vds / (vds + 0.1))
+        )
+        return ids + np.maximum(floor, 0.0)
+
+    def _series_resistances(self, qs_proxy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bias-dependent per-device source/drain resistances in Ohm."""
+        p = self.params
+        rs = (p.RSWMIN + p.RSW / (1.0 + qs_proxy)) / p.nfin
+        rd = (p.RDWMIN + p.RDW / (1.0 + qs_proxy)) / p.nfin
+        return rs, rd
+
+    def ids(
+        self,
+        vgs: np.ndarray | float,
+        vds: np.ndarray | float,
+        temperature_k: float,
+    ) -> np.ndarray:
+        """Return the signed drain current in A.
+
+        Accepts scalars or broadcastable arrays for ``vgs``/``vds``.  For
+        p-devices apply negative bias voltages; the returned current is then
+        negative, as a circuit simulator expects.
+        """
+        p = self.params
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vgs, vds = np.broadcast_arrays(vgs, vds)
+
+        if p.polarity == "p":
+            # Evaluate the symmetric n-type equations on mirrored biases.
+            return -self._ids_forward(-vgs, -vds, temperature_k)
+        return self._ids_forward(vgs, vds, temperature_k)
+
+    def _ids_forward(
+        self, vgs: np.ndarray, vds: np.ndarray, temperature_k: float
+    ) -> np.ndarray:
+        """Signed current for n-convention biases, handling vds < 0 by
+        source/drain exchange (the device is physically symmetric)."""
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        reverse = vds < 0.0
+        vgs_eff = np.where(reverse, vgs - vds, vgs)
+        vds_eff = np.abs(vds)
+
+        ids = self._ids_with_rseries(vgs_eff, vds_eff, temperature_k)
+        return np.where(reverse, -ids, ids)
+
+    def _ids_with_rseries(
+        self, vgs: np.ndarray, vds: np.ndarray, temperature_k: float
+    ) -> np.ndarray:
+        """Positive-bias current including the series-resistance fixed point."""
+        p = self.params
+        vt = effective_thermal_voltage(temperature_k, p)
+        nslope = subthreshold_slope_factor(vds, p)
+        vth0 = threshold_voltage(temperature_k, p)
+        qs_proxy = normalized_charge((vgs - vth0) / (nslope * vt))
+        rs, rd = self._series_resistances(qs_proxy)
+
+        ids = self._ids_intrinsic(vgs, vds, temperature_k)
+        for _ in range(3):
+            vgs_int = np.maximum(vgs - ids * rs, 0.0)
+            vds_int = np.maximum(vds - ids * (rs + rd), 0.0)
+            ids_new = self._ids_intrinsic(vgs_int, vds_int, temperature_k)
+            ids = 0.5 * ids + 0.5 * ids_new
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # Small-signal and capacitance helpers
+    # ------------------------------------------------------------------ #
+    def gm(
+        self, vgs: float, vds: float, temperature_k: float, delta: float = 1e-4
+    ) -> float:
+        """Transconductance dIds/dVgs in S (central finite difference)."""
+        hi = self.ids(vgs + delta, vds, temperature_k)
+        lo = self.ids(vgs - delta, vds, temperature_k)
+        return float((hi - lo) / (2.0 * delta))
+
+    def gds(
+        self, vgs: float, vds: float, temperature_k: float, delta: float = 1e-4
+    ) -> float:
+        """Output conductance dIds/dVds in S (central finite difference)."""
+        hi = self.ids(vgs, vds + delta, temperature_k)
+        lo = self.ids(vgs, vds - delta, temperature_k)
+        return float((hi - lo) / (2.0 * delta))
+
+    def gate_capacitance(self) -> float:
+        """Lumped gate input capacitance in F (all fins)."""
+        return self.params.nfin * self.params.cgate_fin
+
+    def drain_capacitance(self) -> float:
+        """Lumped drain parasitic capacitance in F (all fins)."""
+        return self.params.nfin * (self.params.COV + self.params.CJD)
+
+    # ------------------------------------------------------------------ #
+    # Curve helpers used by measurement/calibration/plotting
+    # ------------------------------------------------------------------ #
+    def transfer_curve(
+        self,
+        vds: float,
+        temperature_k: float,
+        vgs: np.ndarray | None = None,
+        n_points: int = 61,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (vgs, ids) for an Ids-Vgs sweep at fixed ``vds``.
+
+        For p-devices pass negative ``vds``; the sweep then runs from 0 to
+        -VDD automatically.
+        """
+        sign = -1.0 if self.params.polarity == "p" else 1.0
+        if vgs is None:
+            vgs = sign * np.linspace(0.0, const.VDD, n_points)
+        ids = self.ids(vgs, vds, temperature_k)
+        return np.asarray(vgs), ids
+
+    def output_curve(
+        self,
+        vgs: float,
+        temperature_k: float,
+        vds: np.ndarray | None = None,
+        n_points: int = 41,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (vds, ids) for an Ids-Vds sweep at fixed ``vgs``."""
+        sign = -1.0 if self.params.polarity == "p" else 1.0
+        if vds is None:
+            vds = sign * np.linspace(0.0, const.VDD, n_points)
+        ids = self.ids(vgs, vds, temperature_k)
+        return np.asarray(vds), ids
+
+    def ion(self, temperature_k: float, vdd: float = const.VDD) -> float:
+        """ON-current magnitude at |Vgs| = |Vds| = Vdd in A."""
+        sign = -1.0 if self.params.polarity == "p" else 1.0
+        return float(abs(self.ids(sign * vdd, sign * vdd, temperature_k)))
+
+    def ioff(self, temperature_k: float, vdd: float = const.VDD) -> float:
+        """OFF-current magnitude at Vgs = 0, |Vds| = Vdd in A."""
+        sign = -1.0 if self.params.polarity == "p" else 1.0
+        return float(abs(self.ids(0.0, sign * vdd, temperature_k)))
+
+    def effective_current(self, temperature_k: float, vdd: float = const.VDD) -> float:
+        """Switching effective current Ieff = (IH + IL)/2 in A.
+
+        The standard Na/Nose effective-current metric used by the analytic
+        characterization engine: IH = I(Vgs=Vdd, Vds=Vdd/2),
+        IL = I(Vgs=Vdd/2, Vds=Vdd).
+        """
+        sign = -1.0 if self.params.polarity == "p" else 1.0
+        ih = abs(self.ids(sign * vdd, sign * vdd / 2.0, temperature_k))
+        il = abs(self.ids(sign * vdd / 2.0, sign * vdd, temperature_k))
+        return float((ih + il) / 2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        p = self.params
+        return f"FinFET({p.polarity}, nfin={p.nfin}, VTH0={p.VTH0:.3f})"

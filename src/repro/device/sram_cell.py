@@ -1,0 +1,149 @@
+"""6T SRAM bitcell stability: static noise margin via the SPICE engine.
+
+The paper's prior work ([24], the source of its SRAM power numbers)
+modelled "SRAM cells and peripheral circuitry ... based on the same
+calibrated BSIM-CMG transistor compact model at 300 and 10 K".  This
+module rebuilds the cell-stability half of that study:
+
+* the hold butterfly curve from two cross-coupled inverter VTCs computed
+  with the MNA DC solver;
+* the static noise margin (SNM) as the largest square inscribed in the
+  butterfly lobes (the standard 45-degree construction);
+* Monte-Carlo SNM under cryogenic Vth mismatch
+  (:class:`~repro.device.variability.MismatchModel`) -- the higher Vth at
+  10 K *helps* the margin while the larger mismatch *spreads* it, the
+  tension the paper's refs [17]/[24] discuss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.finfet import FinFET
+from repro.device.params import FinFETParams
+from repro.device.variability import MismatchModel
+
+__all__ = ["SRAMCellAnalysis", "inverter_vtc", "hold_snm"]
+
+
+def inverter_vtc(
+    nfet: FinFETParams,
+    pfet: FinFETParams,
+    temperature_k: float,
+    vdd: float = 0.70,
+    n_points: int = 41,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Voltage-transfer curve of one bitcell inverter (DC sweep)."""
+    from repro.spice import Circuit, DC, dc_operating_point
+
+    vin = np.linspace(0.0, vdd, n_points)
+    vout = np.empty_like(vin)
+    for i, v in enumerate(vin):
+        circuit = Circuit("inv_vtc", temperature_k=temperature_k)
+        circuit.add_vsource("vdd", "vdd", "0", DC(vdd))
+        circuit.add_vsource("vin", "in", "0", DC(float(v)))
+        circuit.add_finfet("mp", "out", "in", "vdd", FinFET(pfet),
+                           with_parasitics=False)
+        circuit.add_finfet("mn", "out", "in", "0", FinFET(nfet),
+                           with_parasitics=False)
+        vout[i] = dc_operating_point(circuit)["out"]
+    return vin, vout
+
+
+def _butterfly_snm(
+    v1: np.ndarray, f1: np.ndarray, v2: np.ndarray, f2: np.ndarray,
+    vdd: float,
+) -> float:
+    """SNM from the butterfly of curve1 (f1 vs v1) and mirrored curve2.
+
+    Standard numeric construction: overlay y = f1(x) with the mirrored
+    x = f2(y); the two butterfly lobes are the regions of positive and
+    negative vertical gap, and the largest inscribed square in a lobe has
+    side max(gap)/2.  The cell's SNM is the smaller lobe's square.
+    """
+    grid = np.linspace(0.0, vdd, 201)
+    a = np.interp(grid, v1, f1)
+    # Mirrored curve: x = f2(w), y = w; reparameterize on x by sorting.
+    order = np.argsort(f2)
+    b = np.interp(grid, f2[order], v2[order])
+    gap = a - b
+    lobe_pos = float(np.max(gap)) / 2.0
+    lobe_neg = float(np.max(-gap)) / 2.0
+    return max(min(lobe_pos, lobe_neg), 0.0)
+
+
+def hold_snm(
+    nfet_left: FinFETParams,
+    pfet_left: FinFETParams,
+    nfet_right: FinFETParams,
+    pfet_right: FinFETParams,
+    temperature_k: float,
+    vdd: float = 0.70,
+    n_points: int = 41,
+) -> float:
+    """Hold static noise margin of a 6T cell (access devices off), in V.
+
+    The two inverters may carry different (mismatched) devices; the SNM
+    is the smaller of the two butterfly lobes.
+    """
+    v1, f1 = inverter_vtc(nfet_left, pfet_left, temperature_k, vdd, n_points)
+    v2, f2 = inverter_vtc(nfet_right, pfet_right, temperature_k, vdd,
+                          n_points)
+    return _butterfly_snm(v1, f1, v2, f2, vdd)
+
+
+@dataclass
+class SRAMCellAnalysis:
+    """Monte-Carlo hold-SNM study of the ultra-low-Vth bitcell."""
+
+    nfet: FinFETParams
+    pfet: FinFETParams
+    mismatch: MismatchModel | None = None
+    vdd: float = 0.70
+
+    def __post_init__(self) -> None:
+        if self.mismatch is None:
+            self.mismatch = MismatchModel()
+
+    @classmethod
+    def bitcell(cls, models, **kwargs) -> "SRAMCellAnalysis":
+        """Build from the SoC's TechModels using the same ultra-low-Vth
+        bitcell flavour as the SRAM power model."""
+        from repro.power.sram import BITCELL_VTH_OFFSET
+
+        return cls(
+            nfet=models.nfet.copy(VTH0=models.nfet.VTH0 + BITCELL_VTH_OFFSET),
+            pfet=models.pfet.copy(VTH0=models.pfet.VTH0 + BITCELL_VTH_OFFSET),
+            **kwargs,
+        )
+
+    def nominal_snm(self, temperature_k: float, n_points: int = 41) -> float:
+        """Hold SNM with perfectly matched devices (V)."""
+        return hold_snm(
+            self.nfet, self.pfet, self.nfet, self.pfet,
+            temperature_k, self.vdd, n_points,
+        )
+
+    def monte_carlo(
+        self,
+        temperature_k: float,
+        n_cells: int = 25,
+        seed: int = 1,
+        n_points: int = 31,
+    ) -> np.ndarray:
+        """Sampled hold SNM across mismatched cells (V)."""
+        rng = np.random.default_rng(seed)
+        n_samples = self.mismatch.sample(self.nfet, temperature_k,
+                                         2 * n_cells, rng)
+        p_samples = self.mismatch.sample(self.pfet, temperature_k,
+                                         2 * n_cells, rng)
+        out = np.empty(n_cells)
+        for k in range(n_cells):
+            out[k] = hold_snm(
+                n_samples[2 * k], p_samples[2 * k],
+                n_samples[2 * k + 1], p_samples[2 * k + 1],
+                temperature_k, self.vdd, n_points,
+            )
+        return out

@@ -1,0 +1,69 @@
+"""Device mismatch at cryogenic temperatures (paper Section III, ref [17]).
+
+"These reduced dimensions result in a higher mismatch between the
+electrical characteristics of the two identical transistors fabricated on
+the same chip.  Mismatch in transistor characteristics and Vth increase
+at cryogenic temperature are major challenges faced by circuit designers."
+
+The model is Pelgrom's law with a cryogenic multiplier:
+
+    sigma(Vth) = AVT / sqrt(Weff * L * nfin) * f(T)
+
+with ``f`` rising toward cryo (subthreshold mismatch grows as thermal
+averaging of trap occupancy freezes out -- 't Hart et al., the paper's
+ref [17], report ~1.4-1.8x at 4 K).  :class:`MismatchModel` samples
+matched device pairs for Monte-Carlo analyses such as the 6T SRAM
+static-noise-margin study in :mod:`repro.device.sram_cell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.params import FinFETParams
+from repro.device.thermal import cooldown_fraction
+
+__all__ = ["MismatchModel"]
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """Pelgrom-law Vth mismatch with cryogenic degradation."""
+
+    avt: float = 1.4e-9
+    """Pelgrom area coefficient in V*m (~1.4 mV*um, 5-nm class)."""
+
+    cryo_factor: float = 1.6
+    """sigma multiplier reached at deep cryo relative to 300 K."""
+
+    def temperature_factor(self, temperature_k: float) -> float:
+        """Smooth 1 -> cryo_factor rise on cooldown."""
+        dtn = cooldown_fraction(temperature_k)
+        return 1.0 + (self.cryo_factor - 1.0) * max(dtn, 0.0)
+
+    def sigma_vth(self, params: FinFETParams, temperature_k: float) -> float:
+        """Vth standard deviation for one device (V)."""
+        area = params.weff * params.lgate * params.nfin
+        return self.avt / np.sqrt(area) * self.temperature_factor(
+            temperature_k
+        )
+
+    def sample(
+        self,
+        params: FinFETParams,
+        temperature_k: float,
+        n: int,
+        rng: np.random.Generator,
+    ) -> list[FinFETParams]:
+        """Draw ``n`` device instances with sampled Vth offsets."""
+        sigma = self.sigma_vth(params, temperature_k)
+        offsets = rng.normal(0.0, sigma, n)
+        return [params.copy(VTH0=params.VTH0 + float(d)) for d in offsets]
+
+    def mismatch_pair_sigma(
+        self, params: FinFETParams, temperature_k: float
+    ) -> float:
+        """sigma of the Vth *difference* of a matched pair (V)."""
+        return float(np.sqrt(2.0) * self.sigma_vth(params, temperature_k))

@@ -1,0 +1,60 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Each module exposes ``run(...) -> dict`` (the data products) and
+``report(...) -> str`` (a printable table mirroring the paper artifact).
+The benchmark harness in ``benchmarks/`` wraps these.
+
+Index (see DESIGN.md section 4):
+
+* :mod:`~repro.experiments.fig2_readout`     -- EXP-F2 (Fig. 2 a-b)
+* :mod:`~repro.experiments.fig3_calibration` -- EXP-F3 (Fig. 3)
+* :mod:`~repro.experiments.fig5_delays`      -- EXP-F5 (Fig. 5)
+* :mod:`~repro.experiments.table1_timing`    -- EXP-T1 (Table 1)
+* :mod:`~repro.experiments.fig6_power`       -- EXP-F6 (Fig. 6)
+* :mod:`~repro.experiments.table2_cycles`    -- EXP-T2 (Table 2)
+* :mod:`~repro.experiments.fig7_scaling`     -- EXP-F7 (Fig. 7)
+* :mod:`~repro.experiments.ablations`        -- ABL-1..4
+* :mod:`~repro.experiments.ext_thermal`      -- EXT: burst power management
+* :mod:`~repro.experiments.ext_fpga`         -- EXT: embedded FPGA fabric
+* :mod:`~repro.experiments.ext_qec`          -- EXT: repetition-code QEC
+* :mod:`~repro.experiments.ext_vdd`          -- EXT: supply-voltage scaling
+* :mod:`~repro.experiments.ext_vqe`          -- EXT: hybrid-loop latency
+* :mod:`~repro.experiments.ext_mismatch`     -- EXT: mismatch + SRAM SNM
+* :mod:`~repro.experiments.ext_soc_sweep`    -- EXT: SoC config sweep
+"""
+
+from repro.experiments import (
+    ablations,
+    ext_fpga,
+    ext_mismatch,
+    ext_qec,
+    ext_soc_sweep,
+    ext_thermal,
+    ext_vdd,
+    ext_vqe,
+    fig2_readout,
+    fig3_calibration,
+    fig5_delays,
+    fig6_power,
+    fig7_scaling,
+    table1_timing,
+    table2_cycles,
+)
+
+__all__ = [
+    "ablations",
+    "ext_fpga",
+    "ext_mismatch",
+    "ext_qec",
+    "ext_soc_sweep",
+    "ext_thermal",
+    "ext_vdd",
+    "ext_vqe",
+    "fig2_readout",
+    "fig3_calibration",
+    "fig5_delays",
+    "fig6_power",
+    "fig7_scaling",
+    "table1_timing",
+    "table2_cycles",
+]

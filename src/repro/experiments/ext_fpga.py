@@ -1,0 +1,71 @@
+"""EXT-FPGA: the embedded-fabric option, quantified (paper §VII).
+
+Compares classifying N qubits in software on the RISC-V core against the
+HDC accelerator on the SRAM-based FPGA fabric, in both of the paper's
+configurations ("high-power low-latency or ... low-power high-latency").
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.fpga import FPGAFabric, build_hdc_accelerator, lut_map
+
+__all__ = ["run", "report"]
+
+
+def run(study=None, n_qubits: int = 1500) -> dict:
+    if study is None:
+        from repro.core import CryoStudy, StudyConfig
+
+        study = CryoStudy(StudyConfig(fast=True, shots=15))
+    lib10 = study.libraries[10.0]
+    frequency = study.frequency(10.0)
+
+    # Software baselines at the measured large-system cycle counts.
+    knn_cpm, _ = study.knn_cycles(400)
+    hdc_cpm, _ = study.hdc_cycles(400)
+    software = {
+        "kNN (software)": n_qubits * knn_cpm / frequency,
+        "HDC (software)": n_qubits * hdc_cpm / frequency,
+    }
+
+    mapping = lut_map(build_hdc_accelerator(128), k=4)
+    fabric = FPGAFabric(lib10, study.models)
+    fast = fabric.deploy(mapping, pipeline_stages=None)
+    slow = fabric.deploy(mapping, pipeline_stages=1)
+    return {
+        "n_qubits": n_qubits,
+        "software_times": software,
+        "mapping": mapping,
+        "fast": fast,
+        "slow": slow,
+        "budget_s": 110e-6,
+        "soc_power_w": study.fig6["reports"][10.0].total,
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    n = result["n_qubits"]
+    rows = []
+    for name, t in result["software_times"].items():
+        rows.append([name, f"{t * 1e6:9.2f}", f"{result['soc_power_w'] * 1e3:.1f}",
+                     "yes" if t <= result["budget_s"] else "NO"])
+    for name, rep in (("HDC fabric, pipelined", result["fast"]),
+                      ("HDC fabric, combinational", result["slow"])):
+        t = rep.time_for(n)
+        rows.append([name, f"{t * 1e6:9.2f}",
+                     f"{rep.total_power_w * 1e3:.2f}",
+                     "yes" if t <= result["budget_s"] else "NO"])
+    mapping = result["mapping"]
+    table = format_table(
+        ["implementation", "time for all qubits (us)", "power (mW)",
+         "fits 110 us"],
+        rows,
+        title=(
+            f"EXT-FPGA: classifying {n} qubits at 10 K "
+            f"(accelerator: {mapping.n_luts} LUTs, depth {mapping.depth}, "
+            f"config SRAM {result['fast'].config_bits / 8 / 1024:.1f} KiB)"
+        ),
+    )
+    return table

@@ -1,0 +1,62 @@
+"""EXT-MISMATCH: cryogenic device mismatch and SRAM cell stability.
+
+Paper Section III: "Mismatch in transistor characteristics and Vth
+increase at cryogenic temperature are major challenges faced by circuit
+designers and affect the circuit design significantly [17]."  We quantify
+the bitcell-level consequence: hold static noise margin of the
+ultra-low-Vth 6T cell at 300 K vs 10 K, nominal and under Monte-Carlo
+mismatch, via the SPICE engine's DC solver.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.device.sram_cell import SRAMCellAnalysis
+from repro.device.variability import MismatchModel
+
+__all__ = ["run", "report"]
+
+
+def run(models=None, n_cells: int = 16, seed: int = 11) -> dict:
+    if models is None:
+        from repro.cells import TechModels
+        from repro.device import golden_nfet, golden_pfet
+
+        models = TechModels(golden_nfet(), golden_pfet())
+    mismatch = MismatchModel()
+    analysis = SRAMCellAnalysis.bitcell(models, mismatch=mismatch)
+    corners = {}
+    for t in (300.0, 10.0):
+        mc = analysis.monte_carlo(t, n_cells=n_cells, seed=seed,
+                                  n_points=25)
+        corners[t] = {
+            "nominal_snm": analysis.nominal_snm(t, n_points=25),
+            "mc_mean": float(mc.mean()),
+            "mc_sigma": float(mc.std()),
+            "mc_min": float(mc.min()),
+            "sigma_vth": mismatch.sigma_vth(models.nfet, t),
+        }
+    return {"corners": corners, "n_cells": n_cells}
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    for t, data in result["corners"].items():
+        rows.append([
+            f"{t:g} K",
+            f"{data['sigma_vth'] * 1e3:.1f}",
+            f"{data['nominal_snm'] * 1e3:.1f}",
+            f"{data['mc_mean'] * 1e3:.1f}",
+            f"{data['mc_sigma'] * 1e3:.2f}",
+            f"{data['mc_min'] * 1e3:.1f}",
+        ])
+    return format_table(
+        ["corner", "sigma Vth (mV)", "nominal SNM (mV)", "MC mean (mV)",
+         "MC sigma (mV)", "MC worst (mV)"],
+        rows,
+        title=(
+            f"EXT-MISMATCH: 6T hold SNM, {result['n_cells']}-cell "
+            "Monte-Carlo (mismatch grows at cryo; margin holds)"
+        ),
+    )

@@ -1,0 +1,81 @@
+"""EXT-QEC: repetition-code decoding on the SoC (paper §VII).
+
+"Ultimately, to achieve fully error-corrected quantum computers, complex
+quantum error correction protocols have to be executed."  We quantify the
+simplest protocol: classify every physical qubit, then majority-decode
+distance-d repetition blocks -- both stages on the RISC-V core, both
+inside the decoherence budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classify.qec import logical_error_rate
+from repro.core.report import format_table
+from repro.soc import RocketSoC
+
+__all__ = ["run", "report"]
+
+
+def run(
+    study=None,
+    distances=(3, 5, 7),
+    n_logical: int = 200,
+    physical_error: float = 0.013,
+) -> dict:
+    if study is None:
+        from repro.core import CryoStudy, StudyConfig
+
+        study = CryoStudy(StudyConfig(fast=True, shots=15))
+    frequency = study.frequency(10.0)
+    rng = np.random.default_rng(7)
+    rows = {}
+    for d in distances:
+        n_physical = n_logical * d
+        classify_cpm, _ = study.knn_cycles(min(n_physical, 1200))
+        bits = rng.integers(0, 2, 30 * n_physical)
+        decode = RocketSoC().run_qec_decode(bits, d)
+        decode_cpl = decode.cycles / (30 * n_logical)
+        classify_t = n_physical * classify_cpm / frequency
+        decode_t = n_logical * decode_cpl / frequency
+        rows[d] = {
+            "n_physical": n_physical,
+            "classify_us": classify_t * 1e6,
+            "decode_us": decode_t * 1e6,
+            "total_us": (classify_t + decode_t) * 1e6,
+            "decode_cycles_per_logical": decode_cpl,
+            "logical_error": logical_error_rate(physical_error, d),
+            "fits": (classify_t + decode_t) <= 110e-6,
+        }
+    return {
+        "n_logical": n_logical,
+        "physical_error": physical_error,
+        "rows": rows,
+        "frequency_mhz": frequency / 1e6,
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    for d, data in result["rows"].items():
+        rows.append([
+            d,
+            data["n_physical"],
+            f"{data['classify_us']:.1f}",
+            f"{data['decode_us']:.1f}",
+            f"{data['total_us']:.1f}",
+            f"{data['logical_error']:.2e}",
+            "yes" if data["fits"] else "NO",
+        ])
+    return format_table(
+        ["distance", "physical qubits", "classify (us)", "decode (us)",
+         "total (us)", "logical error", "fits 110 us"],
+        rows,
+        title=(
+            f"EXT-QEC: {result['n_logical']} logical qubits, physical "
+            f"error {result['physical_error']:.3f}, "
+            f"{result['frequency_mhz']:.0f} MHz clock"
+        ),
+    )

@@ -1,0 +1,74 @@
+"""EXT-SOC-SWEEP: off-the-shelf SoC configuration exploration.
+
+Paper Section I-C: "Off-the-shelf SoCs, designed for room temperature
+use, are available in a wide range of specifications and capabilities and
+could quickly be swapped in and out, depending on the requirements of the
+tasks."  This experiment swaps the cache configuration and measures where
+the Table-2 wall moves: a larger L1D absorbs the per-qubit calibration
+records and defers the cache-miss growth to higher qubit counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.soc import RocketSoC
+from repro.soc.cache import Cache, CacheHierarchy
+
+__all__ = ["run", "report"]
+
+
+def _hierarchy_factory(l1d_kib: int):
+    def build() -> CacheHierarchy:
+        return CacheHierarchy(
+            l1d=Cache("l1d", l1d_kib * 1024, 64, 4)
+        )
+
+    return build
+
+
+def run(
+    l1d_sizes_kib=(8, 16, 32, 64),
+    n_qubits: int = 400,
+    shots: int = 30,
+    seed: int = 2023,
+) -> dict:
+    """kNN cycles/measurement at ``n_qubits`` across L1D sizes."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 0.8, (n_qubits, 2, 2))
+    measurements = rng.normal(0.0, 0.8, (shots * n_qubits, 2))
+    results = {}
+    for size in l1d_sizes_kib:
+        soc = RocketSoC(cache_factory=_hierarchy_factory(size))
+        result = soc.run_knn(centers, measurements, n_qubits)
+        results[size] = result.cycles / len(measurements)
+    return {
+        "n_qubits": n_qubits,
+        "cycles": results,
+        "working_set_kib": n_qubits * 64 / 1024,
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    baseline = result["cycles"][16]
+    for size, cpm in result["cycles"].items():
+        note = "paper config" if size == 16 else (
+            "fits working set" if size >= result["working_set_kib"] else ""
+        )
+        rows.append([
+            f"{size} KiB",
+            f"{cpm:.1f}",
+            f"{cpm / baseline * 100:.0f} %",
+            note,
+        ])
+    return format_table(
+        ["L1D size", "kNN cycles/meas", "vs 16 KiB", ""],
+        rows,
+        title=(
+            f"EXT-SOC-SWEEP: {result['n_qubits']} qubits "
+            f"(calibration working set {result['working_set_kib']:.0f} KiB)"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""EXT-THERMAL: burst power management on the 10 K stage (paper §VII).
+
+Quantifies "short but high-power processing bursts followed by a
+low-power idle phase without impacting the qubits": how long the SoC may
+run above the steady cooling budget, and whether a classify-burst/idle
+duty cycle for a large quantum system is thermally admissible.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.power.thermal import BurstSchedule, CryostatStage, max_burst_duration
+
+__all__ = ["run", "report"]
+
+
+def run(
+    soc_power_w: float = 0.046,
+    burst_powers=(0.15, 0.25, 0.40, 0.80),
+    idle_power_w: float = 0.002,
+) -> dict:
+    """Burst windows and an admissible classification duty cycle.
+
+    ``soc_power_w`` defaults to the measured 10 K kNN power (Fig. 6);
+    ``idle_power_w`` to the clock-gated leakage floor.
+    """
+    stage = CryostatStage()
+    windows = {
+        p: max_burst_duration(stage, p, idle_power_w=idle_power_w)
+        for p in burst_powers
+    }
+    # A 1500-qubit classify burst: ~110 us of compute at 4x the SoC's
+    # average power (boosted clock + both classifiers), every 1 ms.
+    classify = BurstSchedule(
+        burst_power_w=4 * soc_power_w,
+        idle_power_w=idle_power_w,
+        burst_duration_s=110e-6,
+        period_s=1e-3,
+    )
+    return {
+        "stage": stage,
+        "windows": windows,
+        "classify_schedule": classify,
+        "classify_admissible": classify.admissible(stage),
+        "classify_peak_excursion": classify.peak_excursion(stage),
+        "sustainable_power_w": stage.sustainable_power(),
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    stage = result["stage"]
+    rows = []
+    for p, window in result["windows"].items():
+        rows.append([
+            f"{p * 1e3:.0f} mW",
+            "unlimited" if window == float("inf") else f"{window:.2f} s",
+        ])
+    table = format_table(
+        ["burst power", "max burst from idle"],
+        rows,
+        title=(
+            f"EXT-THERMAL: 10 K stage (tau = {stage.tau_s:.1f} s, budget "
+            f"{stage.cooling_power_w * 1e3:.0f} mW, excursion limit "
+            f"{stage.delta_t_max_k} K)"
+        ),
+    )
+    sched = result["classify_schedule"]
+    summary = (
+        f"classify burst schedule: {sched.burst_power_w * 1e3:.0f} mW for "
+        f"{sched.burst_duration_s * 1e6:.0f} us every "
+        f"{sched.period_s * 1e3:.0f} ms "
+        f"(avg {sched.average_power_w * 1e3:.1f} mW) -> "
+        f"peak excursion {result['classify_peak_excursion'] * 1e3:.1f} mK, "
+        f"{'ADMISSIBLE' if result['classify_admissible'] else 'REJECTED'}"
+    )
+    return table + "\n" + summary

@@ -1,0 +1,67 @@
+"""EXT-VDD: supply-voltage scaling of the cryogenic SoC (paper §VII).
+
+"Further power reduction could be achieved by ... supply voltage
+reduction" -- we rebuild the 10 K library at reduced Vdd, rerun STA and
+power on the same physical design, and chart the speed/power trade.
+"""
+
+from __future__ import annotations
+
+from repro.cells import CharacterizationConfig, build_library
+from repro.core.report import format_table
+from repro.power import UncoreModel, activity_from_profile, analyze_power
+from repro.sta import analyze as sta_analyze
+
+__all__ = ["run", "report"]
+
+
+def run(study=None, vdds=(0.70, 0.60, 0.50)) -> dict:
+    if study is None:
+        from repro.core import CryoStudy, StudyConfig
+
+        study = CryoStudy(StudyConfig(fast=True, shots=15))
+    _, knn_result = study.knn_cycles(100)
+    activity = activity_from_profile("knn", knn_result.stats.profile())
+
+    corners = {}
+    for vdd in vdds:
+        lib = build_library(
+            study.models,
+            CharacterizationConfig(temperature_k=10.0, vdd=vdd),
+            name=f"vdd{vdd:g}",
+        )
+        timing = sta_analyze(
+            study.soc_model.netlist, lib, study.placement,
+            macro_delay_scale=study.macro_delay_scale(10.0),
+        )
+        power = analyze_power(
+            study.soc_model.netlist, lib, activity, timing.fmax_hz,
+            study.models, study.placement, uncore=UncoreModel(),
+        )
+        corners[vdd] = {"timing": timing, "power": power}
+    return {"corners": corners}
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    base = None
+    for vdd, data in result["corners"].items():
+        f = data["timing"].fmax_hz
+        p = data["power"].total
+        if base is None:
+            base = (f, p)
+        rows.append([
+            f"{vdd:.2f} V",
+            f"{f / 1e6:.0f} MHz ({f / base[0] * 100:.0f} %)",
+            f"{data['power'].dynamic_total * 1e3:.1f}",
+            f"{data['power'].leakage_total * 1e3:.3f}",
+            f"{p * 1e3:.1f} ({p / base[1] * 100:.0f} %)",
+            f"{p / f * 1e12:.2f}",
+        ])
+    return format_table(
+        ["Vdd", "fmax", "dynamic (mW)", "leakage (mW)", "total (mW)",
+         "energy/cycle (pJ)"],
+        rows,
+        title="EXT-VDD: 10 K supply-voltage scaling on the same design",
+    )

@@ -1,0 +1,71 @@
+"""EXP-F3: Fig. 3 -- measured vs. calibrated transfer characteristics.
+
+The paper's panel: Ids-Vgs in linear (|Vds| = 50 mV) and saturation
+(|Vds| = 750 mV), n- and p-FinFET, 300 K and 10 K; "symbols and lines show
+the data from measurement and calibrated model simulation".  Our metric
+is the RMS log-current error per corner plus the headline device shifts.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.device import (
+    Calibrator,
+    FinFET,
+    MeasurementCampaign,
+    default_nfet,
+    default_pfet,
+    extract_figures,
+)
+
+__all__ = ["run", "report"]
+
+
+def run(seed: int = 2023) -> dict:
+    """Run the full calibration and collect fit quality + metrics."""
+    datasets = MeasurementCampaign(seed=seed).run(n_points=61)
+    results = {
+        "n": Calibrator(datasets["n"], default_nfet()).calibrate(),
+        "p": Calibrator(datasets["p"], default_pfet()).calibrate(),
+    }
+    metrics = {}
+    for pol, result in results.items():
+        device = FinFET(result.params)
+        sign = -1.0 if pol == "p" else 1.0
+        figs = {}
+        for t in (300.0, 10.0):
+            vg, ids = device.transfer_curve(sign * 0.75, t, n_points=161)
+            figs[t] = extract_figures(vg, ids, t)
+        metrics[pol] = figs
+    return {"datasets": datasets, "calibration": results, "metrics": metrics}
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    for pol, cal in result["calibration"].items():
+        for corner, err in sorted(cal.validation.items()):
+            rows.append([corner, f"{err:.4f}"])
+    fit = format_table(
+        ["corner", "RMS error (decades)"],
+        rows,
+        title="Fig. 3: calibrated model vs. measurement, all corners",
+    )
+
+    mrows = []
+    paper_rise = {"n": "47 %", "p": "39 %"}
+    for pol, figs in result["metrics"].items():
+        rise = figs[10.0].vth / figs[300.0].vth - 1.0
+        mrows.append([
+            pol,
+            f"{figs[300.0].vth:.3f} -> {figs[10.0].vth:.3f}",
+            f"+{rise * 100:.1f} % (paper {paper_rise[pol]})",
+            f"{figs[300.0].swing * 1e3:.1f} -> {figs[10.0].swing * 1e3:.1f}",
+            f"{figs[300.0].ioff / figs[10.0].ioff:.0f}x",
+        ])
+    metrics = format_table(
+        ["device", "Vth (V)", "Vth rise", "SS (mV/dec)", "Ioff drop"],
+        mrows,
+        title="Extracted figures of merit, 300 K -> 10 K",
+    )
+    return fit + "\n\n" + metrics

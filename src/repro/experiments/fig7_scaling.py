@@ -1,0 +1,67 @@
+"""EXP-F7: Fig. 7 -- classification time vs. qubit count vs. the budget.
+
+"With an increase in the number of qubits, the time to classify all of
+them through a KNN becomes more important ... rendering it a bottleneck
+for systems with hundreds or thousands of qubits.  The popcount operation
+for HDC requires too many cycles to be competitive."  Section VII pins
+the kNN bottleneck at "about 1500 qubits".
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+
+__all__ = ["run", "report", "DEFAULT_QUBIT_COUNTS"]
+
+DEFAULT_QUBIT_COUNTS = (20, 100, 200, 400, 800, 1200)
+
+
+def run(study=None, qubit_counts=DEFAULT_QUBIT_COUNTS) -> dict:
+    if study is None:
+        from repro.core import CryoStudy, StudyConfig
+
+        study = CryoStudy(StudyConfig(fast=True, shots=15))
+    knn = study.scaling_study("knn", qubit_counts=qubit_counts)
+    hdc = study.scaling_study(
+        "hdc", qubit_counts=tuple(q for q in qubit_counts if q <= 400)
+    )
+    return {
+        "knn": knn,
+        "hdc": hdc,
+        "knn_crossover": knn.crossover_qubits(),
+        "hdc_crossover": hdc.crossover_qubits(),
+        "frequency_mhz": knn.points[0].frequency_hz / 1e6,
+        "budget_us": knn.points[0].time_budget_s * 1e6,
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    hdc_by_n = {p.n_qubits: p for p in result["hdc"].points}
+    for p in result["knn"].points:
+        h = hdc_by_n.get(p.n_qubits)
+        rows.append([
+            p.n_qubits,
+            f"{p.classification_time_s * 1e6:.1f}",
+            f"{p.budget_fraction * 100:.1f} %",
+            f"{h.classification_time_s * 1e6:.1f}" if h else "-",
+            f"{h.budget_fraction * 100:.1f} %" if h else "-",
+        ])
+    table = format_table(
+        ["qubits", "kNN time (us)", "kNN budget", "HDC time (us)",
+         "HDC budget"],
+        rows,
+        title=(
+            f"Fig. 7: classification time vs. qubit count at "
+            f"{result['frequency_mhz']:.0f} MHz, "
+            f"decoherence budget {result['budget_us']:.0f} us"
+        ),
+    )
+    summary = (
+        f"kNN bottleneck at ~{result['knn_crossover']} qubits "
+        "(paper Section VII: 'about 1500 qubits')\n"
+        f"HDC bottleneck at ~{result['hdc_crossover']} qubits "
+        "(paper: 'too many cycles to be competitive')"
+    )
+    return table + "\n" + summary

@@ -1,0 +1,54 @@
+"""EXP-T2: Table 2 -- average clock cycles to classify one measurement.
+
+"Although HDC comprises simpler binary and logical instructions, it is
+3.3x slower than the distance computations with floating point
+calculations ... More qubits result in more cache misses increasing the
+number of clock cycles."
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+
+__all__ = ["run", "report", "PAPER_TABLE2"]
+
+PAPER_TABLE2 = {
+    "knn": {20: 41.5, 400: 72.8},
+    "hdc": {20: 184.8, 400: 242.4},
+}
+
+
+def run(study=None) -> dict:
+    if study is None:
+        from repro.core import CryoStudy, StudyConfig
+
+        study = CryoStudy(StudyConfig(fast=True, shots=20))
+    table2 = study.table2
+    return {
+        "cycles": table2,
+        "hdc_knn_ratio_20": table2["hdc"][20] / table2["knn"][20],
+        "hdc_knn_ratio_400": table2["hdc"][400] / table2["knn"][400],
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    rows = []
+    for method in ("knn", "hdc"):
+        rows.append([
+            method.upper(),
+            f"{result['cycles'][method][20]:.1f}",
+            f"{result['cycles'][method][400]:.1f}",
+            f"{PAPER_TABLE2[method][20]:.1f} / {PAPER_TABLE2[method][400]:.1f}",
+        ])
+    table = format_table(
+        ["method", "20 qubits", "400 qubits", "paper (20 / 400)"],
+        rows,
+        title="Table 2: average clock cycles per classified measurement",
+    )
+    summary = (
+        f"HDC/kNN ratio: {result['hdc_knn_ratio_20']:.1f}x at 20 qubits, "
+        f"{result['hdc_knn_ratio_400']:.1f}x at 400 "
+        "(paper: 'it is 3.3x slower')"
+    )
+    return table + "\n" + summary

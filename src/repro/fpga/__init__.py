@@ -1,0 +1,21 @@
+"""Embedded FPGA fabric: the paper's Section-VII extension, built out.
+
+An SRAM-configured K-LUT fabric priced from the same device physics as
+the rest of the flow, a depth-optimal LUT mapper, and an HDC-classifier
+accelerator showing how reconfigurable hardware moves the Fig.-7
+bottleneck.
+"""
+
+from repro.fpga.accel import build_hdc_accelerator, build_popcount_network
+from repro.fpga.fabric import AcceleratorReport, FPGAFabric
+from repro.fpga.mapping import LUT, LUTMapping, lut_map
+
+__all__ = [
+    "AcceleratorReport",
+    "FPGAFabric",
+    "LUT",
+    "LUTMapping",
+    "build_hdc_accelerator",
+    "build_popcount_network",
+    "lut_map",
+]

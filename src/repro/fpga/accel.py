@@ -1,0 +1,90 @@
+"""Classifier accelerators as boolean networks for the FPGA fabric.
+
+The HDC classifier is the natural fabric candidate ("the FPGA fabric can
+be reconfigured to select between a high-power low-latency or a low-power
+high-latency classification algorithm"): its datapath is pure bit logic --
+XOR binding, popcount, compare -- exactly what the software profile showed
+to be popcount-bound on the CPU.
+
+:func:`build_hdc_accelerator` constructs the combinational network
+
+    label = [ popcount(m ^ c1) < popcount(m ^ c0) ]
+
+over a ``dimension``-bit measurement hypervector ``m`` and the two class
+prototypes, as an AIG ready for :func:`repro.fpga.mapping.lut_map`.
+"""
+
+from __future__ import annotations
+
+from repro.synth.aig import AIG
+
+__all__ = ["build_hdc_accelerator", "build_popcount_network"]
+
+
+def _ripple_add(aig: AIG, a: list[int], b: list[int]) -> list[int]:
+    """Add two little-endian literal vectors; result is one bit wider."""
+    n = max(len(a), len(b))
+    a = a + [aig.const0] * (n - len(a))
+    b = b + [aig.const0] * (n - len(b))
+    out: list[int] = []
+    carry = aig.const0
+    for x, y in zip(a, b):
+        out.append(aig.xor_(aig.xor_(x, y), carry))
+        carry = aig.or_(
+            aig.and_(x, y),
+            aig.and_(carry, aig.or_(x, y)),
+        )
+    out.append(carry)
+    return out
+
+
+def _less_than(aig: AIG, a: list[int], b: list[int]) -> int:
+    """Literal for (a < b), unsigned little-endian vectors."""
+    n = max(len(a), len(b))
+    a = a + [aig.const0] * (n - len(a))
+    b = b + [aig.const0] * (n - len(b))
+    lt = aig.const0
+    for x, y in zip(a, b):  # LSB to MSB; later bits dominate
+        eq = aig.negate(aig.xor_(x, y))
+        lt = aig.or_(aig.and_(aig.negate(x), y), aig.and_(eq, lt))
+    return lt
+
+
+def build_popcount_network(aig: AIG, bits: list[int]) -> list[int]:
+    """Adder-tree population count of a list of literals.
+
+    Returns the count as a little-endian literal vector -- the hardware
+    the RISC-V ISA lacks, in ~2*n AND-gates of log-depth tree.
+    """
+    if not bits:
+        return [aig.const0]
+    numbers: list[list[int]] = [[b] for b in bits]
+    while len(numbers) > 1:
+        nxt = []
+        for i in range(0, len(numbers) - 1, 2):
+            nxt.append(_ripple_add(aig, numbers[i], numbers[i + 1]))
+        if len(numbers) % 2:
+            nxt.append(numbers[-1])
+        numbers = nxt
+    return numbers[0]
+
+
+def build_hdc_accelerator(dimension: int = 128) -> AIG:
+    """The one-cycle HDC distance comparator.
+
+    Inputs: ``m<i>`` (encoded measurement hypervector), ``c0<i>`` and
+    ``c1<i>`` (per-qubit class prototypes, streamed from SRAM each cycle).
+    Output: ``label`` = 1 when the measurement is closer to class 1.
+    """
+    if dimension < 2:
+        raise ValueError("dimension must be >= 2")
+    aig = AIG()
+    m = [aig.pi(f"m{i}") for i in range(dimension)]
+    c0 = [aig.pi(f"c0_{i}") for i in range(dimension)]
+    c1 = [aig.pi(f"c1_{i}") for i in range(dimension)]
+    diff0 = [aig.xor_(a, b) for a, b in zip(m, c0)]
+    diff1 = [aig.xor_(a, b) for a, b in zip(m, c1)]
+    d0 = build_popcount_network(aig, diff0)
+    d1 = build_popcount_network(aig, diff1)
+    aig.po("label", _less_than(aig, d1, d0))
+    return aig

@@ -1,0 +1,151 @@
+"""SRAM-based embedded FPGA fabric model (paper Section VII proposal).
+
+"An SRAM-based FPGA fabric could be an interesting addition to [the] SoC.
+The SRAM's leakage power is very low at 10 K, and FPGAs offer a large
+degree of flexibility yet consume comparatively little power."
+
+The model prices a K-LUT fabric from the same device physics as the rest
+of the flow:
+
+* **configuration storage** -- truth-table + routing bits per LUT, held in
+  the same ultra-low-Vth SRAM bitcells as the caches, so its leakage
+  collapses at 10 K exactly like the Fig.-6 arrays;
+* **LUT timing** -- a K-LUT reads as a 2^K:1 mux tree; its delay is K
+  MUX2 stages from the characterized library plus a routing hop, and it
+  scales across temperature with the library corner;
+* **dynamic energy** -- per-LUT switching energy from the mux-tree's cell
+  energies plus routing wire capacitance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.mapping import LUTMapping
+from repro.power.sram import SRAMPowerModel
+
+__all__ = ["FPGAFabric", "AcceleratorReport"]
+
+#: Configuration bits per LUT: 2^k truth bits plus routing mux state.
+ROUTING_BITS_PER_LUT = 120
+
+#: Routing wire capacitance per LUT-to-LUT hop (F); fabric routing is
+#: long programmable wire, far heavier than ASIC nets.
+ROUTING_CAP = 10.0e-15
+
+#: Programmable-interconnect hops per LUT level.
+ROUTING_HOPS = 2
+
+#: Flop setup+clk2q overhead per pipeline stage (s).
+SEQUENCING_OVERHEAD = 50e-12
+
+#: Fabric clock ceiling (Hz): clock distribution and configuration-mux
+#: margins cap embedded fabrics well below the raw logic speed.
+MAX_CLOCK_HZ = 2.0e9
+
+
+@dataclass(frozen=True)
+class AcceleratorReport:
+    """Cost/performance of one mapped accelerator on the fabric."""
+
+    n_luts: int
+    depth: int
+    frequency_hz: float
+    config_bits: int
+    leakage_w: float
+    dynamic_w: float
+    items_per_second: float
+    """Throughput with one result per cycle (fully pipelined)."""
+
+    @property
+    def total_power_w(self) -> float:
+        return self.leakage_w + self.dynamic_w
+
+    def time_for(self, n_items: int) -> float:
+        """Latency to process ``n_items`` (pipelined, s)."""
+        fill = self.depth / self.frequency_hz
+        return fill + n_items / self.items_per_second
+
+
+class FPGAFabric:
+    """A fabric instance at one temperature corner.
+
+    ``library`` supplies the MUX2 timing/energy at the corner;
+    ``models`` supplies the SRAM bitcell physics for the config memory.
+    """
+
+    def __init__(self, library, models, lut_inputs: int = 4):
+        if not 2 <= lut_inputs <= 6:
+            raise ValueError("lut_inputs must be between 2 and 6")
+        self.library = library
+        self.models = models
+        self.lut_inputs = lut_inputs
+        self._sram = SRAMPowerModel(models, library.temperature_k,
+                                    vdd=library.vdd)
+        self._mux = library["MUX2_X1"]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bits_per_lut(self) -> int:
+        return (1 << self.lut_inputs) + ROUTING_BITS_PER_LUT
+
+    def lut_delay(self) -> float:
+        """One LUT + routing hop delay at this corner (s)."""
+        arc = self._mux.arc_from("S")
+        mux_delay = arc.worst_delay(16e-12, 2e-15)
+        return self.lut_inputs * mux_delay + ROUTING_HOPS * self._routing_delay()
+
+    def _routing_delay(self) -> float:
+        # A routing hop: a MUX2 driving the routing wire capacitance.
+        arc = self._mux.arc_from("A")
+        return arc.worst_delay(16e-12, ROUTING_CAP)
+
+    def max_frequency(self, depth: int) -> float:
+        """Clock with one pipeline register per ``depth`` LUT levels."""
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        raw = 1.0 / (depth * self.lut_delay() + SEQUENCING_OVERHEAD)
+        return min(raw, MAX_CLOCK_HZ)
+
+    # ------------------------------------------------------------------ #
+    def config_leakage(self, n_luts: int) -> float:
+        """Configuration-SRAM hold leakage (W)."""
+        return self._sram.total_leakage(n_luts * self.bits_per_lut)
+
+    def lut_dynamic_energy(self) -> float:
+        """Switching energy of one active LUT evaluation (J)."""
+        mux_energy = self._mux.switching_energy
+        wire = ROUTING_CAP * self.library.vdd**2
+        return (1 << (self.lut_inputs - 1)) / 4 * mux_energy + wire
+
+    # ------------------------------------------------------------------ #
+    def deploy(
+        self,
+        mapping: LUTMapping,
+        activity: float = 0.25,
+        pipeline_stages: int | None = None,
+    ) -> AcceleratorReport:
+        """Price a mapped design on the fabric.
+
+        ``pipeline_stages`` registers are inserted evenly; ``None``
+        pipelines every LUT level (max frequency, the "high-power
+        low-latency" configuration of the paper's reconfiguration story;
+        pass 1 for the combinational "low-power high-latency" one).
+        """
+        stages = mapping.depth if pipeline_stages is None else pipeline_stages
+        stages = max(min(stages, mapping.depth), 1)
+        levels_per_stage = -(-mapping.depth // stages)  # ceil
+        frequency = self.max_frequency(levels_per_stage)
+        leakage = self.config_leakage(mapping.n_luts)
+        dynamic = (
+            mapping.n_luts * activity * self.lut_dynamic_energy() * frequency
+        )
+        return AcceleratorReport(
+            n_luts=mapping.n_luts,
+            depth=mapping.depth,
+            frequency_hz=frequency,
+            config_bits=mapping.n_luts * self.bits_per_lut,
+            leakage_w=leakage,
+            dynamic_w=dynamic,
+            items_per_second=frequency,
+        )

@@ -1,0 +1,118 @@
+"""K-LUT technology mapping for the embedded FPGA fabric.
+
+Reuses the cut-enumeration machinery of the ASIC mapper
+(:mod:`repro.synth.techmap`) but covers the AIG with generic K-input
+lookup tables instead of library cells, minimizing depth first (the
+fabric's critical path is depth * LUT delay) and LUT count second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.aig import AIG
+from repro.synth.techmap import _cut_truth, _enumerate_cuts
+
+__all__ = ["LUT", "LUTMapping", "lut_map"]
+
+
+@dataclass(frozen=True)
+class LUT:
+    """One mapped lookup table."""
+
+    output_node: int
+    leaves: tuple[int, ...]  # AIG node ids (PIs or other LUT outputs)
+    truth: int
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.leaves)
+
+
+@dataclass
+class LUTMapping:
+    """A complete K-LUT cover of an AIG."""
+
+    k: int
+    luts: list[LUT] = field(default_factory=list)
+    output_phase: dict[str, tuple[int, bool]] = field(default_factory=dict)
+    """PO name -> (node, inverted) -- inversions are absorbed for free in
+    the driving LUT's truth table at realization time; tracked here for
+    evaluation."""
+
+    depth: int = 0
+
+    @property
+    def n_luts(self) -> int:
+        return len(self.luts)
+
+    def evaluate(self, aig: AIG, assignment: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate the mapped network (for equivalence tests)."""
+        values: dict[int, bool] = {0: False}
+        for name, node in aig.inputs.items():
+            values[node] = bool(assignment[name])
+        for lut in self.luts:  # topological by construction
+            idx = 0
+            for pos, leaf in enumerate(lut.leaves):
+                if values[leaf]:
+                    idx |= 1 << pos
+            values[lut.output_node] = bool((lut.truth >> idx) & 1)
+        out = {}
+        for name, (node, inverted) in self.output_phase.items():
+            out[name] = values[node] ^ inverted
+        return out
+
+
+def lut_map(aig: AIG, k: int = 4) -> LUTMapping:
+    """Depth-optimal K-LUT mapping by dynamic programming over cuts."""
+    if not 2 <= k <= 6:
+        raise ValueError("k must be between 2 and 6")
+    cuts = _enumerate_cuts(aig)
+
+    depth: dict[int, int] = {0: 0}
+    for node in aig.inputs.values():
+        depth[node] = 0
+    best_cut: dict[int, tuple[int, ...]] = {}
+
+    for node in aig.topological_nodes():
+        best = None
+        for cut in cuts[node]:
+            if cut == (node,) or len(cut) > k:
+                continue
+            d = 1 + max(depth.get(leaf, 0) for leaf in cut)
+            cost = (d, len(cut))
+            if best is None or cost < best[0]:
+                best = (cost, cut)
+        if best is None:
+            # The trivial fanin cut always fits (2 <= k).
+            f0, f1 = aig.fanins(node)
+            cut = tuple(sorted({aig.node_of(f0), aig.node_of(f1)}))
+            d = 1 + max(depth.get(leaf, 0) for leaf in cut)
+            best = ((d, len(cut)), cut)
+        depth[node] = best[0][0]
+        best_cut[node] = best[1]
+
+    # Realize only the LUTs reachable from the outputs.
+    mapping = LUTMapping(k=k)
+    realized: set[int] = set()
+
+    def realize(node: int) -> None:
+        if node in realized or not aig.is_and(node):
+            return
+        cut = best_cut[node]
+        for leaf in cut:
+            realize(leaf)
+        mapping.luts.append(
+            LUT(output_node=node, leaves=cut,
+                truth=_cut_truth(aig, node, cut))
+        )
+        realized.add(node)
+
+    max_depth = 0
+    for name, lit in aig.outputs.items():
+        node = aig.node_of(lit)
+        realize(node)
+        mapping.output_phase[name] = (node, bool(aig.phase_of(lit)))
+        max_depth = max(max_depth, depth.get(node, 0))
+    mapping.depth = max_depth
+    return mapping

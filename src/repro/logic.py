@@ -1,0 +1,157 @@
+"""Small boolean-expression algebra shared by cells and synthesis.
+
+Expressions are immutable trees over named variables with NOT/AND/OR/XOR.
+They serve three purposes:
+
+* functional specification of standard cells (truth-table identity is how
+  the technology mapper matches library cells);
+* gate-level simulation of mapped netlists in tests;
+* construction of pull-down networks (negative-unate expressions map
+  directly onto series/parallel NMOS stacks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import reduce
+
+__all__ = ["Expr", "VAR", "NOT", "AND", "OR", "XOR", "CONST", "truth_table"]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """One boolean-expression node.
+
+    ``op`` is one of ``var | const | not | and | or | xor``; ``name`` holds
+    the variable name or constant value; ``args`` the child expressions.
+    """
+
+    op: str
+    name: str | bool | None = None
+    args: tuple["Expr", ...] = ()
+
+    # -- construction helpers (operator overloads) ----------------------- #
+    def __invert__(self) -> "Expr":
+        return NOT(self)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return AND(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return OR(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return XOR(self, other)
+
+    # -- evaluation ------------------------------------------------------- #
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        """Evaluate under a variable assignment.
+
+        >>> e = AND(VAR("a"), NOT(VAR("b")))
+        >>> e.evaluate({"a": True, "b": False})
+        True
+        """
+        if self.op == "var":
+            try:
+                return bool(assignment[self.name])  # type: ignore[index]
+            except KeyError:
+                raise KeyError(f"no value for variable {self.name!r}") from None
+        if self.op == "const":
+            return bool(self.name)
+        vals = [a.evaluate(assignment) for a in self.args]
+        if self.op == "not":
+            return not vals[0]
+        if self.op == "and":
+            return all(vals)
+        if self.op == "or":
+            return any(vals)
+        if self.op == "xor":
+            return reduce(lambda x, y: x != y, vals)
+        raise ValueError(f"unknown op {self.op!r}")
+
+    def variables(self) -> tuple[str, ...]:
+        """Free variables, sorted, each once."""
+        seen: set[str] = set()
+
+        def walk(e: Expr) -> None:
+            if e.op == "var":
+                seen.add(e.name)  # type: ignore[arg-type]
+            for a in e.args:
+                walk(a)
+
+        walk(self)
+        return tuple(sorted(seen))
+
+    def __str__(self) -> str:
+        if self.op == "var":
+            return str(self.name)
+        if self.op == "const":
+            return "1" if self.name else "0"
+        if self.op == "not":
+            return f"!{self.args[0]}"
+        joiner = {"and": " & ", "or": " | ", "xor": " ^ "}[self.op]
+        return "(" + joiner.join(str(a) for a in self.args) + ")"
+
+
+def VAR(name: str) -> Expr:
+    """A named input variable."""
+    return Expr("var", name)
+
+
+def CONST(value: bool) -> Expr:
+    """A constant 0/1."""
+    return Expr("const", bool(value))
+
+
+def NOT(e: Expr) -> Expr:
+    """Logical complement."""
+    return Expr("not", args=(e,))
+
+
+def AND(*es: Expr) -> Expr:
+    """n-ary conjunction (needs >= 2 operands)."""
+    if len(es) < 2:
+        raise ValueError("AND needs at least two operands")
+    return Expr("and", args=tuple(es))
+
+
+def OR(*es: Expr) -> Expr:
+    """n-ary disjunction (needs >= 2 operands)."""
+    if len(es) < 2:
+        raise ValueError("OR needs at least two operands")
+    return Expr("or", args=tuple(es))
+
+
+def XOR(*es: Expr) -> Expr:
+    """n-ary exclusive-or (needs >= 2 operands)."""
+    if len(es) < 2:
+        raise ValueError("XOR needs at least two operands")
+    return Expr("xor", args=tuple(es))
+
+
+def truth_table(expr: Expr, variables: tuple[str, ...] | None = None) -> int:
+    """Pack the truth table into an int (bit i = output for minterm i).
+
+    Variable order: ``variables`` if given (must cover the free variables),
+    else the sorted free variables.  Bit i's assignment sets variable k to
+    bit k of i (LSB = first variable).
+
+    >>> bin(truth_table(AND(VAR("a"), VAR("b"))))
+    '0b1000'
+    """
+    if variables is None:
+        variables = expr.variables()
+    else:
+        missing = set(expr.variables()) - set(variables)
+        if missing:
+            raise ValueError(f"variables {missing} not covered")
+    table = 0
+    for i, bits in enumerate(itertools.product([False, True],
+                                               repeat=len(variables))):
+        # itertools.product varies the LAST element fastest; we want the
+        # FIRST variable to be the LSB, so reverse.
+        assignment = dict(zip(variables, bits[::-1]))
+        if expr.evaluate(assignment):
+            table |= 1 << i
+    return table

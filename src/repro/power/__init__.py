@@ -1,0 +1,33 @@
+"""Power layer: activity-based dynamic + leakage analysis, SRAM macros.
+
+The Cadence-Voltus substitute driving the paper's Fig. 6: workload-derived
+switching activity, placed wire loads, short-circuit scaling with
+temperature, SRAM hold leakage from the calibrated bitcell model.
+"""
+
+from repro.power.activity import (
+    WorkloadActivity,
+    activity_from_profile,
+    activity_from_trace,
+    uniform_activity,
+)
+from repro.power.analysis import (
+    PowerReport,
+    UncoreModel,
+    analyze_power,
+    short_circuit_factor,
+)
+from repro.power.sram import SRAMMacroPower, SRAMPowerModel
+
+__all__ = [
+    "PowerReport",
+    "UncoreModel",
+    "SRAMMacroPower",
+    "SRAMPowerModel",
+    "WorkloadActivity",
+    "activity_from_profile",
+    "activity_from_trace",
+    "analyze_power",
+    "short_circuit_factor",
+    "uniform_activity",
+]

@@ -1,0 +1,143 @@
+"""SRAM macro power model (the power the ASAP7 IP does not ship with).
+
+The paper: "these IP cores only include the physical size and timing but
+not their power consumption.  We add the missing power values based on our
+previous work [24]" -- i.e., an SRAM cell + periphery model built on the
+same calibrated transistor compact model.  This module is that model:
+
+* **hold leakage** per bit from the bitcell's OFF devices.  The paper's
+  arrays use *ultra-low-Vth* transistors at nominal supply ("operating at
+  nominal supply voltage combined with ultra-low-Vth transistors results
+  in such a high SRAM leakage"), modelled as a Vth offset and a raised
+  source-drain tunneling floor relative to the logic devices;
+* **read/write access energy** from bitline/wordline capacitance swings
+  plus sense-amp and driver overheads;
+* everything evaluated at any temperature through the compact model, so
+  the 300 K -> 10 K collapse (193 mW -> sub-mW, Fig. 6) is a *prediction*
+  of the device physics, not an input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.characterize import TechModels
+from repro.device.finfet import FinFET
+
+__all__ = ["SRAMPowerModel", "SRAMMacroPower"]
+
+#: Ultra-low-Vth offset of the bitcell transistors relative to logic (V).
+BITCELL_VTH_OFFSET = -0.064
+
+#: Source-drain tunneling floor multiplier for the low-barrier bitcell
+#: devices (short-channel + quantum tunneling, paper Section VI-B).
+BITCELL_TUNNELING_FACTOR = 30.0
+
+#: Leaking devices per 6T bitcell in a stable state (one OFF NMOS, one OFF
+#: PMOS, two OFF access devices at reduced bias ~ 0.5 each).
+_N_LEAK_N = 2.0
+_N_LEAK_P = 1.0
+
+#: Bitline capacitance per bitcell attached (F) and read swing (V).
+_C_BITLINE_PER_CELL = 0.10e-15
+_READ_SWING = 0.12
+
+#: Wordline capacitance per cell on the row (F).
+_C_WORDLINE_PER_CELL = 0.12e-15
+
+#: Sense-amp + column mux + driver energy per accessed bit (J) at 0.7 V.
+_E_PERIPHERY_PER_BIT = 2.2e-15
+
+
+@dataclass(frozen=True)
+class SRAMMacroPower:
+    """Per-macro power figures at one corner."""
+
+    bits: int
+    leakage_w: float
+    read_energy_j: float
+    """Energy per 64-bit read access."""
+    write_energy_j: float
+    """Energy per 64-bit write access."""
+
+    def access_power(self, reads_per_s: float, writes_per_s: float) -> float:
+        """Dynamic power for a given access rate (W)."""
+        return (
+            self.read_energy_j * reads_per_s
+            + self.write_energy_j * writes_per_s
+        )
+
+
+class SRAMPowerModel:
+    """Evaluates SRAM power at a given temperature from device models."""
+
+    def __init__(
+        self,
+        models: TechModels,
+        temperature_k: float,
+        vdd: float = 0.70,
+        rows_per_bank: int = 256,
+        word_bits: int = 64,
+    ):
+        self.temperature_k = temperature_k
+        self.vdd = vdd
+        self.rows_per_bank = rows_per_bank
+        self.word_bits = word_bits
+
+        bit_n = FinFET(
+            models.nfet.copy(
+                VTH0=models.nfet.VTH0 + BITCELL_VTH_OFFSET,
+                ITUN=models.nfet.ITUN * BITCELL_TUNNELING_FACTOR,
+            )
+        )
+        bit_p = FinFET(
+            models.pfet.copy(
+                VTH0=models.pfet.VTH0 + BITCELL_VTH_OFFSET,
+                ITUN=models.pfet.ITUN * BITCELL_TUNNELING_FACTOR,
+            )
+        )
+        self._ioff_n = bit_n.ioff(temperature_k, vdd)
+        self._ioff_p = bit_p.ioff(temperature_k, vdd)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def leakage_per_bit(self) -> float:
+        """Hold leakage power of one bitcell (W)."""
+        current = _N_LEAK_N * self._ioff_n + _N_LEAK_P * self._ioff_p
+        return current * self.vdd
+
+    def _access_energy(self, write: bool) -> float:
+        """Energy of one word access (J)."""
+        c_bl = _C_BITLINE_PER_CELL * self.rows_per_bank
+        swing = self.vdd if write else _READ_SWING
+        bitline = self.word_bits * 2 * c_bl * swing * self.vdd
+        wordline = (
+            _C_WORDLINE_PER_CELL * self.word_bits * self.vdd * self.vdd
+        )
+        periphery = _E_PERIPHERY_PER_BIT * self.word_bits
+        return bitline + wordline + periphery
+
+    @property
+    def read_energy(self) -> float:
+        """Energy per word read (J)."""
+        return self._access_energy(write=False)
+
+    @property
+    def write_energy(self) -> float:
+        """Energy per word write (J)."""
+        return self._access_energy(write=True)
+
+    def macro(self, bits: int) -> SRAMMacroPower:
+        """Power record for a macro of the given capacity."""
+        if bits <= 0:
+            raise ValueError("macro needs a positive bit count")
+        return SRAMMacroPower(
+            bits=bits,
+            leakage_w=bits * self.leakage_per_bit,
+            read_energy_j=self.read_energy,
+            write_energy_j=self.write_energy,
+        )
+
+    def total_leakage(self, total_bits: int) -> float:
+        """Hold leakage of the whole memory inventory (W)."""
+        return total_bits * self.leakage_per_bit

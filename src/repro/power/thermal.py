@@ -1,0 +1,158 @@
+"""Cryostat-stage thermal model and burst power management (paper §VII).
+
+"Furthermore, heat transfer is comparatively slow, creating the potential
+for short but high-power processing bursts followed by a low-power idle
+phase without impacting the qubits.  Such tradeoffs and power management
+strategies can be explored and experimentally evaluated with flexible,
+software-controlled SoCs."
+
+We model the 10 K stage as a first-order thermal RC node:
+
+* the cryocooler continuously removes ``cooling_power`` watts;
+* the SoC dissipates a (time-varying) electrical power;
+* excess heat raises the stage temperature with time constant
+  ``tau = C_th * R_th``; the qubit error budget tolerates a bounded
+  temperature excursion ``delta_t_max``.
+
+This turns the paper's qualitative argument into a quantitative one: a
+burst of power P_burst for duration t_b is admissible if the stage
+excursion stays within ``delta_t_max`` -- letting classification run
+*above* the steady-state budget in short windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CryostatStage", "BurstSchedule", "max_burst_duration"]
+
+
+@dataclass(frozen=True)
+class CryostatStage:
+    """First-order thermal model of the 10 K cold stage.
+
+    Parameters are deliberately conservative estimates for a pulse-tube
+    second stage: heat capacity of a ~1 kg copper stage at 10 K and the
+    thermal resistance implied by its cooling curve.
+    """
+
+    base_temperature_k: float = 10.0
+    cooling_power_w: float = 0.100
+    heat_capacity_j_per_k: float = 0.9
+    """Stage heat capacity at 10 K (J/K); copper c_p is tiny this cold."""
+
+    thermal_resistance_k_per_w: float = 8.0
+    """Stage-to-cooler thermal resistance (K/W)."""
+
+    delta_t_max_k: float = 0.5
+    """Tolerated temperature excursion before qubit error rates degrade."""
+
+    @property
+    def tau_s(self) -> float:
+        """Thermal time constant (s)."""
+        return self.heat_capacity_j_per_k * self.thermal_resistance_k_per_w
+
+    def steady_state_excursion(self, power_w: float) -> float:
+        """Equilibrium temperature rise for sustained power (K)."""
+        excess = power_w - self.cooling_power_w
+        return max(excess, 0.0) * self.thermal_resistance_k_per_w
+
+    def sustainable_power(self) -> float:
+        """Power sustainable forever within the excursion budget (W)."""
+        return self.cooling_power_w + (
+            self.delta_t_max_k / self.thermal_resistance_k_per_w
+        )
+
+    def excursion(
+        self, power_profile: np.ndarray, dt: float, t0: float | None = None
+    ) -> np.ndarray:
+        """Integrate the stage temperature excursion over a power trace.
+
+        ``power_profile`` is electrical power (W) per timestep ``dt``;
+        returns the excursion above base temperature (K) per step.
+        Forward-Euler on dT/dt = (P - P_cool - T/R) / C with T the
+        excursion (never below zero: the cooler cannot undercool the
+        stage below its base point in this simple model).
+        """
+        power_profile = np.asarray(power_profile, dtype=float)
+        c = self.heat_capacity_j_per_k
+        r = self.thermal_resistance_k_per_w
+        t = 0.0 if t0 is None else t0
+        out = np.empty_like(power_profile)
+        for i, p in enumerate(power_profile):
+            dtemp = (p - self.cooling_power_w - t / r) / c
+            t = max(t + dtemp * dt, 0.0)
+            out[i] = t
+        return out
+
+
+@dataclass(frozen=True)
+class BurstSchedule:
+    """A periodic burst/idle duty cycle."""
+
+    burst_power_w: float
+    idle_power_w: float
+    burst_duration_s: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.burst_duration_s <= self.period_s:
+            raise ValueError("need 0 < burst duration <= period")
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.burst_duration_s / self.period_s
+
+    @property
+    def average_power_w(self) -> float:
+        return (
+            self.burst_power_w * self.duty_cycle
+            + self.idle_power_w * (1 - self.duty_cycle)
+        )
+
+    def power_trace(self, n_periods: int, dt: float) -> np.ndarray:
+        """Sampled power waveform over ``n_periods`` periods."""
+        steps = int(round(self.period_s / dt))
+        burst_steps = int(round(self.burst_duration_s / dt))
+        one = np.full(steps, self.idle_power_w)
+        one[:burst_steps] = self.burst_power_w
+        return np.tile(one, n_periods)
+
+    def peak_excursion(self, stage: CryostatStage, dt: float | None = None,
+                       n_periods: int = 30) -> float:
+        """Worst stage excursion once the duty cycle has settled (K)."""
+        dt = dt or self.period_s / 200.0
+        trace = self.power_trace(n_periods, dt)
+        exc = stage.excursion(trace, dt)
+        settle = len(exc) // 2
+        return float(exc[settle:].max())
+
+    def admissible(self, stage: CryostatStage) -> bool:
+        """Whether the schedule stays within the excursion budget."""
+        return self.peak_excursion(stage) <= stage.delta_t_max_k
+
+
+def max_burst_duration(
+    stage: CryostatStage,
+    burst_power_w: float,
+    idle_power_w: float = 0.005,
+) -> float:
+    """Longest single burst from thermal equilibrium at idle power (s).
+
+    Closed form for the first-order model: starting from the idle
+    steady-state excursion T_i, a burst drives the excursion toward the
+    burst steady state T_b with time constant tau; it crosses the budget
+    after ``tau * ln((T_b - T_i) / (T_b - T_max))``.
+    """
+    t_idle = stage.steady_state_excursion(idle_power_w)
+    t_burst = stage.steady_state_excursion(burst_power_w)
+    t_max = stage.delta_t_max_k
+    if t_burst <= t_max:
+        return float("inf")  # sustainable forever
+    if t_idle >= t_max:
+        return 0.0
+    return stage.tau_s * float(
+        np.log((t_burst - t_idle) / (t_burst - t_max))
+    )

@@ -1,0 +1,25 @@
+"""Quantum substrate: synthetic superconducting-qubit readout.
+
+Replaces the paper's IBM Falcon / qiskit data source (Fig. 2): per-qubit
+I/Q readout blobs, calibration-shot generation, decoherence decay with
+T2 ~ 110 us, and arbitrary qubit counts for the Fig. 7 scaling study.
+"""
+
+from repro.quantum.backend import (
+    FALCON_QUBITS,
+    FALCON_T2,
+    QuantumBackend,
+    QubitReadoutModel,
+    falcon_backend,
+)
+from repro.quantum.readout import ReadoutDataset, generate_dataset
+
+__all__ = [
+    "FALCON_QUBITS",
+    "FALCON_T2",
+    "QuantumBackend",
+    "QubitReadoutModel",
+    "ReadoutDataset",
+    "falcon_backend",
+    "generate_dataset",
+]

@@ -1,0 +1,29 @@
+"""SoC layer: RV64 ISS, caches, assembler and workload kernels.
+
+The architectural half of the paper's SoC evaluation: cycle counts for
+kNN/HDC/Dhrystone on a Rocket-class 5-stage in-order pipeline with split
+16 KiB L1s and a shared 512 KiB L2 (Tables 2, Fig. 7), plus execution
+profiles feeding the activity-based power model (Fig. 6).
+"""
+
+from repro.soc.assembler import AssemblyError, Program, assemble
+from repro.soc.cache import Cache, CacheHierarchy, CacheStats
+from repro.soc.cpu import CPU, ExecutionStats, HaltError
+from repro.soc.memory import Memory
+from repro.soc.soc import RocketSoC, WorkloadResult, cycles_per_classification
+
+__all__ = [
+    "AssemblyError",
+    "CPU",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "ExecutionStats",
+    "HaltError",
+    "Memory",
+    "Program",
+    "RocketSoC",
+    "WorkloadResult",
+    "assemble",
+    "cycles_per_classification",
+]

@@ -1,0 +1,126 @@
+"""Set-associative cache simulator with LRU replacement.
+
+Models the paper's hierarchy: split 16 KiB L1I/L1D backed by a shared
+512 KiB L2.  Timing is expressed as *additional* stall cycles on a miss;
+hits are absorbed in the pipeline.  The effect the paper highlights --
+"more qubits result in more cache misses increasing the number of clock
+cycles" (Table 2) -- comes straight out of this model once the working
+set outgrows the L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Cache", "CacheHierarchy", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, name: str, size_bytes: int, line_bytes: int = 64,
+                 associativity: int = 4):
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError(f"{name}: size must be a multiple of "
+                             "line_bytes * associativity")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = size_bytes // (line_bytes * associativity)
+        # Per set: list of (tag, dirty), most-recently-used last.
+        self._sets: list[list[tuple[int, bool]]] = [
+            [] for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        On a miss the line is filled (allocate-on-miss for both reads and
+        writes) and the LRU victim evicted; a dirty victim counts one
+        writeback.
+        """
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        for k, (t, dirty) in enumerate(ways):
+            if t == tag:
+                ways.pop(k)
+                ways.append((tag, dirty or write))
+                return True
+        self.stats.misses += 1
+        if len(ways) >= self.associativity:
+            _, dirty = ways.pop(0)
+            if dirty:
+                self.stats.writebacks += 1
+        ways.append((tag, write))
+        return False
+
+    def flush(self) -> None:
+        """Invalidate all lines (keeps statistics)."""
+        for ways in self._sets:
+            ways.clear()
+
+
+@dataclass
+class CacheHierarchy:
+    """Split L1 + shared L2 with miss penalties in cycles.
+
+    Geometry defaults match the paper's SoC; penalties are Rocket-class
+    (pipelined L1, ~a dozen cycles to L2, ~80 to main memory which in the
+    cryogenic setting lives in a warmer domain).
+    """
+
+    l1i: Cache = field(
+        default_factory=lambda: Cache("l1i", 16 * 1024, 64, 4)
+    )
+    l1d: Cache = field(
+        default_factory=lambda: Cache("l1d", 16 * 1024, 64, 4)
+    )
+    l2: Cache = field(
+        default_factory=lambda: Cache("l2", 512 * 1024, 64, 8)
+    )
+    l2_hit_cycles: int = 24
+    memory_cycles: int = 100
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch; returns stall cycles."""
+        if self.l1i.access(addr):
+            return 0
+        if self.l2.access(addr):
+            return self.l2_hit_cycles
+        return self.memory_cycles
+
+    def data_access(self, addr: int, write: bool) -> int:
+        """Load/store; returns stall cycles."""
+        if self.l1d.access(addr, write):
+            return 0
+        if self.l2.access(addr, write):
+            return self.l2_hit_cycles
+        return self.memory_cycles
+
+    def flush(self) -> None:
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()

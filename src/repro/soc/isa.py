@@ -1,0 +1,271 @@
+"""RV64IMFD-subset instruction encodings and decoder.
+
+Real RISC-V machine encodings (the assembler emits 32-bit words, the CPU
+fetches and decodes them), covering what the paper's workloads need:
+
+* RV64I base integer ISA (loads/stores, ALU, branches, jumps, LUI/AUIPC);
+* M-extension multiply/divide (the Rocket core is RV64IMAFDC; our kernels
+  use MUL/DIV);
+* the D-extension subset the kNN classifier's "floating point
+  calculations" require (FLD/FSD, FADD/FSUB/FMUL/FDIV.D, comparisons,
+  moves and int<->double conversion for quantization);
+* ECALL as the halt convention.
+
+Notably there is **no popcount instruction** -- the paper's central
+observation about HDC performance ("the lack of a popcount instruction in
+the RISC-V instruction set architecture").  The ABL-1 ablation bench adds
+a custom one to quantify exactly that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Instruction", "decode", "encode", "OPCODES", "REGISTER_NAMES",
+           "FREGISTER_NAMES"]
+
+# ABI register names, index = architectural number.
+REGISTER_NAMES = (
+    "zero ra sp gp tp t0 t1 t2 s0 s1 a0 a1 a2 a3 a4 a5 a6 a7 "
+    "s2 s3 s4 s5 s6 s7 s8 s9 s10 s11 t3 t4 t5 t6"
+).split()
+
+FREGISTER_NAMES = (
+    "ft0 ft1 ft2 ft3 ft4 ft5 ft6 ft7 fs0 fs1 fa0 fa1 fa2 fa3 fa4 fa5 "
+    "fa6 fa7 fs2 fs3 fs4 fs5 fs6 fs7 fs8 fs9 fs10 fs11 ft8 ft9 ft10 ft11"
+).split()
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    raw: int = 0
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend ``bits``-wide value."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+# (mnemonic) -> (format, opcode, funct3, funct7)
+# formats: R, I, S, B, U, J, R4 unused here.
+OPCODES: dict[str, tuple[str, int, int | None, int | None]] = {
+    # RV64I
+    "lui": ("U", 0b0110111, None, None),
+    "auipc": ("U", 0b0010111, None, None),
+    "jal": ("J", 0b1101111, None, None),
+    "jalr": ("I", 0b1100111, 0b000, None),
+    "beq": ("B", 0b1100011, 0b000, None),
+    "bne": ("B", 0b1100011, 0b001, None),
+    "blt": ("B", 0b1100011, 0b100, None),
+    "bge": ("B", 0b1100011, 0b101, None),
+    "bltu": ("B", 0b1100011, 0b110, None),
+    "bgeu": ("B", 0b1100011, 0b111, None),
+    "lb": ("I", 0b0000011, 0b000, None),
+    "lh": ("I", 0b0000011, 0b001, None),
+    "lw": ("I", 0b0000011, 0b010, None),
+    "ld": ("I", 0b0000011, 0b011, None),
+    "lbu": ("I", 0b0000011, 0b100, None),
+    "lhu": ("I", 0b0000011, 0b101, None),
+    "lwu": ("I", 0b0000011, 0b110, None),
+    "sb": ("S", 0b0100011, 0b000, None),
+    "sh": ("S", 0b0100011, 0b001, None),
+    "sw": ("S", 0b0100011, 0b010, None),
+    "sd": ("S", 0b0100011, 0b011, None),
+    "addi": ("I", 0b0010011, 0b000, None),
+    "slti": ("I", 0b0010011, 0b010, None),
+    "sltiu": ("I", 0b0010011, 0b011, None),
+    "xori": ("I", 0b0010011, 0b100, None),
+    "ori": ("I", 0b0010011, 0b110, None),
+    "andi": ("I", 0b0010011, 0b111, None),
+    "slli": ("I*", 0b0010011, 0b001, 0b000000),
+    "srli": ("I*", 0b0010011, 0b101, 0b000000),
+    "srai": ("I*", 0b0010011, 0b101, 0b010000),
+    "add": ("R", 0b0110011, 0b000, 0b0000000),
+    "sub": ("R", 0b0110011, 0b000, 0b0100000),
+    "sll": ("R", 0b0110011, 0b001, 0b0000000),
+    "slt": ("R", 0b0110011, 0b010, 0b0000000),
+    "sltu": ("R", 0b0110011, 0b011, 0b0000000),
+    "xor": ("R", 0b0110011, 0b100, 0b0000000),
+    "srl": ("R", 0b0110011, 0b101, 0b0000000),
+    "sra": ("R", 0b0110011, 0b101, 0b0100000),
+    "or": ("R", 0b0110011, 0b110, 0b0000000),
+    "and": ("R", 0b0110011, 0b111, 0b0000000),
+    "addiw": ("I", 0b0011011, 0b000, None),
+    "slliw": ("I*", 0b0011011, 0b001, 0b000000),
+    "srliw": ("I*", 0b0011011, 0b101, 0b000000),
+    "sraiw": ("I*", 0b0011011, 0b101, 0b010000),
+    "addw": ("R", 0b0111011, 0b000, 0b0000000),
+    "subw": ("R", 0b0111011, 0b000, 0b0100000),
+    "sllw": ("R", 0b0111011, 0b001, 0b0000000),
+    "srlw": ("R", 0b0111011, 0b101, 0b0000000),
+    "sraw": ("R", 0b0111011, 0b101, 0b0100000),
+    "ecall": ("I", 0b1110011, 0b000, None),
+    # RV64M
+    "mul": ("R", 0b0110011, 0b000, 0b0000001),
+    "mulh": ("R", 0b0110011, 0b001, 0b0000001),
+    "div": ("R", 0b0110011, 0b100, 0b0000001),
+    "divu": ("R", 0b0110011, 0b101, 0b0000001),
+    "rem": ("R", 0b0110011, 0b110, 0b0000001),
+    "remu": ("R", 0b0110011, 0b111, 0b0000001),
+    "mulw": ("R", 0b0111011, 0b000, 0b0000001),
+    # RV64D subset
+    "fld": ("I", 0b0000111, 0b011, None),
+    "fsd": ("S", 0b0100111, 0b011, None),
+    "fadd.d": ("R", 0b1010011, None, 0b0000001),
+    "fsub.d": ("R", 0b1010011, None, 0b0000101),
+    "fmul.d": ("R", 0b1010011, None, 0b0001001),
+    "fdiv.d": ("R", 0b1010011, None, 0b0001101),
+    "feq.d": ("R", 0b1010011, 0b010, 0b1010001),
+    "flt.d": ("R", 0b1010011, 0b001, 0b1010001),
+    "fle.d": ("R", 0b1010011, 0b000, 0b1010001),
+    "fmv.x.d": ("R", 0b1010011, 0b000, 0b1110001),
+    "fmv.d.x": ("R", 0b1010011, 0b000, 0b1111001),
+    "fcvt.w.d": ("R", 0b1010011, 0b001, 0b1100001),  # rm=rtz encoded in f3
+    "fcvt.d.w": ("R", 0b1010011, 0b000, 0b1101001),
+    "fcvt.d.l": ("R", 0b1010011, 0b000, 0b1101001 | 0),  # distinguished by rs2
+    # Custom ablation instruction (ABL-1): population count.  Encoded in
+    # the custom-0 opcode space; OFF by default in the CPU unless the
+    # `popcount_extension` flag is set.
+    "cpop": ("R", 0b0001011, 0b000, 0b0000000),
+}
+
+# fcvt.d.l shares funct7 with fcvt.d.w; rs2 field disambiguates (0 vs 2).
+_FCVT_RS2 = {"fcvt.w.d": 0, "fcvt.d.w": 0, "fcvt.d.l": 2}
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction back to its 32-bit word."""
+    fmt, opcode, funct3, funct7 = OPCODES[instr.mnemonic]
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if instr.mnemonic in _FCVT_RS2:
+        rs2 = _FCVT_RS2[instr.mnemonic]
+    f3 = funct3 if funct3 is not None else 0b111  # dynamic rounding mode
+    if fmt == "R":
+        return (
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12)
+            | (rd << 7) | opcode
+        )
+    if fmt == "I":
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+    if fmt == "I*":  # 6-bit shamt + upper funct6
+        return (
+            (funct7 << 26) | ((imm & 0x3F) << 20) | (rs1 << 15)
+            | (f3 << 12) | (rd << 7) | opcode
+        )
+    if fmt == "S":
+        return (
+            (((imm >> 5) & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15)
+            | (f3 << 12) | ((imm & 0x1F) << 7) | opcode
+        )
+    if fmt == "B":
+        return (
+            (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+            | (rs2 << 20) | (rs1 << 15) | (f3 << 12)
+            | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+        )
+    if fmt == "U":
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+    if fmt == "J":
+        return (
+            (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+            | (rd << 7) | opcode
+        )
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _build_decode_table() -> dict[tuple, str]:
+    table: dict[tuple, str] = {}
+    for mnemonic, (fmt, opcode, funct3, funct7) in OPCODES.items():
+        if fmt == "R" and opcode == 0b1010011:
+            # FP: funct7 is the discriminator; funct3 may be rm.
+            key = ("fp", opcode, funct7,
+                   funct3 if funct3 is not None else None,
+                   _FCVT_RS2.get(mnemonic))
+            table[key] = mnemonic
+        elif fmt == "R":
+            table[("r", opcode, funct3, funct7)] = mnemonic
+        elif fmt == "I*":
+            table[("istar", opcode, funct3, funct7)] = mnemonic
+        elif fmt in ("I", "S", "B"):
+            table[(fmt.lower(), opcode, funct3)] = mnemonic
+        else:
+            table[(fmt.lower(), opcode)] = mnemonic
+    return table
+
+
+_DECODE = _build_decode_table()
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word; raises on unknown encodings."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in (0b0110111, 0b0010111):  # U
+        mnemonic = _DECODE[("u", opcode)]
+        return Instruction(mnemonic, rd=rd, imm=_sext(word >> 12, 20), raw=word)
+    if opcode == 0b1101111:  # J
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Instruction("jal", rd=rd, imm=_sext(imm, 21), raw=word)
+    if opcode == 0b1100011:  # B
+        mnemonic = _DECODE[("b", opcode, funct3)]
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 1) << 11)
+        )
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=_sext(imm, 13),
+                           raw=word)
+    if opcode in (0b0100011, 0b0100111):  # S
+        mnemonic = _DECODE[("s", opcode, funct3)]
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=_sext(imm, 12),
+                           raw=word)
+    if opcode == 0b1010011:  # FP R-type
+        for key in (
+            ("fp", opcode, funct7, funct3, rs2),
+            ("fp", opcode, funct7, funct3, None),
+            ("fp", opcode, funct7, None, rs2),
+            ("fp", opcode, funct7, None, None),
+        ):
+            if key in _DECODE:
+                return Instruction(_DECODE[key], rd=rd, rs1=rs1, rs2=rs2,
+                                   raw=word)
+        raise ValueError(f"unknown FP encoding: {word:#010x}")
+    if opcode in (0b0110011, 0b0111011, 0b0001011):  # R
+        mnemonic = _DECODE[("r", opcode, funct3, funct7)]
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode in (0b0010011, 0b0011011):
+        funct6 = (word >> 26) & 0x3F
+        key_star = ("istar", opcode, funct3, funct6)
+        if key_star in _DECODE:
+            shamt = (word >> 20) & 0x3F
+            return Instruction(_DECODE[key_star], rd=rd, rs1=rs1, imm=shamt,
+                               raw=word)
+        mnemonic = _DECODE[("i", opcode, funct3)]
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12),
+                           raw=word)
+    if opcode in (0b0000011, 0b0000111, 0b1100111, 0b1110011):  # I
+        mnemonic = _DECODE[("i", opcode, funct3)]
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12),
+                           raw=word)
+    raise ValueError(f"unknown opcode {opcode:#04x} in word {word:#010x}")

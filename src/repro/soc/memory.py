@@ -1,0 +1,66 @@
+"""Sparse byte-addressable memory for the ISS."""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Memory"]
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+
+
+class Memory:
+    """Paged sparse memory; unwritten bytes read as zero."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> tuple[bytearray, int]:
+        page = self._pages.get(addr >> _PAGE_BITS)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[addr >> _PAGE_BITS] = page
+        return page, addr & (_PAGE_SIZE - 1)
+
+    # ------------------------------------------------------------------ #
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        while size:
+            page, offset = self._page(addr)
+            chunk = min(size, _PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page, offset = self._page(addr + pos)
+            chunk = min(len(data) - pos, _PAGE_SIZE - offset)
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    # Typed accessors ----------------------------------------------------- #
+    def load_u(self, addr: int, size: int) -> int:
+        return int.from_bytes(self.load_bytes(addr, size), "little")
+
+    def load_s(self, addr: int, size: int) -> int:
+        return int.from_bytes(self.load_bytes(addr, size), "little",
+                              signed=True)
+
+    def store_u(self, addr: int, size: int, value: int) -> None:
+        self.store_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"))
+
+    def load_double(self, addr: int) -> float:
+        return struct.unpack("<d", self.load_bytes(addr, 8))[0]
+
+    def store_double(self, addr: int, value: float) -> None:
+        self.store_bytes(addr, struct.pack("<d", value))
+
+    @property
+    def touched_bytes(self) -> int:
+        """Allocated footprint (page granularity)."""
+        return len(self._pages) * _PAGE_SIZE

@@ -1,0 +1,567 @@
+"""Workload kernels: kNN, HDC and a Dhrystone-like benchmark.
+
+The paper implements the two quantum-measurement classifiers "in C-Code"
+and simulates them on the gate-level SoC; we write them directly in RV64
+assembly (Section V-B semantics):
+
+* **kNN** -- nearest-centroid with the radicand shortcut: "the
+  computationally expensive square root operation is unnecessary and
+  removed" (Eq. 2 discussion).  A variant *with* the square root exists
+  for the ABL-2 ablation (sqrt via 4 Newton iterations).
+* **HDC** -- 128-bit binary hypervectors, 16 quantization levels per axis
+  (32 item hypervectors total), the precomputed-XOR trick of Eq. 4, and a
+  software popcount because "the lack of a popcount instruction in the
+  RISC-V instruction set architecture" is the bottleneck.  Variants: the
+  naive two-XOR form (ABL-3) and a hardware-``cpop`` form (ABL-1).
+* **Dhrystone-like** -- the integer mix (string copy, record assignment,
+  branches, calls) used for the paper's "general average" power point.
+
+Data arrays live at fixed bases and are written straight into simulator
+memory by :class:`~repro.soc.soc.RocketSoC` -- the equivalent of the
+linker placing initialized sections.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "CENTERS_BASE",
+    "MEAS_BASE",
+    "OUT_BASE",
+    "TABLES_BASE",
+    "knn_source",
+    "hdc_source",
+    "dhrystone_source",
+    "qec_majority_source",
+    "vqe_update_source",
+    "pack_centers",
+    "CENTER_RECORD_BYTES",
+    "pack_measurements",
+    "pack_hdc_tables",
+    "HDC_LEVELS",
+    "HDC_WORDS",
+]
+
+CENTERS_BASE = 0x200000
+MEAS_BASE = 0x400000
+OUT_BASE = 0xA00000
+TABLES_BASE = 0x180000
+
+HDC_LEVELS = 16
+"""Quantization levels per axis (2 x 16 = 32 item hypervectors)."""
+
+HDC_WORDS = 2
+"""64-bit words per 128-bit hypervector."""
+
+#: Software popcount of one 64-bit register (SWAR + multiply), reading
+#: ``src`` and leaving the count in ``dst``; clobbers t5/t6.  Mask
+#: registers s6/s7/s8/s9 must be preloaded (hoisted out of the loop).
+_POPCOUNT = """
+    srli t5, {src}, 1
+    and  t5, t5, s6
+    sub  {dst}, {src}, t5
+    and  t5, {dst}, s7
+    srli {dst}, {dst}, 2
+    and  {dst}, {dst}, s7
+    add  {dst}, {dst}, t5
+    srli t5, {dst}, 4
+    add  {dst}, {dst}, t5
+    and  {dst}, {dst}, s8
+    mul  {dst}, {dst}, s9
+    srli {dst}, {dst}, 56
+"""
+
+
+def _popcount(src: str, dst: str, hardware: bool) -> str:
+    if dst in ("t5", "t6") or src in ("t5",):
+        raise ValueError("popcount scratch registers t5/t6 collide with "
+                         f"operands ({src} -> {dst})")
+    if hardware:
+        return f"    cpop {dst}, {src}, zero\n"
+    return _POPCOUNT.format(src=src, dst=dst)
+
+
+# --------------------------------------------------------------------- #
+# kNN
+# --------------------------------------------------------------------- #
+def knn_source(n_measurements: int, n_qubits: int,
+               with_sqrt: bool = False) -> str:
+    """Nearest-centroid classifier over interleaved measurements.
+
+    Measurements are laid out shot-major: shot 0 qubit 0..n-1, shot 1 ...
+    Centers are 4 doubles per qubit (c0x, c0y, c1x, c1y).
+    ``with_sqrt`` compares sqrt(radicand) instead (ABL-2): four Newton
+    iterations per square root, seeded with 1.0.
+    """
+    sqrt_block = ""
+    if with_sqrt:
+        # fa2 and fa4 hold the radicands; replace by their square roots
+        # via Newton: s = 0.5*(s + v/s), four iterations each.
+        newton = """
+    fmv.d.x ft2, s10
+    fmv.d.x ft3, s10
+"""
+        for reg in ("fa2", "fa4"):
+            tgt = "ft2" if reg == "fa2" else "ft3"
+            for _ in range(4):
+                newton += f"""
+    fdiv.d ft4, {reg}, {tgt}
+    fadd.d {tgt}, {tgt}, ft4
+    fmul.d {tgt}, {tgt}, ft11
+"""
+        newton += """
+    fmv.x.d t5, ft2
+    fmv.d.x fa2, t5
+    fmv.x.d t5, ft3
+    fmv.d.x fa4, t5
+"""
+        sqrt_block = newton
+
+    prologue_sqrt = ""
+    if with_sqrt:
+        prologue_sqrt = """
+    li t5, 0x3FE0000000000000   # 0.5
+    fmv.d.x ft11, t5
+    li s10, 0x3FF0000000000000  # 1.0 seed
+"""
+
+    return f"""
+_start:
+    li a0, {CENTERS_BASE}
+    li a1, {MEAS_BASE}
+    li a2, {OUT_BASE}
+    li a3, {n_measurements}
+    li a4, {n_qubits}
+{prologue_sqrt}
+    mv t0, zero          # measurement counter
+    mv t1, zero          # qubit counter within the shot
+    mv t2, a0            # current center pointer
+loop:
+    fld fa0, 0(a1)       # measured I
+    fld fa1, 8(a1)       # measured Q
+    fld fa2, 0(t2)       # center-0 I
+    fld fa3, 8(t2)       # center-0 Q
+    fld fa4, 16(t2)      # center-1 I
+    fld fa5, 24(t2)      # center-1 Q
+    fsub.d fa2, fa0, fa2
+    fsub.d fa3, fa1, fa3
+    fsub.d fa4, fa0, fa4
+    fsub.d fa5, fa1, fa5
+    fmul.d fa2, fa2, fa2
+    fmul.d fa3, fa3, fa3
+    fmul.d fa4, fa4, fa4
+    fmul.d fa5, fa5, fa5
+    fadd.d fa2, fa2, fa3  # radicand to center 0
+    fadd.d fa4, fa4, fa5  # radicand to center 1
+{sqrt_block}
+    flt.d t3, fa4, fa2    # 1 => closer to center 1
+    sb t3, 0(a2)
+    addi a1, a1, 16
+    addi a2, a2, 1
+    addi t2, t2, 64          # next calibration record
+    addi t1, t1, 1
+    addi t0, t0, 1
+    blt t1, a4, cont
+    mv t1, zero
+    mv t2, a0            # next shot: rewind the center pointer
+cont:
+    blt t0, a3, loop
+    li a0, 0
+    ecall
+"""
+
+
+# --------------------------------------------------------------------- #
+# HDC
+# --------------------------------------------------------------------- #
+def hdc_source(
+    n_measurements: int,
+    n_qubits: int,
+    hardware_popcount: bool = False,
+    precomputed_xor: bool = True,
+) -> str:
+    """Hyperdimensional classifier (Eqs. 3-4) with per-qubit prototypes.
+
+    Table layout at TABLES_BASE:
+
+    * ``Y`` item hypervectors (global, 16 x 16 B = 256 B);
+    * precomputed variant: per qubit, the two X_{C xor x-hat} tables of
+      Eq. 4 (XC0 then XC1, 256 B each -- the "only 256 bytes" of extra
+      footprint per class the paper accounts);
+    * naive variant (ABL-3): the global x-hat item table (256 B) followed
+      by per-qubit class prototypes C0, C1 (16 B each).
+
+    Quantization: level = int((v + 2.0) * 4.0) clamped to [0, 15] --
+    covering the I/Q range [-2, 2) with 16 levels.
+    """
+    y_size = 16 * HDC_LEVELS
+    pc = lambda src, dst: _popcount(src, dst, hardware_popcount)
+
+    if precomputed_xor:
+        per_qubit_stride = 2 * 16 * HDC_LEVELS  # XC0 + XC1
+        load_class_words = """
+    slli t5, t3, 4
+    add  t6, t2, t5
+    ld   a5, 0(t6)        # XC0x word 0
+    ld   a6, 8(t6)        # XC0x word 1
+    addi t6, t6, {xc1_off}
+    ld   a7, 0(t6)        # XC1x word 0
+    ld   s2, 8(t6)        # XC1x word 1
+""".format(xc1_off=16 * HDC_LEVELS)
+    else:
+        per_qubit_stride = 2 * 8 * HDC_WORDS  # C0 + C1 (16 B each)
+        load_class_words = """
+    slli t5, t3, 4
+    add  t6, s4, t5
+    ld   a5, 0(t6)        # x-hat word 0
+    ld   a6, 8(t6)        # x-hat word 1
+    ld   a7, 0(t2)        # C0 word 0
+    ld   s2, 8(t2)        # C0 word 1
+    xor  a7, a7, a5       # C0 xor x-hat
+    xor  s2, s2, a6
+    ld   t5, 16(t2)       # C1 word 0
+    ld   t6, 24(t2)
+    xor  a5, t5, a5       # C1 xor x-hat
+    xor  a6, t6, a6
+    # swap so the common tail sees (a5,a6)=class0, (a7,s2)=class1
+    xor  a5, a5, a7
+    xor  a7, a7, a5
+    xor  a5, a5, a7
+    xor  a6, a6, s2
+    xor  s2, s2, a6
+    xor  a6, a6, s2
+"""
+
+    extra_bases = ""
+    if not precomputed_xor:
+        extra_bases = f"""
+    li s4, {TABLES_BASE + y_size}          # global x-hat item table
+"""
+    qtables_base = TABLES_BASE + y_size + (0 if precomputed_xor
+                                           else 16 * HDC_LEVELS)
+
+    return f"""
+_start:
+    li a1, {MEAS_BASE}
+    li a2, {OUT_BASE}
+    li a3, {n_measurements}
+    li a4, {n_qubits}
+    li s0, {qtables_base}                  # per-qubit table blocks
+    li s3, {TABLES_BASE}                   # global y-hat item table
+{extra_bases}
+    # Hoisted popcount masks.
+    li s6, 0x5555555555555555
+    li s7, 0x3333333333333333
+    li s8, 0x0F0F0F0F0F0F0F0F
+    li s9, 0x0101010101010101
+    # Quantization constants: offset 2.0, scale 4.0.
+    li t5, 0x4000000000000000
+    fmv.d.x ft10, t5
+    li t5, 0x4010000000000000
+    fmv.d.x ft11, t5
+    li s11, {HDC_LEVELS - 1}
+    mv t0, zero          # measurement counter
+    mv t1, zero          # qubit counter within the shot
+    mv t2, s0            # current qubit's table block
+loop:
+    fld fa0, 0(a1)
+    fld fa1, 8(a1)
+    # quantize x
+    fadd.d ft0, fa0, ft10
+    fmul.d ft0, ft0, ft11
+    fcvt.w.d t3, ft0
+    bge t3, zero, xlo_ok
+    mv t3, zero
+xlo_ok:
+    ble t3, s11, xhi_ok
+    mv t3, s11
+xhi_ok:
+    # quantize y
+    fadd.d ft1, fa1, ft10
+    fmul.d ft1, ft1, ft11
+    fcvt.w.d t4, ft1
+    bge t4, zero, ylo_ok
+    mv t4, zero
+ylo_ok:
+    ble t4, s11, yhi_ok
+    mv t4, s11
+yhi_ok:
+{load_class_words}
+    # bind with the y item hypervector
+    slli t5, t4, 4
+    add  t6, s3, t5
+    ld   t4, 0(t6)
+    ld   t6, 8(t6)
+    xor  a5, a5, t4
+    xor  a6, a6, t6
+    xor  a7, a7, t4
+    xor  s2, s2, t6
+    # Hamming distances via popcount
+{pc("a5", "t3")}
+{pc("a6", "t4")}
+    add  t3, t3, t4       # d0
+{pc("a7", "t4")}
+{pc("s2", "a0")}
+    add  t4, t4, a0       # d1
+    sltu t5, t4, t3       # 1 => class 1 closer
+    sb   t5, 0(a2)
+    addi a1, a1, 16
+    addi a2, a2, 1
+    addi t2, t2, {per_qubit_stride}
+    addi t1, t1, 1
+    addi t0, t0, 1
+    blt t1, a4, cont
+    mv t1, zero
+    mv t2, s0            # next shot: rewind the table pointer
+cont:
+    blt t0, a3, loop
+    li a0, 0
+    ecall
+"""
+
+
+# --------------------------------------------------------------------- #
+# Dhrystone-like integer benchmark
+# --------------------------------------------------------------------- #
+def dhrystone_source(iterations: int = 200) -> str:
+    """A Dhrystone-flavoured loop: string copy, record assignment,
+    integer arithmetic, comparisons and a function call per iteration."""
+    return f"""
+_start:
+    li s0, {MEAS_BASE}        # record buffers
+    li s1, {MEAS_BASE + 256}
+    li s2, {OUT_BASE}
+    li t0, 0
+    li t1, {iterations}
+outer:
+    # Proc: copy a 32-byte "string" byte by byte (strcpy flavour).
+    li t2, 0
+strcpy:
+    add t3, s0, t2
+    lb t4, 0(t3)
+    add t3, s1, t2
+    sb t4, 0(t3)
+    addi t2, t2, 1
+    li t5, 32
+    blt t2, t5, strcpy
+    # Record assignment: four doublewords.
+    ld t3, 0(s0)
+    sd t3, 0(s1)
+    ld t3, 8(s0)
+    sd t3, 8(s1)
+    ld t3, 16(s0)
+    sd t3, 16(s1)
+    ld t3, 24(s0)
+    sd t3, 24(s1)
+    # Integer mix with a data-dependent branch.
+    addi t3, t0, 7
+    slli t4, t3, 3
+    sub t4, t4, t0
+    andi t5, t4, 1
+    beqz t5, even
+    addi t4, t4, 13
+even:
+    mul t4, t4, t3
+    sd t4, 0(s2)
+    # Function call.
+    mv a0, t4
+    call func7
+    addi t0, t0, 1
+    blt t0, t1, outer
+    li a0, 0
+    ecall
+func7:
+    andi a0, a0, 127
+    addi a0, a0, 1
+    ret
+"""
+
+
+# --------------------------------------------------------------------- #
+# QEC: repetition-code majority decoder
+# --------------------------------------------------------------------- #
+def qec_majority_source(n_logical: int, distance: int) -> str:
+    """Distance-d repetition-code decoder (paper Section VII's "quantum
+    error correction protocols" representative).
+
+    Input at MEAS_BASE: one classified bit per byte, physical-qubit-major
+    (logical qubit l occupies bytes [l*d, (l+1)*d)).  Output at OUT_BASE:
+    one majority-vote byte per logical qubit.
+    """
+    if distance < 1 or distance % 2 == 0:
+        raise ValueError("distance must be a positive odd number")
+    return f"""
+_start:
+    li a1, {MEAS_BASE}
+    li a2, {OUT_BASE}
+    li a3, {n_logical}
+    li a4, {distance}
+    li a5, {distance // 2}
+    mv t0, zero           # logical-qubit counter
+outer:
+    mv t1, zero           # popcount of the block
+    mv t2, zero           # physical index
+inner:
+    add t3, a1, t2
+    lbu t4, 0(t3)
+    add t1, t1, t4
+    addi t2, t2, 1
+    blt t2, a4, inner
+    slt t4, a5, t1        # 1 when sum > floor(d/2)
+    sb t4, 0(a2)
+    add a1, a1, a4
+    addi a2, a2, 1
+    addi t0, t0, 1
+    blt t0, a3, outer
+    li a0, 0
+    ecall
+"""
+
+
+# --------------------------------------------------------------------- #
+# VQE classical step: expectation + SPSA parameter update
+# --------------------------------------------------------------------- #
+def vqe_update_source(n_bits: int, n_params: int) -> str:
+    """The classical half of one VQE iteration (paper Section VII).
+
+    Reads ``n_bits`` classified measurement bytes at MEAS_BASE, forms the
+    (fixed-point) Z expectation g = 2*sum - n_bits, then applies an
+    SPSA-style update to ``n_params`` 64-bit fixed-point parameters at
+    TABLES_BASE: theta_j += sign_j ? +g : -g, with the perturbation signs
+    stored as bytes after the parameter block.  Updated parameters are
+    also mirrored to OUT_BASE for verification.
+    """
+    signs_off = 8 * n_params
+    return f"""
+_start:
+    li a1, {MEAS_BASE}
+    li a2, {TABLES_BASE}
+    li a3, {n_bits}
+    li a4, {n_params}
+    li a5, {OUT_BASE}
+    # --- expectation: sum of classified bits -------------------------
+    mv t0, zero
+    mv t1, zero
+sumloop:
+    add t2, a1, t0
+    lbu t3, 0(t2)
+    add t1, t1, t3
+    addi t0, t0, 1
+    blt t0, a3, sumloop
+    slli t1, t1, 1
+    li t2, {n_bits}
+    sub t1, t1, t2        # g = 2*sum - n  (~ <Z> in fixed point)
+    # --- SPSA update over the parameter vector -----------------------
+    mv t0, zero
+    mv t2, a2             # parameter pointer
+    li t4, {signs_off}
+    add t4, a2, t4        # sign pointer
+updloop:
+    ld t3, 0(t2)
+    lbu t5, 0(t4)
+    beqz t5, negdir
+    add t3, t3, t1
+    j stored
+negdir:
+    sub t3, t3, t1
+stored:
+    sd t3, 0(t2)
+    sd t3, 0(a5)
+    addi t2, t2, 8
+    addi t4, t4, 1
+    addi a5, a5, 8
+    addi t0, t0, 1
+    blt t0, a4, updloop
+    li a0, 0
+    ecall
+"""
+
+
+# --------------------------------------------------------------------- #
+# Data packing
+# --------------------------------------------------------------------- #
+CENTER_RECORD_BYTES = 64
+"""Per-qubit calibration record size: the two centers plus per-qubit
+readout metadata (variances, thresholds), padded to one cache line --
+the layout a real calibration structure occupies."""
+
+
+def pack_centers(centers: np.ndarray) -> bytes:
+    """Pack per-qubit calibration records for the kNN kernel.
+
+    ``centers`` has shape (n_qubits, 2, 2): [qubit][class][i/q].  Each
+    record holds c0x, c0y, c1x, c1y followed by padding metadata up to
+    :data:`CENTER_RECORD_BYTES`.
+    """
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim != 3 or centers.shape[1:] != (2, 2):
+        raise ValueError("centers must have shape (n_qubits, 2, 2)")
+    pad = bytes(CENTER_RECORD_BYTES - 32)
+    out = bytearray()
+    for q in range(centers.shape[0]):
+        out += struct.pack(
+            "<4d",
+            centers[q, 0, 0], centers[q, 0, 1],
+            centers[q, 1, 0], centers[q, 1, 1],
+        )
+        out += pad
+    return bytes(out)
+
+
+def pack_measurements(points: np.ndarray) -> bytes:
+    """Pack (n, 2) I/Q doubles, shot-major interleaved."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    return points.astype("<f8").tobytes()
+
+
+def pack_hdc_tables(
+    y_items: np.ndarray,
+    xc0: np.ndarray | None = None,
+    xc1: np.ndarray | None = None,
+    x_items: np.ndarray | None = None,
+    c0: np.ndarray | None = None,
+    c1: np.ndarray | None = None,
+) -> bytes:
+    """Pack the HDC tables for the kernel's memory layout.
+
+    Precomputed variant (Eq. 4): pass ``xc0``/``xc1`` with shape
+    (n_qubits, LEVELS, WORDS).  Naive variant (ABL-3): pass ``x_items``
+    (LEVELS, WORDS) plus ``c0``/``c1`` with shape (n_qubits, WORDS).
+    ``y_items`` (LEVELS, WORDS) is always required and global.
+    """
+    def item_block(a: np.ndarray, name: str) -> bytes:
+        a = np.asarray(a, dtype=np.uint64)
+        if a.shape != (HDC_LEVELS, HDC_WORDS):
+            raise ValueError(
+                f"{name} must have shape ({HDC_LEVELS}, {HDC_WORDS})"
+            )
+        return a.astype("<u8").tobytes()
+
+    out = bytearray(item_block(y_items, "y_items"))
+    if xc0 is not None or xc1 is not None:
+        if xc0 is None or xc1 is None:
+            raise ValueError("precomputed layout needs both xc0 and xc1")
+        xc0 = np.asarray(xc0, dtype=np.uint64)
+        xc1 = np.asarray(xc1, dtype=np.uint64)
+        if xc0.shape != xc1.shape or xc0.ndim != 3:
+            raise ValueError("xc tables must share shape (n_qubits, L, W)")
+        for q in range(xc0.shape[0]):
+            out += item_block(xc0[q], "xc0")
+            out += item_block(xc1[q], "xc1")
+        return bytes(out)
+    if x_items is None or c0 is None or c1 is None:
+        raise ValueError("naive layout needs x_items, c0 and c1")
+    out += item_block(x_items, "x_items")
+    c0 = np.asarray(c0, dtype=np.uint64)
+    c1 = np.asarray(c1, dtype=np.uint64)
+    if c0.shape != c1.shape or c0.ndim != 2 or c0.shape[1] != HDC_WORDS:
+        raise ValueError("prototypes must have shape (n_qubits, WORDS)")
+    for q in range(c0.shape[0]):
+        out += c0[q].astype("<u8").tobytes()
+        out += c1[q].astype("<u8").tobytes()
+    return bytes(out)

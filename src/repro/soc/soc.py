@@ -1,0 +1,238 @@
+"""RocketSoC: the assembled system (CPU + caches + memory) and workload
+drivers for the paper's classification experiments.
+
+The high-level entry points mirror the paper's evaluation:
+
+* :meth:`RocketSoC.run_knn` / :meth:`RocketSoC.run_hdc` -- classify a
+  batch of I/Q measurements; return cycle statistics *and* the computed
+  labels so functional correctness is checked against the Python
+  reference classifiers in tests;
+* :meth:`RocketSoC.run_dhrystone` -- the general-average workload;
+* :func:`cycles_per_classification` -- the Table-2 metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.assembler import assemble
+from repro.soc.cache import CacheHierarchy
+from repro.soc.cpu import CPU, ExecutionStats
+from repro.soc.memory import Memory
+from repro.soc.programs import (
+    CENTERS_BASE,
+    CENTER_RECORD_BYTES,
+    MEAS_BASE,
+    OUT_BASE,
+    TABLES_BASE,
+    dhrystone_source,
+    hdc_source,
+    knn_source,
+    pack_centers,
+    pack_hdc_tables,
+    pack_measurements,
+)
+
+__all__ = ["RocketSoC", "WorkloadResult", "cycles_per_classification"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    name: str
+    stats: ExecutionStats
+    labels: np.ndarray | None = None
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def cycles_per_item(self, n_items: int) -> float:
+        return self.stats.cycles / n_items if n_items else 0.0
+
+
+class RocketSoC:
+    """One SoC instance: fresh memory, caches and CPU per run.
+
+    ``popcount_extension`` wires the ABL-1 custom instruction into the
+    core (off by default, like real RV64IMAFDC Rocket).
+    ``cache_factory`` builds the memory hierarchy per run; override it to
+    explore other off-the-shelf configurations ("off-the-shelf SoCs ...
+    are available in a wide range of specifications and capabilities and
+    could quickly be swapped in and out", paper Section I-C).
+    """
+
+    def __init__(self, popcount_extension: bool = False,
+                 warm_l2: bool = True,
+                 cache_factory=None):
+        self.popcount_extension = popcount_extension
+        self.warm_l2 = warm_l2
+        self.cache_factory = cache_factory or CacheHierarchy
+
+    def _fresh_cpu(self) -> CPU:
+        return CPU(
+            memory=Memory(),
+            caches=self.cache_factory(),
+            popcount_extension=self.popcount_extension,
+        )
+
+    def _warm(self, cpu: CPU, base: int, size: int) -> None:
+        """Mark a region L2-resident (not L1).
+
+        Measurement words arrive from the readout data path into the
+        shared L2 (DMA), not from off-chip memory; without this the
+        streaming loads would pay main-memory latency on every line,
+        which is not the system the paper times.
+        """
+        if not self.warm_l2 or size <= 0:
+            return
+        line = cpu.caches.l2.line_bytes
+        for addr in range(base, base + size + line, line):
+            cpu.caches.l2.access(addr)
+        # Warming is setup, not workload: reset the counters.
+        cpu.caches.l2.stats.accesses = 0
+        cpu.caches.l2.stats.misses = 0
+        cpu.caches.l2.stats.writebacks = 0
+
+    # ------------------------------------------------------------------ #
+    def run_knn(
+        self,
+        centers: np.ndarray,
+        measurements: np.ndarray,
+        n_qubits: int,
+        with_sqrt: bool = False,
+    ) -> WorkloadResult:
+        """Classify measurements with the kNN kernel.
+
+        ``centers``: (n_qubits, 2, 2); ``measurements``: (n, 2) shot-major
+        (qubit index cycles fastest).  Returns labels as 0/1.
+        """
+        n = len(measurements)
+        cpu = self._fresh_cpu()
+        program = assemble(knn_source(n, n_qubits, with_sqrt=with_sqrt))
+        cpu.load_program(program)
+        cpu.memory.store_bytes(CENTERS_BASE, pack_centers(centers))
+        meas_bytes = pack_measurements(measurements)
+        cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
+        self._warm(cpu, MEAS_BASE, len(meas_bytes))
+        self._warm(cpu, CENTERS_BASE, CENTER_RECORD_BYTES * len(centers))
+        stats = cpu.run()
+        labels = np.frombuffer(
+            cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
+        ).astype(int)
+        return WorkloadResult(
+            name="knn_sqrt" if with_sqrt else "knn", stats=stats,
+            labels=labels,
+        )
+
+    def run_hdc(
+        self,
+        tables: bytes,
+        measurements: np.ndarray,
+        n_qubits: int,
+        hardware_popcount: bool = False,
+        precomputed_xor: bool = True,
+    ) -> WorkloadResult:
+        """Classify measurements with the HDC kernel.
+
+        ``tables`` comes from
+        :func:`repro.soc.programs.pack_hdc_tables`.
+        """
+        n = len(measurements)
+        cpu = self._fresh_cpu()
+        program = assemble(
+            hdc_source(
+                n, n_qubits,
+                hardware_popcount=hardware_popcount,
+                precomputed_xor=precomputed_xor,
+            )
+        )
+        cpu.load_program(program)
+        cpu.memory.store_bytes(TABLES_BASE, tables)
+        meas_bytes = pack_measurements(measurements)
+        cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
+        self._warm(cpu, MEAS_BASE, len(meas_bytes))
+        self._warm(cpu, TABLES_BASE, len(tables))
+        stats = cpu.run()
+        labels = np.frombuffer(
+            cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
+        ).astype(int)
+        return WorkloadResult(name="hdc", stats=stats, labels=labels)
+
+    def run_qec_decode(
+        self, bits: np.ndarray, distance: int
+    ) -> WorkloadResult:
+        """Majority-decode repetition-code blocks (paper Section VII).
+
+        ``bits``: flat 0/1 array, physical-qubit-major, with length a
+        multiple of ``distance``.  Returns the logical values.
+        """
+        from repro.soc.programs import qec_majority_source
+
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % distance:
+            raise ValueError("bit count must be a multiple of the distance")
+        n_logical = bits.size // distance
+        cpu = self._fresh_cpu()
+        cpu.load_program(assemble(qec_majority_source(n_logical, distance)))
+        cpu.memory.store_bytes(MEAS_BASE, bits.tobytes())
+        self._warm(cpu, MEAS_BASE, bits.size)
+        stats = cpu.run()
+        labels = np.frombuffer(
+            cpu.memory.load_bytes(OUT_BASE, n_logical), dtype=np.uint8
+        ).astype(int)
+        return WorkloadResult(name="qec_decode", stats=stats, labels=labels)
+
+    def run_vqe_update(
+        self, bits: np.ndarray, params: np.ndarray, signs: np.ndarray
+    ) -> WorkloadResult:
+        """One VQE classical step (paper Section VII): expectation from
+        classified bits plus an SPSA parameter update.
+
+        ``bits``: 0/1 bytes; ``params``: int64 fixed-point parameters;
+        ``signs``: 0/1 perturbation directions.  Returns the updated
+        parameter vector in ``labels`` (int64 view).
+        """
+        from repro.soc.programs import vqe_update_source
+
+        bits = np.asarray(bits, dtype=np.uint8)
+        params = np.asarray(params, dtype=np.int64)
+        signs = np.asarray(signs, dtype=np.uint8)
+        if len(params) != len(signs):
+            raise ValueError("params and signs must align")
+        cpu = self._fresh_cpu()
+        cpu.load_program(assemble(vqe_update_source(bits.size, params.size)))
+        cpu.memory.store_bytes(MEAS_BASE, bits.tobytes())
+        cpu.memory.store_bytes(TABLES_BASE, params.astype("<i8").tobytes())
+        cpu.memory.store_bytes(
+            TABLES_BASE + 8 * params.size, signs.tobytes()
+        )
+        self._warm(cpu, MEAS_BASE, bits.size)
+        self._warm(cpu, TABLES_BASE, 9 * params.size)
+        stats = cpu.run()
+        updated = np.frombuffer(
+            cpu.memory.load_bytes(OUT_BASE, 8 * params.size), dtype="<i8"
+        ).astype(np.int64)
+        return WorkloadResult(name="vqe_update", stats=stats, labels=updated)
+
+    def run_dhrystone(self, iterations: int = 200) -> WorkloadResult:
+        """Run the Dhrystone-like integer benchmark."""
+        cpu = self._fresh_cpu()
+        program = assemble(dhrystone_source(iterations))
+        cpu.load_program(program)
+        # Seed the source record with something non-trivial.
+        cpu.memory.store_bytes(
+            MEAS_BASE, bytes(range(1, 33)) + bytes(224)
+        )
+        stats = cpu.run()
+        return WorkloadResult(name="dhrystone", stats=stats)
+
+
+def cycles_per_classification(result: WorkloadResult, n: int) -> float:
+    """The Table-2 metric: average clock cycles per measurement."""
+    if n <= 0:
+        raise ValueError("need a positive measurement count")
+    return result.stats.cycles / n

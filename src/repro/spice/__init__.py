@@ -1,0 +1,43 @@
+"""SPICE-lite: an MNA circuit simulator for standard-cell characterization.
+
+Stands in for Synopsys PrimeSim in the paper's flow (Fig. 4).  Supports
+resistors, capacitors, waveform-driven voltage sources and FinFET compact
+-model instances; DC (Newton-Raphson + gmin stepping) and fixed-step
+backward-Euler transient analysis.
+"""
+
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    FinFETElement,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.solver import (
+    ConvergenceError,
+    OperatingPoint,
+    TransientResult,
+    dc_operating_point,
+    transient,
+)
+from repro.spice.sources import DC, PWL, Pulse, ramp
+from repro.spice.waveform import Waveform, propagation_delay
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "DC",
+    "FinFETElement",
+    "OperatingPoint",
+    "PWL",
+    "Pulse",
+    "Resistor",
+    "TransientResult",
+    "VoltageSource",
+    "Waveform",
+    "dc_operating_point",
+    "propagation_delay",
+    "ramp",
+    "transient",
+]

@@ -1,0 +1,180 @@
+"""Modified nodal analysis: matrix assembly for the nonlinear solver.
+
+The MNA unknown vector is ``[node voltages..., source branch currents...]``.
+Nonlinear FinFETs are linearized around the current guess with a standard
+Norton companion model; their I-V and derivatives are evaluated *batched
+per model object* so a whole cell costs one vectorized compact-model call
+per Newton iteration instead of one call per transistor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.netlist import GROUND_NAMES, Circuit
+
+__all__ = ["MNASystem"]
+
+#: Finite-difference step for device linearization (V).
+_DERIV_STEP = 1e-5
+
+#: Conductance from every node to ground, aiding DC convergence and making
+#: capacitor-only nodes non-singular.
+GMIN_DEFAULT = 1e-12
+
+
+class MNASystem:
+    """Precomputed index maps and stamping routines for one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.nodes = circuit.node_names()
+        self._index = {name: i for i, name in enumerate(self.nodes)}
+        for g in GROUND_NAMES:
+            self._index[g] = -1
+        self.n_nodes = len(self.nodes)
+        self.n_sources = len(circuit.sources)
+        self.dim = self.n_nodes + self.n_sources
+
+        # Static (bias-independent) stamps: resistors and source incidence.
+        self._static = np.zeros((self.dim, self.dim))
+        for r in circuit.resistors:
+            g = 1.0 / r.resistance
+            self._stamp_conductance(self._static, r.n1, r.n2, g)
+        for k, src in enumerate(circuit.sources):
+            row = self.n_nodes + k
+            for node, sign in ((src.pos, 1.0), (src.neg, -1.0)):
+                i = self.index(node)
+                if i >= 0:
+                    self._static[i, row] += sign
+                    self._static[row, i] += sign
+
+        # Group FinFETs by model object for batched evaluation.
+        self._fet_groups: list[tuple[object, list[int], list[int], list[int]]] = []
+        by_model: dict[int, list] = {}
+        for fet in circuit.finfets:
+            by_model.setdefault(id(fet.model), []).append(fet)
+        for fets in by_model.values():
+            model = fets[0].model
+            d = [self.index(f.drain) for f in fets]
+            g = [self.index(f.gate) for f in fets]
+            s = [self.index(f.source) for f in fets]
+            self._fet_groups.append((model, d, g, s))
+
+    # ------------------------------------------------------------------ #
+    def index(self, node: str) -> int:
+        """Return the matrix row of a node (-1 for ground)."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def _stamp_conductance(
+        self, matrix: np.ndarray, n1: str | int, n2: str | int, g: float
+    ) -> None:
+        i = self.index(n1) if isinstance(n1, str) else n1
+        j = self.index(n2) if isinstance(n2, str) else n2
+        if i >= 0:
+            matrix[i, i] += g
+        if j >= 0:
+            matrix[j, j] += g
+        if i >= 0 and j >= 0:
+            matrix[i, j] -= g
+            matrix[j, i] -= g
+
+    def _voltage(self, v: np.ndarray, idx: int) -> float | np.ndarray:
+        return v[idx] if idx >= 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    def assemble(
+        self,
+        v_guess: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the linearized system ``A x = z`` around ``v_guess``.
+
+        ``cap_companion`` carries per-capacitor (geq, ieq) arrays from the
+        transient integrator; ``None`` means DC (capacitors open).
+        """
+        a = self._static.copy()
+        z = np.zeros(self.dim)
+
+        # gmin to ground on every node.
+        for i in range(self.n_nodes):
+            a[i, i] += gmin
+
+        # Sources: branch equation V(pos) - V(neg) = value(t).
+        for k, src in enumerate(self.circuit.sources):
+            z[self.n_nodes + k] = src.value(t)
+
+        # Capacitors as Norton companions (transient only).
+        if cap_companion is not None:
+            geq, ieq = cap_companion
+            for c, g, i_eq in zip(self.circuit.capacitors, geq, ieq):
+                self._stamp_conductance(a, c.n1, c.n2, g)
+                i = self.index(c.n1)
+                j = self.index(c.n2)
+                if i >= 0:
+                    z[i] -= i_eq
+                if j >= 0:
+                    z[j] += i_eq
+
+        # FinFETs: batched linearization.
+        temp = self.circuit.temperature_k
+        for model, d_idx, g_idx, s_idx in self._fet_groups:
+            vd = np.array([self._voltage(v_guess, i) for i in d_idx])
+            vg = np.array([self._voltage(v_guess, i) for i in g_idx])
+            vs = np.array([self._voltage(v_guess, i) for i in s_idx])
+            vgs = vg - vs
+            vds = vd - vs
+            n = len(d_idx)
+            # One vectorized call: base point plus two perturbed points.
+            vgs_all = np.concatenate([vgs, vgs + _DERIV_STEP, vgs])
+            vds_all = np.concatenate([vds, vds, vds + _DERIV_STEP])
+            ids_all = np.asarray(model.ids(vgs_all, vds_all, temp))
+            i0 = ids_all[:n]
+            gm = (ids_all[n : 2 * n] - i0) / _DERIV_STEP
+            gds = (ids_all[2 * n :] - i0) / _DERIV_STEP
+            # Keep the Jacobian positive semi-definite-ish: tiny negative
+            # numerical slopes are clipped.
+            gm = np.maximum(gm, 0.0)
+            gds = np.maximum(gds, 1e-15)
+            ieq = i0 - gm * vgs - gds * vds
+            for k in range(n):
+                di, gi, si = d_idx[k], g_idx[k], s_idx[k]
+                if di >= 0:
+                    if gi >= 0:
+                        a[di, gi] += gm[k]
+                    if di >= 0:
+                        a[di, di] += gds[k]
+                    if si >= 0:
+                        a[di, si] -= gm[k] + gds[k]
+                    z[di] -= ieq[k]
+                if si >= 0:
+                    if gi >= 0:
+                        a[si, gi] -= gm[k]
+                    if di >= 0:
+                        a[si, di] -= gds[k]
+                    a[si, si] += gm[k] + gds[k]
+                    z[si] += ieq[k]
+        return a, z
+
+    def device_currents(self, v: np.ndarray) -> dict[str, float]:
+        """Evaluate every FinFET's drain current at solution ``v``."""
+        temp = self.circuit.temperature_k
+        out: dict[str, float] = {}
+        pos = 0
+        for model, d_idx, g_idx, s_idx in self._fet_groups:
+            vd = np.array([self._voltage(v, i) for i in d_idx])
+            vg = np.array([self._voltage(v, i) for i in g_idx])
+            vs = np.array([self._voltage(v, i) for i in s_idx])
+            ids = np.asarray(model.ids(vg - vs, vd - vs, temp))
+            group_fets = [
+                f for f in self.circuit.finfets if id(f.model) == id(model)
+            ]
+            for fet, current in zip(group_fets, ids):
+                out[fet.name] = float(current)
+            pos += len(d_idx)
+        return out

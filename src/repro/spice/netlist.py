@@ -1,0 +1,185 @@
+"""Circuit netlist representation for the MNA simulator.
+
+A :class:`Circuit` is a flat bag of elements connected at named nodes.
+Node ``"0"`` (alias ``"gnd"``) is ground.  Supported elements:
+
+* :class:`Resistor`, :class:`Capacitor`
+* :class:`VoltageSource` (waveform-driven, see :mod:`repro.spice.sources`)
+* :class:`FinFETElement` -- a 3-terminal instance of the compact model
+  (bulk is tied to source; the FinFET model has no body terminal).
+
+The standard-cell generator in :mod:`repro.cells` builds these circuits
+automatically from pull-up/pull-down stack expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.finfet import FinFET
+from repro.spice.sources import DC
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "FinFETElement",
+    "GROUND_NAMES",
+]
+
+GROUND_NAMES = ("0", "gnd", "GND", "vss", "VSS")
+"""Node names treated as the ground reference."""
+
+
+@dataclass
+class Resistor:
+    """Linear resistor between ``n1`` and ``n2`` (Ohm)."""
+
+    name: str
+    n1: str
+    n2: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"{self.name}: resistance must be > 0")
+
+
+@dataclass
+class Capacitor:
+    """Linear capacitor between ``n1`` and ``n2`` (F)."""
+
+    name: str
+    n1: str
+    n2: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(f"{self.name}: capacitance must be >= 0")
+
+
+@dataclass
+class VoltageSource:
+    """Ideal voltage source from ``pos`` to ``neg`` driven by a waveform."""
+
+    name: str
+    pos: str
+    neg: str
+    waveform: object = field(default_factory=lambda: DC(0.0))
+
+    def value(self, t: float) -> float:
+        return float(self.waveform.value(t))
+
+
+@dataclass
+class FinFETElement:
+    """FinFET instance: drain / gate / source terminals + a device model.
+
+    The model's intrinsic gate capacitance and drain parasitics are added
+    as explicit linear capacitors at build time by
+    :meth:`Circuit.add_finfet`, keeping the MNA device evaluation purely
+    resistive (standard companion-model practice for a first-order tool).
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    model: FinFET
+
+
+class Circuit:
+    """A flat netlist plus simulation temperature."""
+
+    def __init__(self, title: str = "circuit", temperature_k: float = 300.0):
+        self.title = title
+        self.temperature_k = temperature_k
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.sources: list[VoltageSource] = []
+        self.finfets: list[FinFETElement] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name: {name!r}")
+        self._names.add(name)
+
+    def add_resistor(self, name: str, n1: str, n2: str, resistance: float) -> Resistor:
+        self._register(name)
+        r = Resistor(name, n1, n2, resistance)
+        self.resistors.append(r)
+        return r
+
+    def add_capacitor(
+        self, name: str, n1: str, n2: str, capacitance: float
+    ) -> Capacitor:
+        self._register(name)
+        c = Capacitor(name, n1, n2, capacitance)
+        self.capacitors.append(c)
+        return c
+
+    def add_vsource(
+        self, name: str, pos: str, neg: str, waveform: object
+    ) -> VoltageSource:
+        self._register(name)
+        v = VoltageSource(name, pos, neg, waveform)
+        self.sources.append(v)
+        return v
+
+    def add_finfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        model: FinFET,
+        with_parasitics: bool = True,
+    ) -> FinFETElement:
+        """Add a transistor; optionally attach its parasitic capacitors.
+
+        The gate capacitance is split 50/50 to source and drain (Miller
+        approximation good enough for cell-delay work); the junction cap
+        goes from drain to ground.
+        """
+        self._register(name)
+        fet = FinFETElement(name, drain, gate, source, model)
+        self.finfets.append(fet)
+        if with_parasitics:
+            cg = model.gate_capacitance()
+            self.add_capacitor(f"{name}_cgs", gate, source, cg / 2.0)
+            self.add_capacitor(f"{name}_cgd", gate, drain, cg / 2.0)
+            self.add_capacitor(f"{name}_cdb", drain, "0", model.drain_capacitance())
+        return fet
+
+    # ------------------------------------------------------------------ #
+    def node_names(self) -> list[str]:
+        """All non-ground nodes, in deterministic (sorted) order."""
+        nodes: set[str] = set()
+        for r in self.resistors:
+            nodes.update((r.n1, r.n2))
+        for c in self.capacitors:
+            nodes.update((c.n1, c.n2))
+        for v in self.sources:
+            nodes.update((v.pos, v.neg))
+        for f in self.finfets:
+            nodes.update((f.drain, f.gate, f.source))
+        return sorted(n for n in nodes if n not in GROUND_NAMES)
+
+    @property
+    def element_count(self) -> int:
+        return (
+            len(self.resistors)
+            + len(self.capacitors)
+            + len(self.sources)
+            + len(self.finfets)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit({self.title!r}, T={self.temperature_k} K, "
+            f"{len(self.node_names())} nodes, {self.element_count} elements)"
+        )

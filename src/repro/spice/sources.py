@@ -1,0 +1,89 @@
+"""Time-dependent source waveforms for the circuit simulator.
+
+Every waveform implements ``value(t)`` (scalar, seconds in / volts out).
+These mirror the SPICE primitives the characterization flow needs: DC,
+PULSE and PWL (the stimulus builder emits PWL ramps for timing arcs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DC", "Pulse", "PWL"]
+
+
+@dataclass(frozen=True)
+class DC:
+    """Constant level."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class PWL:
+    """Piece-wise linear waveform through ``(times, values)`` breakpoints.
+
+    Holds the first value before the first breakpoint and the last value
+    after the last one, like SPICE.
+    """
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        if len(self.times) < 1:
+            raise ValueError("PWL needs at least one breakpoint")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("PWL breakpoint times must strictly increase")
+
+    def value(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE PULSE source: v1 -> v2 with given delay/rise/fall/width/period."""
+
+    v1: float
+    v2: float
+    delay: float
+    rise: float
+    fall: float
+    width: float
+    period: float
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = (t - self.delay) % self.period
+        if tau < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        tau -= self.rise
+        if tau < self.width:
+            return self.v2
+        tau -= self.width
+        if tau < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tau / self.fall
+        return self.v1
+
+
+def ramp(t_start: float, duration: float, v_from: float, v_to: float) -> PWL:
+    """Convenience: a single linear transition between two levels.
+
+    >>> w = ramp(1e-9, 10e-12, 0.0, 0.7)
+    >>> w.value(0.0), w.value(2e-9)
+    (0.0, 0.7)
+    """
+    if duration <= 0:
+        raise ValueError("ramp duration must be positive")
+    return PWL(
+        times=(t_start, t_start + duration),
+        values=(v_from, v_to),
+    )

@@ -1,0 +1,113 @@
+"""Waveform measurement: threshold crossings, slew, delay.
+
+These are the measurements a characterization tool (PrimeLib-class) takes
+from SPICE output: 50 %-to-50 % propagation delay and 10 %-90 % (by default)
+transition time, both referenced to the rail-to-rail swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Waveform", "propagation_delay"]
+
+
+@dataclass
+class Waveform:
+    """A sampled signal ``v(t)`` with measurement helpers."""
+
+    time: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.time.shape != self.values.shape:
+            raise ValueError("time and values must have the same shape")
+        if self.time.size < 2:
+            raise ValueError("waveform needs at least two samples")
+
+    # ------------------------------------------------------------------ #
+    def crossings(self, threshold: float, direction: str = "any") -> np.ndarray:
+        """Times where the signal crosses ``threshold``.
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"any"``.  Linear
+        interpolation between samples.
+        """
+        v = self.values
+        t = self.time
+        above = v >= threshold
+        flips = np.nonzero(above[1:] != above[:-1])[0]
+        times = []
+        for k in flips:
+            rising = v[k + 1] > v[k]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            frac = (threshold - v[k]) / (v[k + 1] - v[k])
+            times.append(t[k] + frac * (t[k + 1] - t[k]))
+        return np.asarray(times)
+
+    def cross(
+        self, threshold: float, direction: str = "any", occurrence: int = 0
+    ) -> float:
+        """Time of the n-th crossing; raises if it never happens."""
+        times = self.crossings(threshold, direction)
+        if len(times) <= occurrence:
+            raise ValueError(
+                f"waveform {self.name!r} crosses {threshold} V "
+                f"({direction}) only {len(times)} times"
+            )
+        return float(times[occurrence])
+
+    def transition_time(
+        self,
+        v_low: float,
+        v_high: float,
+        lo_frac: float = 0.1,
+        hi_frac: float = 0.9,
+        direction: str = "rise",
+    ) -> float:
+        """Slew between the two fractional thresholds of the full swing."""
+        swing = v_high - v_low
+        th_lo = v_low + lo_frac * swing
+        th_hi = v_low + hi_frac * swing
+        if direction == "rise":
+            t0 = self.cross(th_lo, "rise")
+            t1 = self.cross(th_hi, "rise")
+        else:
+            t0 = self.cross(th_hi, "fall")
+            t1 = self.cross(th_lo, "fall")
+        return t1 - t0
+
+    @property
+    def final(self) -> float:
+        """Last sampled value."""
+        return float(self.values[-1])
+
+    @property
+    def initial(self) -> float:
+        """First sampled value."""
+        return float(self.values[0])
+
+    def settled(self, target: float, tolerance: float) -> bool:
+        """Whether the final value is within ``tolerance`` of ``target``."""
+        return abs(self.final - target) <= tolerance
+
+
+def propagation_delay(
+    input_wave: Waveform,
+    output_wave: Waveform,
+    vdd: float,
+    input_direction: str,
+    output_direction: str,
+) -> float:
+    """50 %-to-50 % delay from input transition to output transition."""
+    mid = vdd / 2.0
+    t_in = input_wave.cross(mid, input_direction)
+    t_out = output_wave.cross(mid, output_direction)
+    return t_out - t_in

@@ -1,0 +1,240 @@
+"""Graph-based static timing analysis over NLDM libraries.
+
+The PrimeTime substitute: propagates (arrival, slew) pairs per transition
+through the mapped netlist in topological order, handles unateness, prices
+net loads from pin capacitances plus placed wire length, and reports the
+critical path, the minimum clock period, and per-endpoint slack --
+the quantities behind the paper's Table 1.
+
+Start points: flop Q pins (clock-to-Q from the library), macro data
+outputs (scaled access time), primary inputs.  Endpoints: flop D pins
+(setup from the library), macro data inputs, primary outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.netlist import GateNetlist
+from repro.synth.placement import Placement
+
+__all__ = ["TimingReport", "PathPoint", "analyze"]
+
+#: Default primary-input slew (s).
+INPUT_SLEW = 10e-12
+
+#: Slew assumed at flop clock pins (ideal clock tree).
+CLOCK_SLEW = 8e-12
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One hop on a timing path."""
+
+    net: str
+    transition: str
+    arrival: float
+    gate: str
+    cell: str
+
+
+@dataclass
+class TimingReport:
+    """STA results for one corner."""
+
+    netlist_name: str
+    temperature_k: float
+    critical_path_delay: float
+    critical_endpoint: str
+    path: list[PathPoint] = field(default_factory=list)
+    endpoint_arrivals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fmax_hz(self) -> float:
+        """Maximum clock frequency implied by the critical path."""
+        return 1.0 / self.critical_path_delay
+
+    def slack(self, clock_period: float) -> float:
+        """Worst setup slack at a given clock period."""
+        return clock_period - self.critical_path_delay
+
+    def worst_endpoints(self, n: int = 5) -> list[tuple[str, float]]:
+        """The n endpoints with the largest arrival+setup."""
+        ranked = sorted(
+            self.endpoint_arrivals.items(), key=lambda kv: -kv[1]
+        )
+        return ranked[:n]
+
+
+def _net_load(netlist, net, library, placement) -> float:
+    total = placement.net_wire_cap(net) if placement else 0.0
+    for inst, pin in netlist.loads_of(net):
+        if inst in netlist.gates:
+            total += library[netlist.gates[inst].cell].pin_capacitance(pin)
+        else:
+            total += 1.0e-15
+    return total
+
+
+def analyze(
+    netlist: GateNetlist,
+    library,
+    placement: Placement | None = None,
+    macro_delay_scale: float = 1.0,
+    input_slew: float = INPUT_SLEW,
+) -> TimingReport:
+    """Run STA; returns the worst-path report.
+
+    ``macro_delay_scale`` scales every macro's fixed timing numbers to the
+    library corner (SRAM transistors slow down with the logic).
+    """
+    # (net, transition) -> (arrival, slew, predecessor key, via-gate)
+    state: dict[tuple[str, str], tuple[float, float, tuple | None, str]] = {}
+
+    def relax(key, arrival, slew, pred, gate) -> None:
+        if key not in state or arrival > state[key][0]:
+            state[key] = (arrival, slew, pred, gate)
+
+    # Start points -------------------------------------------------------
+    for net in netlist.inputs:
+        for tr in ("rise", "fall"):
+            relax((net, tr), 0.0, input_slew, None, "@input")
+
+    seq = netlist.sequential_gates(library)
+    for gate in seq:
+        cell = library[gate.cell]
+        load = _net_load(netlist, gate.output, library, placement)
+        arc = cell.arc_from(cell.clock_pin)
+        for tr in ("rise", "fall"):
+            d = arc.delay(tr, CLOCK_SLEW, load)
+            s = arc.output_slew(tr, CLOCK_SLEW, load)
+            relax((gate.output, tr), d, s, None, gate.name)
+
+    for macro in netlist.macros.values():
+        for net in macro.outputs:
+            for tr in ("rise", "fall"):
+                relax(
+                    (net, tr),
+                    macro.clk_to_out * macro_delay_scale,
+                    input_slew,
+                    None,
+                    macro.name,
+                )
+
+    # Propagation ---------------------------------------------------------
+    for gate in netlist.topological_gates(library):
+        cell = library[gate.cell]
+        load = _net_load(netlist, gate.output, library, placement)
+        for pin, net in gate.pins.items():
+            try:
+                arc = cell.arc_from(pin)
+            except KeyError:
+                continue
+            for in_tr in ("rise", "fall"):
+                key = (net, in_tr)
+                if key not in state:
+                    continue
+                arrival, slew, _, _ = state[key]
+                if arc.sense == "positive_unate":
+                    out_trs = [in_tr]
+                elif arc.sense == "negative_unate":
+                    out_trs = ["fall" if in_tr == "rise" else "rise"]
+                else:
+                    out_trs = ["rise", "fall"]
+                for out_tr in out_trs:
+                    d = arc.delay(out_tr, slew, load)
+                    s = arc.output_slew(out_tr, slew, load)
+                    relax(
+                        (gate.output, out_tr),
+                        arrival + d,
+                        s,
+                        key,
+                        gate.name,
+                    )
+
+    # Endpoints ------------------------------------------------------------
+    endpoint_arrivals: dict[str, float] = {}
+
+    def endpoint(net: str, label: str, setup: float) -> None:
+        worst = None
+        for tr in ("rise", "fall"):
+            if (net, tr) in state:
+                a = state[(net, tr)][0] + setup
+                if worst is None or a > worst:
+                    worst = a
+        if worst is not None:
+            endpoint_arrivals[label] = worst
+
+    for gate in seq:
+        cell = library[gate.cell]
+        d_net = gate.pins.get(cell.data_pin)
+        if d_net:
+            endpoint(d_net, f"{gate.name}/{cell.data_pin}", cell.setup_time)
+    for macro in netlist.macros.values():
+        for net in macro.inputs:
+            endpoint(
+                net,
+                f"{macro.name}/{net}",
+                macro.input_setup * macro_delay_scale,
+            )
+    for net in netlist.outputs:
+        endpoint(net, f"out:{net}", 0.0)
+
+    if not endpoint_arrivals:
+        raise ValueError("design has no timing endpoints")
+
+    critical_endpoint = max(endpoint_arrivals, key=endpoint_arrivals.get)
+    critical = endpoint_arrivals[critical_endpoint]
+
+    # Path recovery ----------------------------------------------------------
+    path: list[PathPoint] = []
+    # The endpoint label maps back to a net; find its worst transition.
+    end_net = (
+        critical_endpoint.split("/")[0]
+        if critical_endpoint.startswith("out:")
+        else None
+    )
+    if critical_endpoint.startswith("out:"):
+        end_net = critical_endpoint[4:]
+    else:
+        inst, pin = critical_endpoint.rsplit("/", 1)
+        if inst in netlist.gates:
+            end_net = netlist.gates[inst].pins.get(pin)
+        else:
+            end_net = pin
+    if end_net is not None:
+        best_key = None
+        for tr in ("rise", "fall"):
+            key = (end_net, tr)
+            if key in state and (
+                best_key is None or state[key][0] > state[best_key][0]
+            ):
+                best_key = key
+        key = best_key
+        while key is not None:
+            arrival, _, pred, gate_name = state[key]
+            cell_name = (
+                netlist.gates[gate_name].cell
+                if gate_name in netlist.gates
+                else gate_name
+            )
+            path.append(
+                PathPoint(
+                    net=key[0],
+                    transition=key[1],
+                    arrival=arrival,
+                    gate=gate_name,
+                    cell=cell_name,
+                )
+            )
+            key = pred
+        path.reverse()
+
+    return TimingReport(
+        netlist_name=netlist.name,
+        temperature_k=library.temperature_k,
+        critical_path_delay=critical,
+        critical_endpoint=critical_endpoint,
+        path=path,
+        endpoint_arrivals=endpoint_arrivals,
+    )

@@ -1,0 +1,130 @@
+"""Min-delay (hold) analysis.
+
+Table 1's discussion: "the switching delay of the transistors is similar,
+thus the propagation delay of the cells and, thus, the hold times of the
+circuit are not impacted" at 10 K.  This module checks that claim the way
+a signoff tool would: propagate *earliest* arrivals through the netlist
+and verify every capture flop sees its data later than its hold window.
+
+Same-edge check: hold slack = min data arrival - hold time (ideal clock,
+zero skew, like the max analysis in :mod:`repro.sta.analysis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sta.analysis import CLOCK_SLEW, INPUT_SLEW, _net_load
+from repro.synth.netlist import GateNetlist
+from repro.synth.placement import Placement
+
+__all__ = ["HoldReport", "analyze_hold"]
+
+
+@dataclass
+class HoldReport:
+    """Min-path results for one corner."""
+
+    netlist_name: str
+    temperature_k: float
+    worst_hold_slack: float
+    worst_endpoint: str
+    endpoint_slacks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no endpoint violates its hold window."""
+        return self.worst_hold_slack >= 0.0
+
+
+def analyze_hold(
+    netlist: GateNetlist,
+    library,
+    placement: Placement | None = None,
+    input_slew: float = INPUT_SLEW,
+    input_delay: float = 25e-12,
+) -> HoldReport:
+    """Propagate earliest arrivals; report the worst hold slack.
+
+    ``input_delay`` models the clock-to-Q of whatever external register
+    launches the primary inputs (signoff flows constrain inputs the same
+    way); set it to 0 to treat inputs as arriving exactly on the edge.
+    """
+    # (net, transition) -> earliest arrival, with its slew.
+    state: dict[tuple[str, str], tuple[float, float]] = {}
+
+    def relax(key, arrival, slew) -> None:
+        if key not in state or arrival < state[key][0]:
+            state[key] = (arrival, slew)
+
+    for net in netlist.inputs:
+        for tr in ("rise", "fall"):
+            relax((net, tr), input_delay, input_slew)
+
+    seq = netlist.sequential_gates(library)
+    for gate in seq:
+        cell = library[gate.cell]
+        load = _net_load(netlist, gate.output, library, placement)
+        arc = cell.arc_from(cell.clock_pin)
+        for tr in ("rise", "fall"):
+            relax(
+                (gate.output, tr),
+                arc.delay(tr, CLOCK_SLEW, load),
+                arc.output_slew(tr, CLOCK_SLEW, load),
+            )
+    for macro in netlist.macros.values():
+        for net in macro.outputs:
+            for tr in ("rise", "fall"):
+                relax((net, tr), macro.clk_to_out, input_slew)
+
+    for gate in netlist.topological_gates(library):
+        cell = library[gate.cell]
+        load = _net_load(netlist, gate.output, library, placement)
+        for pin, net in gate.pins.items():
+            try:
+                arc = cell.arc_from(pin)
+            except KeyError:
+                continue
+            for in_tr in ("rise", "fall"):
+                key = (net, in_tr)
+                if key not in state:
+                    continue
+                arrival, slew = state[key]
+                if arc.sense == "positive_unate":
+                    out_trs = [in_tr]
+                elif arc.sense == "negative_unate":
+                    out_trs = ["fall" if in_tr == "rise" else "rise"]
+                else:
+                    out_trs = ["rise", "fall"]
+                for out_tr in out_trs:
+                    relax(
+                        (gate.output, out_tr),
+                        arrival + arc.delay(out_tr, slew, load),
+                        arc.output_slew(out_tr, slew, load),
+                    )
+
+    slacks: dict[str, float] = {}
+    for gate in seq:
+        cell = library[gate.cell]
+        d_net = gate.pins.get(cell.data_pin)
+        if not d_net:
+            continue
+        arrivals = [
+            state[(d_net, tr)][0]
+            for tr in ("rise", "fall")
+            if (d_net, tr) in state
+        ]
+        if not arrivals:
+            continue
+        slacks[f"{gate.name}/{cell.data_pin}"] = min(arrivals) - cell.hold_time
+
+    if not slacks:
+        raise ValueError("design has no hold endpoints")
+    worst = min(slacks, key=slacks.get)
+    return HoldReport(
+        netlist_name=netlist.name,
+        temperature_k=library.temperature_k,
+        worst_hold_slack=slacks[worst],
+        worst_endpoint=worst,
+        endpoint_slacks=slacks,
+    )

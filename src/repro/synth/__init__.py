@@ -1,0 +1,30 @@
+"""Synthesis layer: netlist IR, structural RTL, optimization, placement.
+
+Plays the role of the commercial synthesis + place-and-route step in the
+paper's flow (Section V-A): elaborated datapaths are emitted as mapped
+gate netlists, sized for load, and placed on a levelized grid for wire
+loads.  Random control logic can additionally go through the AIG-based
+technology mapper in :mod:`repro.synth.techmap`.
+"""
+
+from repro.synth.netlist import CONST0, CONST1, Gate, GateNetlist, Macro
+from repro.synth.opt import net_load, sweep_dangling, upsize_for_load
+from repro.synth.placement import Placement, place
+from repro.synth.rtl import RTLBuilder
+from repro.synth.verilog import to_verilog, write_verilog
+
+__all__ = [
+    "CONST0",
+    "CONST1",
+    "Gate",
+    "GateNetlist",
+    "Macro",
+    "Placement",
+    "RTLBuilder",
+    "net_load",
+    "place",
+    "sweep_dangling",
+    "to_verilog",
+    "upsize_for_load",
+    "write_verilog",
+]

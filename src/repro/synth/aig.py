@@ -1,0 +1,217 @@
+"""And-Inverter Graph with structural hashing.
+
+The generic-logic front end of the synthesis flow: boolean expressions are
+compiled into two-input AND nodes with complemented edges, structurally
+hashed (identical subgraphs share one node) and constant-folded.  The
+technology mapper (:mod:`repro.synth.techmap`) covers the AIG with
+library cells.
+
+Literal encoding: literal = 2*node + phase; node 0 is constant FALSE, so
+literal 0 = const0 and literal 1 = const1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic import Expr
+
+__all__ = ["AIG"]
+
+
+@dataclass(frozen=True)
+class _Node:
+    fanin0: int  # literal
+    fanin1: int  # literal
+
+
+class AIG:
+    """A structurally-hashed and-inverter graph."""
+
+    def __init__(self) -> None:
+        self._nodes: list[_Node | None] = [None]  # node 0 = const FALSE
+        self._strash: dict[tuple[int, int], int] = {}
+        self._pis: dict[str, int] = {}  # name -> node id
+        self._pos: dict[str, int] = {}  # name -> literal
+
+    # ------------------------------------------------------------------ #
+    @property
+    def const0(self) -> int:
+        return 0
+
+    @property
+    def const1(self) -> int:
+        return 1
+
+    @staticmethod
+    def negate(lit: int) -> int:
+        return lit ^ 1
+
+    @staticmethod
+    def node_of(lit: int) -> int:
+        return lit >> 1
+
+    @staticmethod
+    def phase_of(lit: int) -> int:
+        return lit & 1
+
+    def is_pi(self, node: int) -> bool:
+        return node in self._pi_nodes()
+
+    def _pi_nodes(self) -> set[int]:
+        return set(self._pis.values())
+
+    # ------------------------------------------------------------------ #
+    def pi(self, name: str) -> int:
+        """Add (or fetch) a primary input; returns its positive literal."""
+        if name in self._pis:
+            return 2 * self._pis[name]
+        self._nodes.append(None)
+        node = len(self._nodes) - 1
+        self._pis[name] = node
+        return 2 * node
+
+    def po(self, name: str, lit: int) -> None:
+        """Mark a literal as a named primary output."""
+        self._pos[name] = lit
+
+    @property
+    def inputs(self) -> dict[str, int]:
+        return dict(self._pis)
+
+    @property
+    def outputs(self) -> dict[str, int]:
+        return dict(self._pos)
+
+    @property
+    def n_nodes(self) -> int:
+        """AND-node count (excludes constants and PIs)."""
+        return sum(
+            1
+            for i, n in enumerate(self._nodes)
+            if n is not None
+        )
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        n = self._nodes[node]
+        if n is None:
+            raise ValueError(f"node {node} is a PI or constant")
+        return n.fanin0, n.fanin1
+
+    def is_and(self, node: int) -> bool:
+        return 0 <= node < len(self._nodes) and self._nodes[node] is not None
+
+    # ------------------------------------------------------------------ #
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals with folding and structural hashing."""
+        if a > b:
+            a, b = b, a
+        # Constant folding and trivial cases.
+        if a == self.const0:
+            return self.const0
+        if a == self.const1:
+            return b
+        if a == b:
+            return a
+        if a == self.negate(b):
+            return self.const0
+        key = (a, b)
+        if key in self._strash:
+            return 2 * self._strash[key]
+        self._nodes.append(_Node(a, b))
+        node = len(self._nodes) - 1
+        self._strash[key] = node
+        return 2 * node
+
+    def or_(self, a: int, b: int) -> int:
+        return self.negate(self.and_(self.negate(a), self.negate(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(
+            self.and_(a, self.negate(b)), self.and_(self.negate(a), b)
+        )
+
+    def mux_(self, sel: int, a: int, b: int) -> int:
+        """sel ? b : a."""
+        return self.or_(
+            self.and_(self.negate(sel), a), self.and_(sel, b)
+        )
+
+    # ------------------------------------------------------------------ #
+    def add_expr(self, expr: Expr) -> int:
+        """Compile a boolean expression; returns its literal."""
+        if expr.op == "var":
+            return self.pi(str(expr.name))
+        if expr.op == "const":
+            return self.const1 if expr.name else self.const0
+        lits = [self.add_expr(a) for a in expr.args]
+        if expr.op == "not":
+            return self.negate(lits[0])
+        acc = lits[0]
+        for nxt in lits[1:]:
+            if expr.op == "and":
+                acc = self.and_(acc, nxt)
+            elif expr.op == "or":
+                acc = self.or_(acc, nxt)
+            elif expr.op == "xor":
+                acc = self.xor_(acc, nxt)
+            else:
+                raise ValueError(f"unknown op {expr.op!r}")
+        return acc
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate all outputs under a PI assignment."""
+        values: dict[int, bool] = {0: False}
+        for name, node in self._pis.items():
+            values[node] = bool(assignment[name])
+
+        def node_value(node: int) -> bool:
+            if node in values:
+                return values[node]
+            f0, f1 = self.fanins(node)
+            v = self.lit_value_cached(f0, values, node_value) and \
+                self.lit_value_cached(f1, values, node_value)
+            values[node] = v
+            return v
+
+        out = {}
+        for name, lit in self._pos.items():
+            v = node_value(self.node_of(lit))
+            out[name] = (not v) if self.phase_of(lit) else v
+        return out
+
+    def lit_value_cached(self, lit, values, node_value) -> bool:
+        v = node_value(self.node_of(lit))
+        return (not v) if self.phase_of(lit) else v
+
+    def topological_nodes(self) -> list[int]:
+        """All AND nodes in dependency order (fanins first)."""
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def visit(node: int) -> None:
+            if node in seen or not self.is_and(node):
+                return
+            seen.add(node)
+            f0, f1 = self.fanins(node)
+            visit(self.node_of(f0))
+            visit(self.node_of(f1))
+            order.append(node)
+
+        for lit in self._pos.values():
+            visit(self.node_of(lit))
+        return order
+
+    def levels(self) -> dict[int, int]:
+        """Logic depth per node (PIs/constants at level 0)."""
+        level: dict[int, int] = {0: 0}
+        for node in self._pi_nodes():
+            level[node] = 0
+        for node in self.topological_nodes():
+            f0, f1 = self.fanins(node)
+            level[node] = 1 + max(
+                level.get(self.node_of(f0), 0),
+                level.get(self.node_of(f1), 0),
+            )
+        return level

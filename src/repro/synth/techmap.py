@@ -1,0 +1,265 @@
+"""Cut-based technology mapping: AIG -> library cells.
+
+The classic FPGA/ASIC mapping recipe at small scale:
+
+1. enumerate k-feasible cuts (k = 4) per AND node, keeping the best few;
+2. compute each cut's local truth table by simulating the cone;
+3. match against a pattern index built from the library (every cell with
+   <= 4 inputs, under all input permutations);
+4. choose covers by dynamic programming on area, falling back to
+   NAND2 + INV decomposition when no pattern matches;
+5. realize the chosen cover as a :class:`~repro.synth.netlist.GateNetlist`.
+
+This is the path "random" logic (instruction decoders, control FSMs)
+takes through our flow; regular datapaths come from
+:mod:`repro.synth.rtl` directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.synth.aig import AIG
+from repro.synth.netlist import CONST0, CONST1, GateNetlist
+
+__all__ = ["PatternLibrary", "technology_map"]
+
+_MAX_CUT_INPUTS = 4
+_CUTS_PER_NODE = 8
+
+
+@dataclass(frozen=True)
+class _Pattern:
+    cell: str
+    pin_order: tuple[str, ...]  # library pin for each cut leaf position
+    area: float
+
+
+class PatternLibrary:
+    """Truth-table -> cheapest cell index for the mapper."""
+
+    def __init__(self, library):
+        self.library = library
+        self.patterns: dict[tuple[int, int], _Pattern] = {}
+        for cell in library.combinational():
+            if cell.truth is None or not (1 <= len(cell.input_order) <= _MAX_CUT_INPUTS):
+                continue
+            n = len(cell.input_order)
+            for perm in itertools.permutations(range(n)):
+                truth = _permute_truth(cell.truth, perm, n)
+                key = (n, truth)
+                pins = tuple(cell.input_order[perm[i]] for i in range(n))
+                old = self.patterns.get(key)
+                if old is None or cell.area_um2 < old.area:
+                    self.patterns[key] = _Pattern(
+                        cell=cell.name, pin_order=pins, area=cell.area_um2
+                    )
+
+    def match(self, n_inputs: int, truth: int) -> _Pattern | None:
+        return self.patterns.get((n_inputs, truth))
+
+
+def _permute_truth(truth: int, perm: tuple[int, ...], n: int) -> int:
+    """Truth table after permuting input variables.
+
+    ``perm[i]`` = which original variable sits at position i after the
+    permutation; bit k of a minterm index addresses position k.
+    """
+    out = 0
+    for minterm in range(1 << n):
+        orig = 0
+        for pos in range(n):
+            if (minterm >> pos) & 1:
+                orig |= 1 << perm[pos]
+        if (truth >> orig) & 1:
+            out |= 1 << minterm
+    return out
+
+
+def _cut_truth(aig: AIG, root: int, leaves: tuple[int, ...]) -> int:
+    """Local truth table of ``root`` over its cut ``leaves`` (node ids)."""
+    n = len(leaves)
+    truth = 0
+    for pattern in range(1 << n):
+        values = {leaf: bool((pattern >> i) & 1) for i, leaf in enumerate(leaves)}
+        if _eval_cone(aig, root, values):
+            truth |= 1 << pattern
+    return truth
+
+
+def _eval_cone(aig: AIG, node: int, leaf_values: dict[int, bool]) -> bool:
+    memo = dict(leaf_values)
+    memo[0] = False
+
+    def value(nd: int) -> bool:
+        if nd in memo:
+            return memo[nd]
+        f0, f1 = aig.fanins(nd)
+        v0 = value(aig.node_of(f0)) ^ bool(aig.phase_of(f0))
+        v1 = value(aig.node_of(f1)) ^ bool(aig.phase_of(f1))
+        memo[nd] = v0 and v1
+        return memo[nd]
+
+    return value(node)
+
+
+def _enumerate_cuts(aig: AIG) -> dict[int, list[tuple[int, ...]]]:
+    """k-feasible cuts per AND node (always includes the trivial cut)."""
+    cuts: dict[int, list[tuple[int, ...]]] = {}
+
+    def node_cuts(node: int) -> list[tuple[int, ...]]:
+        if not aig.is_and(node):
+            return [(node,)]
+        return cuts.get(node, [(node,)])
+
+    for node in aig.topological_nodes():
+        f0, f1 = aig.fanins(node)
+        n0, n1 = aig.node_of(f0), aig.node_of(f1)
+        merged: set[tuple[int, ...]] = {(node,)}
+        for c0 in node_cuts(n0):
+            for c1 in node_cuts(n1):
+                union = tuple(sorted(set(c0) | set(c1)))
+                if len(union) <= _MAX_CUT_INPUTS:
+                    merged.add(union)
+        ranked = sorted(merged, key=lambda c: (len(c), c))
+        cuts[node] = ranked[:_CUTS_PER_NODE]
+    return cuts
+
+
+def technology_map(
+    aig: AIG,
+    library,
+    netlist: GateNetlist | None = None,
+    input_nets: dict[str, str] | None = None,
+    module: str = "ctrl",
+    prefix: str = "tm",
+) -> tuple[GateNetlist, dict[str, str]]:
+    """Map an AIG onto library cells.
+
+    Parameters
+    ----------
+    aig:
+        The subject graph with named PIs/POs.
+    library:
+        A characterized :class:`~repro.cells.library.CellLibrary`.
+    netlist:
+        Target netlist; a fresh one is created when omitted.  PIs are
+        connected through ``input_nets`` (PI name -> existing net) or
+        created as primary inputs.
+    Returns
+    -------
+    (netlist, output_nets):
+        The netlist plus a map from PO name to its net.
+    """
+    patterns = PatternLibrary(library)
+    if netlist is None:
+        netlist = GateNetlist("mapped")
+    netlist.ensure_constants()
+    input_nets = dict(input_nets or {})
+    for name in aig.inputs:
+        if name not in input_nets:
+            input_nets[name] = netlist.add_input(name)
+
+    cuts = _enumerate_cuts(aig)
+
+    # DP over area: cost of realizing each node (positive phase).
+    cost: dict[int, float] = {}
+    choice: dict[int, tuple[tuple[int, ...], _Pattern | None]] = {}
+    inv_area = library.by_footprint("INV")[0].area_um2
+    nand_area = library.by_footprint("NAND2")[0].area_um2
+
+    def leaf_cost(node: int) -> float:
+        if not aig.is_and(node):
+            return 0.0
+        return cost[node]
+
+    for node in aig.topological_nodes():
+        best_cost = None
+        best = None
+        for cut in cuts[node]:
+            if cut == (node,):
+                continue
+            truth = _cut_truth(aig, node, cut)
+            pat = patterns.match(len(cut), truth)
+            if pat is None:
+                continue
+            c = pat.area + sum(leaf_cost(leaf) for leaf in cut)
+            if best_cost is None or c < best_cost:
+                best_cost = c
+                best = (cut, pat)
+        if best is None:
+            # Fallback: NAND2 + INV on the node's own fanins.
+            f0, f1 = aig.fanins(node)
+            c = (
+                nand_area
+                + inv_area
+                + leaf_cost(aig.node_of(f0))
+                + leaf_cost(aig.node_of(f1))
+            )
+            best_cost = c
+            best = ((), None)
+        cost[node] = best_cost
+        choice[node] = best
+
+    # Realization ----------------------------------------------------------
+    net_of_node: dict[int, str] = {}
+    inv_cache: dict[str, str] = {}
+    counter = itertools.count()
+
+    def inverter(net: str) -> str:
+        if net == CONST0:
+            return CONST1
+        if net == CONST1:
+            return CONST0
+        if net not in inv_cache:
+            inv_cache[net] = netlist.add_gate(
+                "INV_X1",
+                {"A": net},
+                name=f"{prefix}_inv{next(counter)}",
+                module=module,
+            )
+        return inv_cache[net]
+
+    def node_net(node: int) -> str:
+        if node == 0:
+            return CONST0
+        if not aig.is_and(node):
+            name = next(k for k, v in aig.inputs.items() if v == node)
+            return input_nets[name]
+        if node in net_of_node:
+            return net_of_node[node]
+        cut, pat = choice[node]
+        if pat is None:
+            f0, f1 = aig.fanins(node)
+            a = lit_net(f0)
+            b = lit_net(f1)
+            nand = netlist.add_gate(
+                "NAND2_X1",
+                {"A": a, "B": b},
+                name=f"{prefix}_nd{next(counter)}",
+                module=module,
+            )
+            out = inverter(nand)
+        else:
+            pins = {
+                pin: node_net(leaf)
+                for pin, leaf in zip(pat.pin_order, cut)
+            }
+            out = netlist.add_gate(
+                pat.cell,
+                pins,
+                name=f"{prefix}_g{next(counter)}",
+                module=module,
+            )
+        net_of_node[node] = out
+        return out
+
+    def lit_net(lit: int) -> str:
+        net = node_net(aig.node_of(lit))
+        return inverter(net) if aig.phase_of(lit) else net
+
+    output_nets: dict[str, str] = {}
+    for name, lit in aig.outputs.items():
+        output_nets[name] = lit_net(lit)
+    return netlist, output_nets

@@ -1,0 +1,115 @@
+"""Cross-validation: the analytic engine tracks the SPICE engine.
+
+The full-library builds use the analytic engine; this test pins its
+absolute accuracy (within a factor band) and -- more importantly for the
+paper's conclusions -- its *temperature ratio* accuracy against full
+transient simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    CellCharacterizer,
+    CharacterizationConfig,
+    TechModels,
+    cell_by_name,
+)
+from repro.device import golden_nfet, golden_pfet
+
+# Small grid keeps the SPICE side affordable (~8 transients per corner).
+SLEWS = (8e-12, 32e-12)
+LOADS = (1e-15, 4e-15)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return TechModels(golden_nfet(), golden_pfet())
+
+
+def _arcs(models, temperature):
+    cfg_a = CharacterizationConfig(
+        temperature_k=temperature, slew_index=SLEWS, load_index=LOADS
+    )
+    cfg_s = CharacterizationConfig(
+        temperature_k=temperature, slew_index=SLEWS, load_index=LOADS,
+        engine="spice",
+    )
+    cell = cell_by_name("INV_X1")
+    analytic = CellCharacterizer(models, cfg_a)._characterize_arc_analytic(
+        cell, "A"
+    )
+    spice = CellCharacterizer(models, cfg_s)._characterize_arc_spice(cell, "A")
+    return analytic, spice
+
+
+@pytest.fixture(scope="module")
+def arcs_300(models):
+    return _arcs(models, 300.0)
+
+
+@pytest.fixture(scope="module")
+def arcs_10(models):
+    return _arcs(models, 10.0)
+
+
+class TestAbsoluteAgreement:
+    @pytest.mark.parametrize("table", ["cell_rise", "cell_fall"])
+    def test_delay_within_band(self, arcs_300, table):
+        analytic, spice = arcs_300
+        ratio = getattr(analytic, table).values / getattr(spice, table).values
+        assert np.all(ratio > 0.5), ratio
+        assert np.all(ratio < 2.0), ratio
+
+    @pytest.mark.parametrize("table", ["rise_transition", "fall_transition"])
+    def test_slew_within_band(self, arcs_300, table):
+        analytic, spice = arcs_300
+        ratio = getattr(analytic, table).values / getattr(spice, table).values
+        assert np.all(ratio > 0.4), ratio
+        assert np.all(ratio < 2.5), ratio
+
+    def test_same_unateness(self, arcs_300):
+        analytic, spice = arcs_300
+        assert analytic.sense == spice.sense == "negative_unate"
+
+
+class TestTemperatureRatioAgreement:
+    """What the paper measures is the 300 K -> 10 K delta; both engines
+    must agree on its sign and rough magnitude."""
+
+    def test_cryo_delay_ratio_tracks_spice(self, arcs_300, arcs_10):
+        a300, s300 = arcs_300
+        a10, s10 = arcs_10
+        ratio_analytic = np.mean(a10.cell_fall.values / a300.cell_fall.values)
+        ratio_spice = np.mean(s10.cell_fall.values / s300.cell_fall.values)
+        # Both see the slight cryogenic slowdown...
+        assert ratio_analytic > 0.97
+        assert ratio_spice > 0.97
+        # ...and agree within a few percent on its size.
+        assert abs(ratio_analytic - ratio_spice) < 0.06
+
+
+class TestComplexCellAgreement:
+    """A multi-input complex gate (AOI21) also tracks SPICE."""
+
+    def test_aoi21_delay_band(self, models):
+        cfg_kwargs = dict(
+            temperature_k=300.0, slew_index=(16e-12,), load_index=(2e-15,)
+        )
+        cell = cell_by_name("AOI21_X1")
+        analytic = CellCharacterizer(
+            models, CharacterizationConfig(**cfg_kwargs)
+        )._characterize_arc_analytic(cell, "B")
+        spice = CellCharacterizer(
+            models, CharacterizationConfig(engine="spice", **cfg_kwargs)
+        )._characterize_arc_spice(cell, "B")
+        for table in ("cell_rise", "cell_fall"):
+            ratio = (
+                getattr(analytic, table).values
+                / getattr(spice, table).values
+            )
+            assert np.all(ratio > 0.4), (table, ratio)
+            assert np.all(ratio < 2.5), (table, ratio)
+        assert analytic.sense == spice.sense == "negative_unate"

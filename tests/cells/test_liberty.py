@@ -1,0 +1,135 @@
+"""Liberty writer/parser round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    CharacterizationConfig,
+    TechModels,
+    build_library,
+    core_catalog,
+    read_liberty,
+    write_liberty,
+)
+from repro.cells.liberty import dumps, loads
+from repro.device import golden_nfet, golden_pfet
+
+
+@pytest.fixture(scope="module")
+def library():
+    models = TechModels(golden_nfet(), golden_pfet())
+    return build_library(
+        models, CharacterizationConfig(temperature_k=300.0),
+        catalog=core_catalog(), name="libtest300",
+    )
+
+
+@pytest.fixture(scope="module")
+def roundtripped(library):
+    return loads(dumps(library))
+
+
+class TestRoundTrip:
+    def test_header_preserved(self, library, roundtripped):
+        assert roundtripped.name == library.name
+        assert roundtripped.temperature_k == library.temperature_k
+        assert roundtripped.vdd == library.vdd
+
+    def test_all_cells_present(self, library, roundtripped):
+        assert set(roundtripped.cells) == set(library.cells)
+
+    def test_area_and_leakage_preserved(self, library, roundtripped):
+        for name, orig in library.cells.items():
+            back = roundtripped[name]
+            assert back.area_um2 == pytest.approx(orig.area_um2, rel=1e-4)
+            assert back.leakage_avg == pytest.approx(orig.leakage_avg, rel=1e-4)
+
+    def test_pin_caps_preserved(self, library, roundtripped):
+        orig = library["NAND2_X1"]
+        back = roundtripped["NAND2_X1"]
+        for pin in ("A", "B"):
+            assert back.pin_capacitance(pin) == pytest.approx(
+                orig.pin_capacitance(pin), rel=1e-4
+            )
+
+    def test_tables_preserved(self, library, roundtripped):
+        orig = library["INV_X1"].arc_from("A")
+        back = roundtripped["INV_X1"].arc_from("A")
+        np.testing.assert_allclose(
+            back.cell_fall.values, orig.cell_fall.values, rtol=1e-4
+        )
+        np.testing.assert_allclose(
+            back.cell_fall.slews, orig.cell_fall.slews, rtol=1e-6
+        )
+
+    def test_sense_and_type_preserved(self, library, roundtripped):
+        assert (
+            roundtripped["XOR2_X1"].arc_from("A").sense
+            == library["XOR2_X1"].arc_from("A").sense
+        )
+        assert roundtripped["DFF_X1"].arc_from("CK").timing_type == "rising_edge"
+
+    def test_leakage_states_preserved(self, library, roundtripped):
+        orig = library["NAND2_X1"].leakage_by_state
+        back = roundtripped["NAND2_X1"].leakage_by_state
+        assert set(back) == set(orig)
+        for k in orig:
+            assert back[k] == pytest.approx(orig[k], rel=1e-3)
+
+    def test_sequential_attributes_preserved(self, library, roundtripped):
+        orig = library["DFF_X1"]
+        back = roundtripped["DFF_X1"]
+        assert back.is_sequential
+        assert back.clock_pin == orig.clock_pin
+        assert back.data_pin == orig.data_pin
+        assert back.setup_time == pytest.approx(orig.setup_time, rel=1e-4)
+        assert back.hold_time == pytest.approx(orig.hold_time, rel=1e-4)
+
+    def test_truth_tables_preserved(self, library, roundtripped):
+        assert roundtripped["MUX2_X1"].truth == library["MUX2_X1"].truth
+        assert (
+            roundtripped["MUX2_X1"].input_order
+            == library["MUX2_X1"].input_order
+        )
+
+
+class TestFileIO:
+    def test_file_roundtrip(self, library, tmp_path):
+        path = tmp_path / "lib300.lib"
+        write_liberty(library, path)
+        back = read_liberty(path)
+        assert set(back.cells) == set(library.cells)
+
+    def test_not_liberty_rejected(self):
+        with pytest.raises(ValueError, match="not a liberty"):
+            loads("hello world")
+
+    def test_output_is_text_with_expected_units(self, library):
+        text = dumps(library)
+        assert 'time_unit : "1ns";' in text
+        assert "capacitive_load_unit (1, ff);" in text
+        assert f"nom_temperature : {library.temperature_k:g};" in text
+
+
+class TestFullCatalogRoundTrip:
+    """The complete ~200-cell library survives Liberty serialization."""
+
+    def test_every_cell_and_arc_roundtrips(self, lib300):
+        back = loads(dumps(lib300))
+        assert set(back.cells) == set(lib300.cells)
+        for name, orig in lib300.cells.items():
+            cell = back[name]
+            assert len(cell.arcs) == len(orig.arcs)
+            assert cell.is_sequential == orig.is_sequential
+            assert cell.truth == orig.truth
+
+    def test_delay_population_preserved(self, lib300):
+        import numpy as np
+
+        back = loads(dumps(lib300))
+        np.testing.assert_allclose(
+            np.sort(back.all_delays()), np.sort(lib300.all_delays()),
+            rtol=1e-4,
+        )

@@ -1,0 +1,157 @@
+"""Tests for the series/parallel stack algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.stacks import Stack, device, parallel, series
+
+
+def random_stacks(max_depth: int = 3):
+    """Hypothesis strategy producing random stack trees."""
+    leaves = st.sampled_from(["A", "B", "C", "D"]).map(device)
+
+    def extend(children):
+        return st.tuples(
+            st.sampled_from([series, parallel]),
+            st.lists(children, min_size=2, max_size=3),
+        ).map(lambda t: t[0](*t[1]))
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+class TestConstruction:
+    def test_device_needs_name(self):
+        with pytest.raises(ValueError, match="input name"):
+            Stack("device")
+
+    def test_composite_needs_two_children(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Stack("series", children=(device("A"),))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Stack("diagonal", children=(device("A"), device("B")))
+
+
+class TestDuality:
+    def test_dual_swaps_series_parallel(self):
+        s = series(device("A"), device("B"))
+        assert s.dual().kind == "parallel"
+
+    @given(random_stacks())
+    @settings(max_examples=100, deadline=None)
+    def test_dual_is_involution(self, stack):
+        assert stack.dual().dual() == stack
+
+    @given(random_stacks())
+    @settings(max_examples=100, deadline=None)
+    def test_dual_preserves_devices(self, stack):
+        assert stack.dual().device_count() == stack.device_count()
+        assert stack.dual().inputs() == stack.inputs()
+
+    @given(random_stacks())
+    @settings(max_examples=150, deadline=None)
+    def test_dual_complements_conduction(self, stack):
+        """De Morgan: the dual network with complemented device states
+        conducts exactly when the original does not."""
+        for bits in itertools.product([False, True], repeat=len(stack.inputs())):
+            state = dict(zip(stack.inputs(), bits))
+            comp = {k: not v for k, v in state.items()}
+            assert stack.dual().conduction(comp) == (not stack.conduction(state))
+
+
+class TestMetrics:
+    def test_height_of_series(self):
+        s = series(device("A"), device("B"), device("C"))
+        assert s.height() == 3
+
+    def test_height_of_parallel(self):
+        p = parallel(device("A"), series(device("B"), device("C")))
+        assert p.height() == 2
+
+    def test_input_fanin_counts_duplicates(self):
+        s = parallel(series(device("A"), device("B")),
+                     series(device("A"), device("C")))
+        assert s.input_fanin("A") == 2
+        assert s.input_fanin("B") == 1
+        assert s.input_fanin("D") == 0
+
+
+class TestLeakage:
+    IOFF = 1e-9
+
+    def test_single_off_device(self):
+        leak = device("A").leakage_current({"A": False}, self.IOFF)
+        assert leak == pytest.approx(self.IOFF)
+
+    def test_stack_effect_reduces_series_leakage(self):
+        two_off = series(device("A"), device("B")).leakage_current(
+            {"A": False, "B": False}, self.IOFF
+        )
+        assert two_off < 0.5 * self.IOFF
+
+    def test_parallel_off_devices_add(self):
+        leak = parallel(device("A"), device("B")).leakage_current(
+            {"A": False, "B": False}, self.IOFF
+        )
+        assert leak == pytest.approx(2 * self.IOFF)
+
+    def test_on_device_in_series_does_not_attenuate(self):
+        one_on = series(device("A"), device("B")).leakage_current(
+            {"A": True, "B": False}, self.IOFF
+        )
+        assert one_on == pytest.approx(self.IOFF, rel=0.01)
+
+    @given(random_stacks())
+    @settings(max_examples=100, deadline=None)
+    def test_leakage_bounded(self, stack):
+        state = {name: False for name in stack.inputs()}
+        leak = stack.leakage_current(state, self.IOFF)
+        assert 0 < leak <= stack.device_count() * self.IOFF * 10
+
+
+class TestEmit:
+    def test_emit_builds_expected_transistor_count(self):
+        from repro.device import FinFET, golden_nfet
+        from repro.spice import Circuit
+
+        stack = parallel(series(device("A"), device("B")), device("C"))
+        circuit = Circuit()
+        n = stack.emit(circuit, FinFET(golden_nfet()), "0", "out", "t")
+        assert n == 3
+        assert len(circuit.finfets) == 3
+
+    def test_emit_series_creates_internal_nodes(self):
+        from repro.device import FinFET, golden_nfet
+        from repro.spice import Circuit
+
+        stack = series(device("A"), device("B"), device("C"))
+        circuit = Circuit()
+        stack.emit(circuit, FinFET(golden_nfet()), "0", "out", "t")
+        internal = [n for n in circuit.node_names() if n.startswith("t_x")]
+        assert len(internal) == 2
+
+    def test_emitted_network_conducts_correctly(self):
+        """DC-solve the emitted network against conduction()."""
+        from repro.device import FinFET, golden_nfet
+        from repro.spice import Circuit, DC, dc_operating_point
+
+        stack = parallel(series(device("A"), device("B")), device("C"))
+        for bits in itertools.product([False, True], repeat=3):
+            state = dict(zip(("A", "B", "C"), bits))
+            circuit = Circuit()
+            circuit.add_vsource("vdd", "vdd", "0", DC(0.7))
+            circuit.add_resistor("rpull", "vdd", "out", 1e6)
+            for pin, val in state.items():
+                circuit.add_vsource(f"v{pin}", pin, "0", DC(0.7 if val else 0.0))
+            stack.emit(circuit, FinFET(golden_nfet(nfin=2)), "0", "out", "t")
+            out = dc_operating_point(circuit)["out"]
+            if stack.conduction(state):
+                assert out < 0.1, state
+            else:
+                assert out > 0.6, state

@@ -1,0 +1,177 @@
+"""Tests for the HDC reference classifier (Eqs. 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify import (
+    DIMENSION,
+    HDCClassifier,
+    HDCEncoder,
+    LEVELS,
+    popcount64,
+)
+from repro.classify.accuracy import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def encoder() -> HDCEncoder:
+    return HDCEncoder.random(seed=11)
+
+
+class TestPopcount:
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bin_count(self, v):
+        assert popcount64(np.array([v], dtype=np.uint64))[0] == bin(v).count("1")
+
+    def test_vectorized_shape(self):
+        w = np.arange(16, dtype=np.uint64).reshape(4, 4)
+        assert popcount64(w).shape == (4, 4)
+
+
+class TestEncoder:
+    def test_quantize_covers_range(self, encoder):
+        vals = np.array([-10.0, -2.0, 0.0, 1.999, 10.0])
+        q = encoder.quantize(vals)
+        assert q.tolist() == [0, 0, 8, 15, 15]
+
+    def test_quantize_monotone(self, encoder):
+        xs = np.linspace(-2, 2, 100)
+        q = encoder.quantize(xs)
+        assert np.all(np.diff(q) >= 0)
+
+    def test_encode_is_bind_of_items(self, encoder):
+        p = np.array([[0.3, -0.7]])
+        xq = encoder.quantize(p[:, 0])[0]
+        yq = encoder.quantize(p[:, 1])[0]
+        expected = encoder.x_items[xq] ^ encoder.y_items[yq]
+        np.testing.assert_array_equal(encoder.encode(p)[0], expected)
+
+    def test_bind_is_involutive(self, encoder):
+        """XOR binding releases: (P xor y-hat) == x-hat."""
+        p = np.array([[0.3, -0.7]])
+        hv = encoder.encode(p)[0]
+        yq = encoder.quantize(p[:, 1])[0]
+        xq = encoder.quantize(p[:, 0])[0]
+        np.testing.assert_array_equal(
+            hv ^ encoder.y_items[yq], encoder.x_items[xq]
+        )
+
+    def test_deterministic_item_memory(self):
+        a = HDCEncoder.random(seed=3)
+        b = HDCEncoder.random(seed=3)
+        np.testing.assert_array_equal(a.x_items, b.x_items)
+
+    def test_dimension_is_128(self, encoder):
+        assert encoder.x_items.shape == (LEVELS, DIMENSION // 64)
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def clf(self, encoder):
+        centers = np.array(
+            [[[-1.0, 0.0], [1.0, 0.0]], [[0.0, -1.0], [0.0, 1.0]]]
+        )
+        return HDCClassifier.calibrate(encoder, centers)
+
+    def test_prototype_points_classify_to_themselves(self, clf):
+        for qubit in range(2):
+            for label in range(2):
+                center = np.array(
+                    [[-1.0, 0.0], [1.0, 0.0]] if qubit == 0
+                    else [[0.0, -1.0], [0.0, 1.0]]
+                )[label]
+                got = clf.classify(np.array([qubit]), center[None, :])[0]
+                assert got == label
+
+    @given(
+        x=st.floats(-2, 2, allow_nan=False),
+        y=st.floats(-2, 2, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_precomputed_equals_naive(self, clf, x, y):
+        """Eq. 4's rearrangement must not change any distance."""
+        q = np.zeros(1, dtype=int)
+        pts = np.array([[x, y]])
+        d_pre = clf.hamming_distances(q, pts, use_precomputed=True)
+        d_naive = clf.hamming_distances(q, pts, use_precomputed=False)
+        np.testing.assert_array_equal(d_pre, d_naive)
+
+    def test_distances_bounded_by_dimension(self, clf):
+        pts = np.random.default_rng(0).uniform(-2, 2, (50, 2))
+        d = clf.hamming_distances(np.zeros(50, dtype=int), pts)
+        assert np.all(d >= 0)
+        assert np.all(d <= DIMENSION)
+
+    def test_memory_overhead_matches_paper(self, clf):
+        # "the memory footprint is increased by only 256 bytes".
+        assert clf.memory_overhead_bytes() == 256
+
+    def test_bad_prototype_shape_rejected(self, encoder):
+        with pytest.raises(ValueError, match="shape"):
+            HDCClassifier(encoder, np.zeros((2, 3, 2), dtype=np.uint64))
+
+    def test_kernel_tables_shapes(self, clf):
+        t = clf.kernel_tables(0)
+        assert t["xc0"].shape == (LEVELS, 2)
+        assert t["c0"].shape == (2,)
+
+
+class TestAccuracyComparison:
+    """kNN vs HDC on separable Gaussian blobs: both should be accurate,
+    kNN at least as good (it uses exact geometry)."""
+
+    def test_both_classifiers_accurate_on_separable_data(self, encoder):
+        from repro.classify import KNNClassifier
+
+        rng = np.random.default_rng(1)
+        n_qubits, shots = 5, 400
+        centers = np.stack(
+            [
+                np.stack([rng.uniform(-1.5, -0.5, n_qubits),
+                          rng.uniform(-0.5, 0.5, n_qubits)], axis=1),
+                np.stack([rng.uniform(0.5, 1.5, n_qubits),
+                          rng.uniform(-0.5, 0.5, n_qubits)], axis=1),
+            ],
+            axis=1,
+        )
+        knn = KNNClassifier(centers)
+        hdc = HDCClassifier.calibrate(encoder, centers)
+
+        qubit = np.repeat(np.arange(n_qubits), shots)
+        truth = rng.integers(0, 2, len(qubit))
+        pts = centers[qubit, truth] + rng.normal(0, 0.25, (len(qubit), 2))
+
+        acc_knn = evaluate_accuracy(
+            knn.classify(qubit, pts), truth, qubit, n_qubits
+        )
+        acc_hdc = evaluate_accuracy(
+            hdc.classify(qubit, pts), truth, qubit, n_qubits
+        )
+        assert acc_knn.overall > 0.95
+        assert acc_hdc.overall > 0.85
+        assert acc_knn.overall >= acc_hdc.overall - 0.02
+
+
+class TestAccuracyReport:
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError, match="align"):
+            evaluate_accuracy(np.zeros(3), np.zeros(4), np.zeros(3), 1)
+
+    def test_perfect_prediction(self):
+        truth = np.array([0, 1, 0, 1])
+        report = evaluate_accuracy(truth, truth, np.array([0, 0, 1, 1]), 2)
+        assert report.overall == 1.0
+        assert report.error_rate == 0.0
+        assert np.all(report.per_qubit == 1.0)
+
+    def test_worst_qubit_identified(self):
+        pred = np.array([0, 0, 0, 1])
+        truth = np.array([0, 0, 1, 0])
+        qubit = np.array([0, 0, 1, 1])
+        report = evaluate_accuracy(pred, truth, qubit, 2)
+        assert report.worst_qubit == 1

@@ -1,0 +1,116 @@
+"""Tests for the repetition-code decoder (paper Section VII extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.qec import RepetitionDecoder, logical_error_rate
+from repro.soc import RocketSoC
+
+
+class TestDecoder:
+    def test_majority_of_three(self):
+        dec = RepetitionDecoder(3)
+        bits = np.array([[0, 0, 1], [1, 1, 0], [1, 1, 1], [0, 0, 0]])
+        assert dec.decode(bits).tolist() == [0, 1, 1, 0]
+
+    def test_flat_layout(self):
+        dec = RepetitionDecoder(3)
+        assert dec.decode(np.array([1, 1, 0, 0, 0, 1])).tolist() == [1, 0]
+
+    def test_even_distance_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            RepetitionDecoder(4)
+
+    def test_misaligned_bits_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            RepetitionDecoder(3).decode(np.array([1, 0]))
+
+    def test_physical_qubit_count(self):
+        assert RepetitionDecoder(5).physical_qubits(100) == 500
+
+    @given(
+        d=st.sampled_from([1, 3, 5, 7]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decode_is_majority(self, d, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (20, d))
+        got = RepetitionDecoder(d).decode(bits)
+        want = (bits.sum(axis=1) > d // 2).astype(int)
+        assert np.array_equal(got, want)
+
+
+class TestLogicalErrorRate:
+    def test_distance_one_is_physical(self):
+        assert logical_error_rate(0.05, 1) == pytest.approx(0.05)
+
+    def test_exponential_suppression(self):
+        p = 0.01
+        rates = [logical_error_rate(p, d) for d in (1, 3, 5, 7)]
+        # Each +2 of distance suppresses by roughly p (threshold regime).
+        assert all(b < a * 0.1 for a, b in zip(rates, rates[1:]))
+
+    def test_above_threshold_grows(self):
+        # At 50 % physical error the code cannot help.
+        assert logical_error_rate(0.5, 5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logical_error_rate(1.5, 3)
+        with pytest.raises(ValueError):
+            logical_error_rate(0.1, 2)
+
+    @given(
+        p=st.floats(0.001, 0.2),
+        d=st.sampled_from([3, 5, 7, 9]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_monte_carlo_shape(self, p, d):
+        analytic = logical_error_rate(p, d)
+        rng = np.random.default_rng(7)
+        flips = rng.random((20000, d)) < p
+        empirical = (flips.sum(axis=1) > d // 2).mean()
+        assert empirical == pytest.approx(analytic, abs=0.01)
+
+
+class TestQECOnSoC:
+    def test_kernel_matches_reference(self):
+        rng = np.random.default_rng(9)
+        for d in (3, 7):
+            bits = rng.integers(0, 2, 100 * d)
+            result = RocketSoC().run_qec_decode(bits, d)
+            ref = RepetitionDecoder(d).decode(bits)
+            assert np.array_equal(result.labels, ref)
+
+    def test_cycles_grow_with_distance(self):
+        rng = np.random.default_rng(9)
+        c3 = RocketSoC().run_qec_decode(rng.integers(0, 2, 100 * 3), 3)
+        c7 = RocketSoC().run_qec_decode(rng.integers(0, 2, 100 * 7), 7)
+        assert c7.cycles > c3.cycles
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            RocketSoC().run_qec_decode(np.array([1, 0]), 3)
+
+    def test_decode_fits_decoherence_budget_alongside_knn(self):
+        """Classify + decode pipeline: at 300 logical qubits (d=3, 900
+        physical), both stages together must stay within 110 us at the
+        10 K clock -- the Section VII 'other tasks' point quantified."""
+        from repro.core.feasibility import classification_time
+
+        rng = np.random.default_rng(9)
+        d, n_logical = 3, 300
+        n_physical = n_logical * d
+        decode = RocketSoC().run_qec_decode(
+            rng.integers(0, 2, 40 * n_physical), d
+        )
+        decode_cpl = decode.cycles / (40 * n_logical)
+        f = 906e6
+        classify_t = classification_time(n_physical, 67.0, f)
+        decode_t = n_logical * decode_cpl / f
+        assert classify_t + decode_t < 110e-6

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCLI:
+    def test_fig2_prints_report(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2(a)" in out
+
+    def test_table1_prints_report(self, capsys):
+        assert main(["table1", "--shots", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "MHz" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_all_commands_listed(self):
+        assert "all" in COMMANDS
+        assert {"table1", "table2", "fig6", "fig7"} <= set(COMMANDS)

@@ -1,0 +1,83 @@
+"""Tests for budget/feasibility arithmetic (Fig. 7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feasibility import (
+    COOLING_BUDGET_100MK,
+    COOLING_BUDGET_10K,
+    ScalingPoint,
+    ScalingStudy,
+    bottleneck_qubits,
+    classification_time,
+)
+
+
+class TestClassificationTime:
+    def test_linear_in_qubits(self):
+        t1 = classification_time(100, 50.0, 1e9)
+        t2 = classification_time(200, 50.0, 1e9)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_paper_example(self):
+        # ~1500 qubits at 72.8 cycles and 1 GHz ~= 109 us ~= the budget.
+        t = classification_time(1500, 72.8, 1e9)
+        assert t == pytest.approx(109.2e-6, rel=1e-3)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            classification_time(10, 50.0, 0.0)
+
+    @given(
+        nq=st.integers(1, 5000),
+        cpm=st.floats(10, 500),
+        f=st.floats(1e8, 2e9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bottleneck_inverts_time(self, nq, cpm, f):
+        budget = classification_time(nq, cpm, f)
+        assert bottleneck_qubits(cpm, f, budget) == nq
+
+
+class TestScalingPoint:
+    def test_budget_fraction(self):
+        p = ScalingPoint(1000, 72.8, 1e9, 110e-6)
+        assert p.budget_fraction == pytest.approx(0.662, rel=1e-2)
+        assert p.feasible
+
+    def test_infeasible_point(self):
+        p = ScalingPoint(2000, 72.8, 1e9, 110e-6)
+        assert not p.feasible
+
+
+class TestScalingStudy:
+    def _study(self, fractions_at):
+        study = ScalingStudy("knn")
+        for nq, cpm in fractions_at:
+            study.points.append(ScalingPoint(nq, cpm, 1e9, 110e-6))
+        return study
+
+    def test_crossover_interpolated(self):
+        study = self._study([(1000, 72.8), (2000, 72.8)])
+        crossing = study.crossover_qubits()
+        # Exact: 110e-6 * 1e9 / 72.8 = 1510.
+        assert crossing == pytest.approx(1510, abs=5)
+
+    def test_crossover_extrapolated_when_all_feasible(self):
+        study = self._study([(100, 72.8), (200, 72.8)])
+        assert study.crossover_qubits() == pytest.approx(1510, abs=5)
+
+    def test_crossover_first_point_already_over(self):
+        study = self._study([(5000, 72.8)])
+        assert study.crossover_qubits() == 5000
+
+    def test_series_accessors(self):
+        study = self._study([(100, 50.0), (200, 60.0)])
+        assert study.qubit_counts().tolist() == [100, 200]
+        assert len(study.times_us()) == 2
+
+    def test_budgets_ordered(self):
+        assert COOLING_BUDGET_100MK < COOLING_BUDGET_10K

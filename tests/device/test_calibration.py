@@ -1,0 +1,126 @@
+"""Tests for the staged calibration flow (paper Section III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import Calibrator, FinFET, default_nfet, default_pfet
+from repro.device.calibration import (
+    DEFAULT_BOUNDS,
+    ParameterBound,
+    rms_log_error,
+)
+
+STAGE_ORDER = [
+    "subthreshold",
+    "mobility",
+    "series_resistance",
+    "dibl",
+    "velocity_saturation",
+    "polish_room",
+    "cryogenic",
+]
+
+
+class TestParameterBound:
+    def test_linear_roundtrip(self):
+        b = ParameterBound(0.0, 1.0)
+        assert b.decode(b.encode(0.4)) == pytest.approx(0.4)
+
+    def test_log_roundtrip(self):
+        b = ParameterBound(1e-14, 1e-9, log=True)
+        assert b.decode(b.encode(3e-12)) == pytest.approx(3e-12, rel=1e-9)
+
+    def test_encode_clamps_out_of_range(self):
+        b = ParameterBound(0.1, 0.5)
+        assert b.encode(2.0) == 0.5
+        assert b.encode(-1.0) == 0.1
+
+    def test_encoded_bounds_ordered(self):
+        for name, b in DEFAULT_BOUNDS.items():
+            assert b.encoded_lo < b.encoded_hi, name
+
+
+class TestStagedFlow:
+    def test_all_stages_run_in_order(self, calibrated_nfet):
+        assert [s.name for s in calibrated_nfet.stages] == STAGE_ORDER
+
+    def test_each_stage_does_not_worsen_its_cost(self, calibrated_nfet):
+        for s in calibrated_nfet.stages:
+            assert s.cost_after <= s.cost_before + 1e-12, s.name
+
+    def test_subthreshold_stage_improves_substantially(self, calibrated_nfet):
+        s = calibrated_nfet.stage("subthreshold")
+        assert s.improvement > 0.5
+
+    def test_cryogenic_stage_improves_substantially(self, calibrated_nfet):
+        s = calibrated_nfet.stage("cryogenic")
+        assert s.improvement > 0.5
+
+    def test_unknown_stage_lookup_raises(self, calibrated_nfet):
+        with pytest.raises(KeyError):
+            calibrated_nfet.stage("nonexistent")
+
+    def test_fitted_parameters_respect_bounds(self, calibrated_nfet):
+        p = calibrated_nfet.params
+        for name, bound in DEFAULT_BOUNDS.items():
+            value = float(getattr(p, name))
+            assert bound.lo - 1e-12 <= value <= bound.hi + 1e-12, name
+
+    def test_polarity_mismatch_rejected(self, iv_datasets):
+        with pytest.raises(ValueError, match="polarity"):
+            Calibrator(iv_datasets["n"], default_pfet())
+
+    def test_stage_subset_runs_only_requested(self, iv_datasets):
+        cal = Calibrator(iv_datasets["n"], default_nfet())
+        res = cal.calibrate(stages=("subthreshold",))
+        assert [s.name for s in res.stages] == ["subthreshold"]
+
+
+class TestFitQuality:
+    """The Fig.-3 criterion: model overlays measurement at every corner."""
+
+    @pytest.mark.parametrize("fixture", ["calibrated_nfet", "calibrated_pfet"])
+    def test_all_corners_within_tolerance(self, fixture, request):
+        result = request.getfixturevalue(fixture)
+        for corner, err in result.validation.items():
+            assert err < 0.12, f"{corner}: {err:.3f} decades"
+
+    def test_room_temperature_saturation_fit_tight(self, calibrated_nfet):
+        err = calibrated_nfet.validation["nfet_transfer_T300K_bias750mV"]
+        assert err < 0.15
+
+    def test_calibrated_beats_initial_guess(self, iv_datasets, calibrated_nfet):
+        initial_dev = FinFET(default_nfet())
+        fitted_dev = FinFET(calibrated_nfet.params)
+        curve = iv_datasets["n"].transfer(10.0, 0.750)
+        err_initial = rms_log_error(
+            initial_dev.ids(curve.vgs, curve.vds, 10.0), curve.ids
+        )
+        err_fitted = rms_log_error(
+            fitted_dev.ids(curve.vgs, curve.vds, 10.0), curve.ids
+        )
+        assert err_fitted < err_initial
+
+    def test_calibrated_model_reproduces_cryo_physics(self, calibrated_nfet):
+        """The fit recovers the golden device's headline behaviour without
+        ever seeing its parameters."""
+        dev = FinFET(calibrated_nfet.params)
+        assert dev.ioff(300.0) / dev.ioff(10.0) > 50.0
+        assert 0.8 < dev.ion(10.0) / dev.ion(300.0) < 1.25
+
+
+class TestRmsLogError:
+    def test_zero_for_identical_curves(self):
+        i = np.logspace(-12, -5, 50)
+        assert rms_log_error(i, i) == 0.0
+
+    def test_one_decade_offset(self):
+        i = np.logspace(-9, -5, 50)
+        assert rms_log_error(i * 10.0, i) == pytest.approx(1.0, rel=1e-3)
+
+    def test_floor_suppresses_subfloor_disagreement(self):
+        a = np.full(10, 1e-15)
+        b = np.full(10, 1e-18)
+        assert rms_log_error(a, b) < 0.01

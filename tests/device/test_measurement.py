@@ -1,0 +1,82 @@
+"""Tests for the synthetic measurement campaign."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import FinFET, MeasurementCampaign, golden_nfet
+from repro.device.measurement import VDS_LINEAR, VDS_SATURATION
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = MeasurementCampaign(seed=11).run(n_points=31)
+        b = MeasurementCampaign(seed=11).run(n_points=31)
+        for pol in ("n", "p"):
+            for ca, cb in zip(a[pol].curves, b[pol].curves):
+                np.testing.assert_array_equal(ca.ids, cb.ids)
+
+    def test_different_seed_different_noise(self):
+        a = MeasurementCampaign(seed=1).run(n_points=31)
+        b = MeasurementCampaign(seed=2).run(n_points=31)
+        assert not np.array_equal(a["n"].curves[0].ids, b["n"].curves[0].ids)
+
+
+class TestSweepPlan:
+    def test_both_polarities_present(self, iv_datasets):
+        assert set(iv_datasets) == {"n", "p"}
+        assert iv_datasets["n"].polarity == "n"
+        assert iv_datasets["p"].polarity == "p"
+
+    def test_fig3_corners_present(self, iv_datasets):
+        ds = iv_datasets["n"]
+        for t in (300.0, 10.0):
+            for vds in (VDS_LINEAR, VDS_SATURATION):
+                curve = ds.transfer(t, vds)
+                assert curve.kind == "transfer"
+                assert curve.temperature_k == t
+
+    def test_output_curves_present(self, iv_datasets):
+        assert len(iv_datasets["n"].outputs(300.0)) == 3
+        assert len(iv_datasets["n"].outputs(10.0)) == 3
+
+    def test_missing_corner_raises(self, iv_datasets):
+        with pytest.raises(KeyError):
+            iv_datasets["n"].transfer(77.0, VDS_LINEAR)
+
+    def test_temperatures_listed(self, iv_datasets):
+        assert iv_datasets["n"].temperatures == [10.0, 300.0]
+
+    def test_pfet_sweep_uses_negative_bias(self, iv_datasets):
+        curve = iv_datasets["p"].transfer(300.0, VDS_SATURATION)
+        assert curve.fixed_bias < 0
+        assert curve.x.min() < -0.5
+
+
+class TestNoiseModel:
+    def test_noise_is_small_relative_in_strong_inversion(self):
+        camp = MeasurementCampaign(seed=3, relative_noise=0.01)
+        ds = camp.measure_device(golden_nfet(), n_points=61)
+        curve = ds.transfer(300.0, VDS_SATURATION)
+        clean = FinFET(golden_nfet()).ids(curve.vgs, curve.vds, 300.0)
+        strong = np.abs(clean) > 1e-6
+        rel = np.abs(curve.ids[strong] - clean[strong]) / np.abs(clean[strong])
+        assert np.median(rel) < 0.05
+
+    def test_noise_floor_dominates_deep_off_state_at_cryo(self):
+        camp = MeasurementCampaign(seed=3, noise_floor=2e-13)
+        ds = camp.measure_device(golden_nfet(), n_points=61)
+        curve = ds.transfer(10.0, VDS_LINEAR)
+        # At 10 K and Vds = 50 mV the channel current near vgs = 0 is below
+        # the instrument floor: samples scatter at the floor scale, which is
+        # the "intrinsic randomness ... at lower VG" of Fig. 3.
+        off_region = np.abs(curve.vgs) < 0.05
+        assert np.abs(curve.ids[off_region]).max() < 5e-12
+
+    def test_curve_bias_accessors(self, iv_datasets):
+        transfer = iv_datasets["n"].transfer(300.0, VDS_LINEAR)
+        assert np.all(transfer.vds == transfer.fixed_bias)
+        out = iv_datasets["n"].outputs(300.0)[0]
+        assert np.all(out.vgs == out.fixed_bias)
+        np.testing.assert_array_equal(out.vds, out.x)

@@ -1,0 +1,110 @@
+"""Tests for figure-of-merit extraction on synthetic and model curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.constants import FIN_WIDTH_EFF, LGATE
+from repro.device.metrics import (
+    CC_THRESHOLD_SPECIFIC,
+    constant_current_vth,
+    extract_figures,
+    subthreshold_swing,
+)
+
+
+def _exponential_curve(vth: float, swing: float, i_at_vth: float, n: int = 200):
+    """Ideal exponential subthreshold curve crossing i_at_vth at vth."""
+    vgs = np.linspace(0.0, 0.8, n)
+    ids = i_at_vth * 10.0 ** ((vgs - vth) / swing)
+    return vgs, ids
+
+
+class TestConstantCurrentVth:
+    def test_recovers_known_threshold(self):
+        icrit = CC_THRESHOLD_SPECIFIC * FIN_WIDTH_EFF / LGATE
+        vgs, ids = _exponential_curve(vth=0.25, swing=0.07, i_at_vth=icrit)
+        assert constant_current_vth(vgs, ids) == pytest.approx(0.25, abs=1e-3)
+
+    def test_negative_sweep_handled(self):
+        icrit = CC_THRESHOLD_SPECIFIC * FIN_WIDTH_EFF / LGATE
+        vgs, ids = _exponential_curve(vth=0.3, swing=0.07, i_at_vth=icrit)
+        assert constant_current_vth(-vgs, -ids) == pytest.approx(0.3, abs=1e-3)
+
+    def test_never_crossing_returns_nan(self):
+        vgs = np.linspace(0, 0.8, 50)
+        ids = np.full_like(vgs, 1e-12)
+        assert np.isnan(constant_current_vth(vgs, ids))
+
+    def test_always_above_returns_nan(self):
+        vgs = np.linspace(0, 0.8, 50)
+        ids = np.full_like(vgs, 1e-3)
+        assert np.isnan(constant_current_vth(vgs, ids))
+
+    @given(
+        vth=st.floats(min_value=0.10, max_value=0.45),
+        swing=st.floats(min_value=0.01, max_value=0.12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, vth: float, swing: float):
+        icrit = CC_THRESHOLD_SPECIFIC * FIN_WIDTH_EFF / LGATE
+        vgs, ids = _exponential_curve(vth=vth, swing=swing, i_at_vth=icrit, n=400)
+        got = constant_current_vth(vgs, ids)
+        assert got == pytest.approx(vth, abs=5e-3)
+
+
+class TestSubthresholdSwing:
+    def test_recovers_known_swing(self):
+        vgs, ids = _exponential_curve(vth=0.3, swing=0.065, i_at_vth=1e-7)
+        assert subthreshold_swing(vgs, ids) == pytest.approx(0.065, rel=0.02)
+
+    def test_too_few_points_returns_nan(self):
+        vgs = np.array([0.1, 0.2])
+        ids = np.array([1e-8, 1e-7])
+        assert np.isnan(subthreshold_swing(vgs, ids))
+
+    def test_nonexponential_flat_curve_returns_nan(self):
+        vgs = np.linspace(0, 0.5, 50)
+        ids = np.full_like(vgs, 5e-8)
+        assert np.isnan(subthreshold_swing(vgs, ids))
+
+    @given(swing=st.floats(min_value=0.008, max_value=0.15))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, swing: float):
+        vgs, ids = _exponential_curve(vth=0.35, swing=swing, i_at_vth=1e-7, n=600)
+        assert subthreshold_swing(vgs, ids) == pytest.approx(swing, rel=0.05)
+
+
+class TestExtractFigures:
+    def test_figures_consistent_on_model_curve(self):
+        from repro.device import FinFET, golden_nfet
+
+        dev = FinFET(golden_nfet())
+        vg, i = dev.transfer_curve(0.75, 300.0, n_points=201)
+        figs = extract_figures(vg, i, 300.0)
+        assert figs.temperature_k == 300.0
+        assert figs.ion > 1e-5
+        assert figs.ioff < 1e-7
+        assert figs.on_off_ratio > 1e3
+        assert 0.05 < figs.vth < 0.35
+        assert 0.055 < figs.swing < 0.09
+
+    def test_on_off_ratio_infinite_when_ioff_zero(self):
+        vgs = np.linspace(0, 0.7, 100)
+        ids = np.linspace(0, 1e-5, 100)
+        figs = extract_figures(vgs, ids, 300.0)
+        assert figs.on_off_ratio == float("inf")
+
+    def test_unsorted_input_is_sorted_internally(self):
+        from repro.device import FinFET, golden_nfet
+
+        dev = FinFET(golden_nfet())
+        vg, i = dev.transfer_curve(0.75, 300.0, n_points=101)
+        perm = np.random.default_rng(0).permutation(len(vg))
+        a = extract_figures(vg, i, 300.0)
+        b = extract_figures(vg[perm], i[perm], 300.0)
+        assert a.vth == pytest.approx(b.vth)
+        assert a.ion == pytest.approx(b.ion)

@@ -1,0 +1,133 @@
+"""Tests for cryogenic thermal helpers and the mobility model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import default_nfet, golden_nfet, golden_pfet
+from repro.device.mobility import (
+    degradation_coefficients,
+    effective_mobility,
+    low_field_mobility,
+)
+from repro.device.thermal import (
+    cooldown_fraction,
+    effective_temperature,
+    effective_thermal_voltage,
+    subthreshold_slope_factor,
+    threshold_voltage,
+)
+
+
+class TestEffectiveTemperature:
+    def test_matches_lattice_at_room(self):
+        p = default_nfet()
+        assert effective_temperature(300.0, p) == pytest.approx(300.0, rel=0.02)
+
+    def test_saturates_at_deep_cryo(self):
+        p = default_nfet()
+        t_10 = effective_temperature(10.0, p)
+        t_001 = effective_temperature(0.01, p)
+        assert t_10 >= p.T0
+        assert t_001 == pytest.approx(p.T0, rel=0.01)
+
+    @given(st.floats(min_value=0.01, max_value=400.0))
+    @settings(max_examples=100, deadline=None)
+    def test_always_at_least_t0_and_at_least_lattice(self, t):
+        p = default_nfet()
+        teff = effective_temperature(t, p)
+        assert teff >= p.T0 * 0.999
+        assert teff >= t * 0.999
+
+    @given(
+        st.floats(min_value=0.01, max_value=390.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_lattice_temperature(self, t, dt):
+        p = default_nfet()
+        assert effective_temperature(t + dt, p) > effective_temperature(t, p)
+
+
+class TestThresholdVoltage:
+    def test_rises_monotonically_on_cooldown(self):
+        # With non-negative temperature coefficients, the parametric Vth(T)
+        # rises monotonically toward cryo.  (The golden device uses a small
+        # negative TVTH as a fitting coefficient; its *measured* Vth still
+        # rises ~47 % via the Fermi-Dirac sharpening of the subthreshold
+        # region -- covered in test_finfet_model.TestCryoHeadlineNumbers.)
+        p = default_nfet()
+        temps = [300.0, 200.0, 100.0, 50.0, 10.0, 4.0]
+        vths = [threshold_voltage(t, p) for t in temps]
+        assert all(b >= a - 1e-6 for a, b in zip(vths, vths[1:]))
+
+    def test_phig_shifts_threshold_linearly(self):
+        p = default_nfet()
+        hi = threshold_voltage(300.0, p.copy(PHIG=4.35))
+        lo = threshold_voltage(300.0, p.copy(PHIG=4.15))
+        assert hi - lo == pytest.approx(0.2, rel=1e-6)
+
+    def test_bounded_at_millikelvin(self):
+        # The KT11 term expands in the bounded effective temperature, so
+        # nothing diverges near absolute zero.
+        p = golden_nfet().copy(KT11=0.3)
+        assert threshold_voltage(0.001, p) < 1.0
+
+
+class TestSlopeFactor:
+    def test_at_least_one(self):
+        p = default_nfet()
+        assert subthreshold_slope_factor(0.0, p) >= 1.0
+
+    def test_grows_with_drain_bias(self):
+        p = default_nfet()
+        assert subthreshold_slope_factor(0.7, p) > subthreshold_slope_factor(0.05, p)
+
+    def test_uses_magnitude_of_vds(self):
+        p = default_nfet()
+        assert subthreshold_slope_factor(-0.7, p) == subthreshold_slope_factor(0.7, p)
+
+    def test_cooldown_fraction_endpoints(self):
+        assert cooldown_fraction(300.0) == 0.0
+        assert cooldown_fraction(0.0) == 1.0
+
+
+class TestMobility:
+    def test_peak_mobility_enhanced_at_cryo(self):
+        p = golden_nfet()
+        assert low_field_mobility(10.0, p) > low_field_mobility(300.0, p)
+
+    def test_degradation_grows_at_cryo(self):
+        p = golden_nfet()
+        ua_300, ud_300, _ = degradation_coefficients(300.0, p)
+        ua_10, ud_10, _ = degradation_coefficients(10.0, p)
+        assert ua_10 > ua_300
+        assert ud_10 > ud_300
+
+    def test_coefficients_never_negative(self):
+        p = golden_nfet().copy(UA1=-100.0, UD1=-100.0)
+        ua, ud, eu = degradation_coefficients(10.0, p)
+        assert ua >= 0.0
+        assert ud >= 0.0
+        assert eu >= 1.0
+
+    def test_effective_mobility_decreases_with_field(self):
+        p = golden_nfet()
+        mu_low = effective_mobility(0.3, 1.0, 0.2, 300.0, p)
+        mu_high = effective_mobility(0.7, 1.0, 0.2, 300.0, p)
+        assert mu_high < mu_low
+
+    def test_charge_screening_helps_coulomb_limited_mobility(self):
+        # More inversion charge screens Coulomb scattering -> mobility up.
+        p = golden_pfet()
+        mu_weak = effective_mobility(0.3, 0.01, 0.2, 10.0, p)
+        mu_strong = effective_mobility(0.3, 10.0, 0.2, 10.0, p)
+        assert mu_strong > mu_weak
+
+    def test_effective_thermal_voltage_positive(self):
+        p = default_nfet()
+        assert effective_thermal_voltage(0.01, p) > 0
+        assert effective_thermal_voltage(300.0, p) == pytest.approx(0.02585, rel=0.05)

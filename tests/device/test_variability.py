@@ -1,0 +1,93 @@
+"""Tests for cryogenic mismatch and 6T SRAM stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import TechModels
+from repro.device import golden_nfet, golden_pfet
+from repro.device.sram_cell import SRAMCellAnalysis, hold_snm, inverter_vtc
+from repro.device.variability import MismatchModel
+
+
+@pytest.fixture(scope="module")
+def tech() -> TechModels:
+    return TechModels(golden_nfet(), golden_pfet())
+
+
+class TestMismatchModel:
+    def test_pelgrom_scaling_with_fins(self):
+        mm = MismatchModel()
+        one = mm.sigma_vth(golden_nfet(nfin=1), 300.0)
+        four = mm.sigma_vth(golden_nfet(nfin=4), 300.0)
+        assert four == pytest.approx(one / 2.0)
+
+    def test_cryo_degradation(self):
+        mm = MismatchModel(cryo_factor=1.6)
+        s300 = mm.sigma_vth(golden_nfet(), 300.0)
+        s10 = mm.sigma_vth(golden_nfet(), 10.0)
+        assert s10 / s300 == pytest.approx(
+            mm.temperature_factor(10.0), rel=1e-9
+        )
+        assert 1.4 < s10 / s300 <= 1.6
+
+    def test_pair_sigma_is_sqrt2(self):
+        mm = MismatchModel()
+        p = golden_nfet()
+        assert mm.mismatch_pair_sigma(p, 300.0) == pytest.approx(
+            np.sqrt(2) * mm.sigma_vth(p, 300.0)
+        )
+
+    def test_sampling_statistics(self):
+        mm = MismatchModel()
+        p = golden_nfet()
+        rng = np.random.default_rng(0)
+        samples = mm.sample(p, 300.0, 4000, rng)
+        offsets = np.array([s.VTH0 - p.VTH0 for s in samples])
+        assert abs(offsets.mean()) < 2e-3
+        assert offsets.std() == pytest.approx(
+            mm.sigma_vth(p, 300.0), rel=0.1
+        )
+
+
+class TestInverterVTC:
+    def test_monotone_falling_full_swing(self, tech):
+        vin, vout = inverter_vtc(tech.nfet, tech.pfet, 300.0, n_points=21)
+        assert vout[0] == pytest.approx(0.70, abs=0.02)
+        assert vout[-1] == pytest.approx(0.0, abs=0.02)
+        assert np.all(np.diff(vout) <= 1e-6)
+
+
+class TestHoldSNM:
+    def test_matched_cell_has_healthy_margin(self, tech):
+        snm = hold_snm(tech.nfet, tech.pfet, tech.nfet, tech.pfet, 300.0,
+                       n_points=25)
+        # A balanced 0.7 V cell holds with >100 mV margin.
+        assert 0.10 < snm < 0.35
+
+    def test_margin_slightly_better_at_cryo(self, tech):
+        """Higher Vth at 10 K widens the hold margin (paper refs
+        [17]/[24] context)."""
+        ana = SRAMCellAnalysis.bitcell(tech)
+        snm300 = ana.nominal_snm(300.0, n_points=25)
+        snm10 = ana.nominal_snm(10.0, n_points=25)
+        assert snm10 > 0.95 * snm300
+
+    def test_large_mismatch_degrades_margin(self, tech):
+        skewed_n = tech.nfet.copy(VTH0=tech.nfet.VTH0 + 0.12)
+        snm_matched = hold_snm(tech.nfet, tech.pfet, tech.nfet, tech.pfet,
+                               300.0, n_points=25)
+        snm_skewed = hold_snm(skewed_n, tech.pfet, tech.nfet, tech.pfet,
+                              300.0, n_points=25)
+        assert snm_skewed < snm_matched
+
+    def test_monte_carlo_spread_grows_at_cryo(self, tech):
+        ana = SRAMCellAnalysis.bitcell(tech)
+        mc300 = ana.monte_carlo(300.0, n_cells=8, n_points=21, seed=3)
+        mc10 = ana.monte_carlo(10.0, n_cells=8, n_points=21, seed=3)
+        assert np.all(mc300 > 0)
+        assert np.all(mc10 > 0)
+        # Same seed => same offsets scaled by the cryo factor, so the
+        # spread must widen.
+        assert mc10.std() > mc300.std() * 0.9

@@ -1,0 +1,50 @@
+"""Unit tests for fabric report arithmetic and program bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import AcceleratorReport
+from repro.soc import assemble
+
+
+class TestAcceleratorReport:
+    @pytest.fixture
+    def report(self) -> AcceleratorReport:
+        return AcceleratorReport(
+            n_luts=100, depth=10, frequency_hz=1e9, config_bits=13600,
+            leakage_w=1e-5, dynamic_w=2e-3, items_per_second=1e9,
+        )
+
+    def test_total_power(self, report):
+        assert report.total_power_w == pytest.approx(2.01e-3)
+
+    def test_time_includes_pipeline_fill(self, report):
+        t_one = report.time_for(1)
+        t_many = report.time_for(1001)
+        # Fill = depth cycles; marginal cost = 1 cycle/item.
+        assert t_one == pytest.approx((10 + 1) / 1e9)
+        assert t_many - t_one == pytest.approx(1000 / 1e9)
+
+
+class TestProgramBookkeeping:
+    def test_entry_defaults_to_text_base(self):
+        prog = assemble("start_elsewhere:\n ecall\n", text_base=0x4000)
+        assert prog.entry == 0x4000
+
+    def test_entry_uses_start_label(self):
+        prog = assemble("nop\n_start:\n ecall\n")
+        assert prog.entry == prog.text_base + 4
+
+    def test_size_accounts_text_and_data(self):
+        prog = assemble(
+            ".data\nv: .dword 1, 2\n.text\n_start:\n ecall\n"
+        )
+        assert prog.size_bytes() == 4 + 16
+
+    def test_labels_across_sections(self):
+        prog = assemble(
+            ".data\na: .dword 7\n.text\n_start:\n la t0, a\n ld a0, 0(t0)\n ecall\n"
+        )
+        assert prog.labels["a"] == prog.data_base
+        assert "_start" in prog.labels

@@ -1,0 +1,150 @@
+"""Tests for the embedded FPGA fabric extension (paper Section VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import (
+    FPGAFabric,
+    build_hdc_accelerator,
+    build_popcount_network,
+    lut_map,
+)
+from repro.logic import AND, NOT, OR, VAR, XOR
+from repro.synth.aig import AIG
+
+
+@pytest.fixture(scope="module")
+def small_accel():
+    aig = build_hdc_accelerator(dimension=16)
+    return aig, lut_map(aig, k=4)
+
+
+class TestLutMapping:
+    def test_simple_function_single_lut(self, lib300):
+        aig = AIG()
+        aig.po("y", aig.add_expr(AND(VAR("a"), OR(VAR("b"), VAR("c")))))
+        mapping = lut_map(aig, k=4)
+        assert mapping.n_luts == 1
+        assert mapping.depth == 1
+
+    def test_mapping_equivalent_to_aig(self):
+        aig = AIG()
+        expr = XOR(AND(VAR("a"), VAR("b")), OR(VAR("c"), NOT(VAR("d"))))
+        aig.po("y", aig.add_expr(expr))
+        mapping = lut_map(aig, k=4)
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=4):
+            asg = dict(zip("abcd", bits))
+            assert mapping.evaluate(aig, asg)["y"] == expr.evaluate(asg)
+
+    def test_smaller_k_more_luts(self):
+        aig = build_hdc_accelerator(dimension=8)
+        m2 = lut_map(aig, k=2)
+        m4 = lut_map(aig, k=4)
+        assert m2.n_luts > m4.n_luts
+        assert m2.depth >= m4.depth
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must"):
+            lut_map(AIG(), k=9)
+
+    def test_luts_in_topological_order(self, small_accel):
+        aig, mapping = small_accel
+        seen = set(aig.inputs.values()) | {0}
+        for lut in mapping.luts:
+            assert all(leaf in seen for leaf in lut.leaves)
+            seen.add(lut.output_node)
+
+
+class TestPopcountNetwork:
+    @given(st.integers(0, 2**12 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bits(self, value):
+        aig = AIG()
+        bits = [aig.pi(f"b{i}") for i in range(12)]
+        count = build_popcount_network(aig, bits)
+        for i, lit in enumerate(count):
+            aig.po(f"c{i}", lit)
+        asg = {f"b{i}": bool((value >> i) & 1) for i in range(12)}
+        out = aig.evaluate(asg)
+        got = sum(out[f"c{i}"] << i for i in range(len(count)))
+        assert got == bin(value).count("1")
+
+    def test_empty_input(self):
+        aig = AIG()
+        assert build_popcount_network(aig, []) == [aig.const0]
+
+
+class TestAccelerator:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_hamming_comparison(self, small_accel, seed):
+        aig, mapping = small_accel
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, 16)
+        c0 = rng.integers(0, 2, 16)
+        c1 = rng.integers(0, 2, 16)
+        asg = {f"m{i}": bool(m[i]) for i in range(16)}
+        asg.update({f"c0_{i}": bool(c0[i]) for i in range(16)})
+        asg.update({f"c1_{i}": bool(c1[i]) for i in range(16)})
+        want = int((m ^ c1).sum()) < int((m ^ c0).sum())
+        assert mapping.evaluate(aig, asg)["label"] == want
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError, match="dimension"):
+            build_hdc_accelerator(dimension=1)
+
+    def test_128bit_size_reasonable(self):
+        mapping = lut_map(build_hdc_accelerator(128), k=4)
+        assert 500 < mapping.n_luts < 5000
+        assert 8 < mapping.depth < 40
+
+
+class TestFabric:
+    @pytest.fixture(scope="class")
+    def mapping(self):
+        return lut_map(build_hdc_accelerator(dimension=32), k=4)
+
+    def test_invalid_lut_size(self, lib300, models):
+        with pytest.raises(ValueError, match="lut_inputs"):
+            FPGAFabric(lib300, models, lut_inputs=8)
+
+    def test_config_leakage_collapses_at_cryo(self, lib300, lib10, models):
+        # The paper's motivation: "The SRAM's leakage power is very low
+        # at 10 K."
+        hot = FPGAFabric(lib300, models).config_leakage(1000)
+        cold = FPGAFabric(lib10, models).config_leakage(1000)
+        assert hot / cold > 100
+
+    def test_lut_delay_slightly_slower_at_cryo(self, lib300, lib10, models):
+        d_hot = FPGAFabric(lib300, models).lut_delay()
+        d_cold = FPGAFabric(lib10, models).lut_delay()
+        assert 1.0 < d_cold / d_hot < 1.12
+
+    def test_pipeline_tradeoff(self, lib10, models, mapping):
+        """The paper's reconfiguration story: high-power low-latency vs
+        low-power high-latency on the same fabric."""
+        fab = FPGAFabric(lib10, models)
+        fast = fab.deploy(mapping, pipeline_stages=None)
+        slow = fab.deploy(mapping, pipeline_stages=1)
+        assert fast.frequency_hz > slow.frequency_hz
+        assert fast.total_power_w > slow.total_power_w
+        assert fast.time_for(1500) < slow.time_for(1500)
+
+    def test_accelerator_breaks_the_fig7_wall(self, lib10, models):
+        """1500 qubits -- the software bottleneck -- classify in well
+        under the 110 us budget on the fabric, at a fraction of the
+        cooling budget."""
+        mapping = lut_map(build_hdc_accelerator(128), k=4)
+        report = FPGAFabric(lib10, models).deploy(mapping)
+        assert report.time_for(1500) < 10e-6
+        assert report.total_power_w < 0.020
+
+    def test_max_frequency_validation(self, lib10, models):
+        with pytest.raises(ValueError, match="depth"):
+            FPGAFabric(lib10, models).max_frequency(0)

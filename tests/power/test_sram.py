@@ -1,0 +1,75 @@
+"""Tests for the SRAM macro power model (paper Fig. 6 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.sram import SRAMPowerModel
+
+
+@pytest.fixture(scope="module")
+def sram300(models):
+    return SRAMPowerModel(models, 300.0)
+
+
+@pytest.fixture(scope="module")
+def sram10(models):
+    return SRAMPowerModel(models, 10.0)
+
+
+TOTAL_BITS = int(577.25 * 1024 * 8)  # the SoC's full SRAM inventory
+
+
+class TestLeakage:
+    def test_room_temperature_leakage_dominates_budget(self, sram300):
+        # Paper: 193 mW for the 581 KiB inventory -- about twice the
+        # 100 mW cooling budget on its own.
+        total = sram300.total_leakage(TOTAL_BITS)
+        assert 0.120 < total < 0.280
+
+    def test_cryo_leakage_collapses(self, sram10):
+        # Paper: total leakage 0.48 mW at 10 K.
+        total = sram10.total_leakage(TOTAL_BITS)
+        assert total < 1.5e-3
+
+    def test_reduction_factor_hundreds(self, sram300, sram10):
+        r = sram300.total_leakage(TOTAL_BITS) / sram10.total_leakage(TOTAL_BITS)
+        assert 100 < r < 2000
+
+    def test_leakage_linear_in_bits(self, sram300):
+        assert sram300.total_leakage(2000) == pytest.approx(
+            2 * sram300.total_leakage(1000)
+        )
+
+    def test_bitcell_leakier_than_logic(self, sram300, models):
+        # The ultra-low-Vth bitcell must out-leak the logic device.
+        from repro.device.finfet import FinFET
+
+        logic_ioff = FinFET(models.nfet).ioff(300.0)
+        assert sram300.leakage_per_bit / 0.7 > 2 * logic_ioff
+
+
+class TestAccessEnergy:
+    def test_write_costs_more_than_read(self, sram300):
+        assert sram300.write_energy > sram300.read_energy
+
+    def test_access_energy_picojoule_scale(self, sram300):
+        assert 0.05e-12 < sram300.read_energy < 10e-12
+        assert 0.1e-12 < sram300.write_energy < 20e-12
+
+    def test_access_energy_temperature_insensitive(self, sram300, sram10):
+        assert sram10.read_energy == pytest.approx(sram300.read_energy,
+                                                   rel=0.05)
+
+    def test_macro_record(self, sram300):
+        macro = sram300.macro(1024 * 8)
+        assert macro.bits == 8192
+        assert macro.leakage_w == pytest.approx(
+            8192 * sram300.leakage_per_bit
+        )
+        p = macro.access_power(reads_per_s=1e9, writes_per_s=0.0)
+        assert p == pytest.approx(1e9 * sram300.read_energy)
+
+    def test_zero_bits_rejected(self, sram300):
+        with pytest.raises(ValueError, match="positive"):
+            sram300.macro(0)

@@ -1,0 +1,125 @@
+"""Tests for the cryostat thermal model and burst power management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.thermal import (
+    BurstSchedule,
+    CryostatStage,
+    max_burst_duration,
+)
+
+
+@pytest.fixture
+def stage() -> CryostatStage:
+    return CryostatStage()
+
+
+class TestSteadyState:
+    def test_below_cooling_power_no_excursion(self, stage):
+        assert stage.steady_state_excursion(0.05) == 0.0
+
+    def test_excess_power_linear_in_resistance(self, stage):
+        assert stage.steady_state_excursion(0.150) == pytest.approx(
+            0.050 * stage.thermal_resistance_k_per_w
+        )
+
+    def test_sustainable_power_above_cooling(self, stage):
+        assert stage.sustainable_power() > stage.cooling_power_w
+
+    def test_tau_positive(self, stage):
+        assert stage.tau_s > 0
+
+
+class TestExcursionIntegration:
+    def test_constant_power_converges_to_steady_state(self, stage):
+        p = np.full(100_000, 0.150)
+        exc = stage.excursion(p, dt=stage.tau_s / 100)
+        assert exc[-1] == pytest.approx(
+            stage.steady_state_excursion(0.150), rel=0.02
+        )
+
+    def test_never_negative(self, stage):
+        p = np.zeros(1000)
+        exc = stage.excursion(p, dt=0.01, t0=0.3)
+        assert np.all(exc >= 0)
+        assert exc[-1] < 0.3  # cools back down
+
+    def test_monotone_rise_under_overload(self, stage):
+        p = np.full(1000, 0.5)
+        exc = stage.excursion(p, dt=stage.tau_s / 500)
+        assert np.all(np.diff(exc) > 0)
+
+
+class TestBurstSchedule:
+    def test_average_power(self):
+        s = BurstSchedule(0.4, 0.01, burst_duration_s=0.1, period_s=1.0)
+        assert s.duty_cycle == pytest.approx(0.1)
+        assert s.average_power_w == pytest.approx(0.4 * 0.1 + 0.01 * 0.9)
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ValueError):
+            BurstSchedule(0.4, 0.01, burst_duration_s=2.0, period_s=1.0)
+        with pytest.raises(ValueError):
+            BurstSchedule(0.4, 0.01, burst_duration_s=0.0, period_s=1.0)
+
+    def test_power_trace_shape(self):
+        s = BurstSchedule(0.4, 0.01, burst_duration_s=0.5, period_s=1.0)
+        trace = s.power_trace(n_periods=3, dt=0.01)
+        assert len(trace) == 300
+        assert trace.max() == 0.4
+        assert trace.min() == 0.01
+
+    def test_sustained_average_below_budget_is_admissible(self, stage):
+        # Paper's claim, quantified: bursting at 4x the cooling budget is
+        # fine when the duty cycle keeps the average low and the period
+        # is short against the thermal time constant.
+        s = BurstSchedule(
+            0.400, 0.005,
+            burst_duration_s=stage.tau_s / 100,
+            period_s=stage.tau_s / 5,
+        )
+        assert s.average_power_w < stage.cooling_power_w
+        assert s.admissible(stage)
+
+    def test_long_overload_burst_not_admissible(self, stage):
+        s = BurstSchedule(
+            0.400, 0.005,
+            burst_duration_s=stage.tau_s * 5,
+            period_s=stage.tau_s * 10,
+        )
+        assert not s.admissible(stage)
+
+
+class TestMaxBurstDuration:
+    def test_sustainable_power_is_unbounded(self, stage):
+        assert max_burst_duration(stage, stage.sustainable_power() * 0.9) \
+            == float("inf")
+
+    def test_overload_is_bounded(self, stage):
+        t = max_burst_duration(stage, 0.5)
+        assert 0 < t < stage.tau_s
+
+    def test_hotter_idle_shrinks_the_window(self, stage):
+        # Idle above the cooling budget leaves a standing excursion and
+        # shortens the burst window; idle below it does not.
+        cold = max_burst_duration(stage, 0.5, idle_power_w=0.001)
+        warm = max_burst_duration(stage, 0.5, idle_power_w=0.120)
+        assert warm < cold
+        assert max_burst_duration(stage, 0.5, idle_power_w=0.09) == cold
+
+    @given(p=st.floats(0.2, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_matches_integration(self, p):
+        stage = CryostatStage()
+        t_max = max_burst_duration(stage, p, idle_power_w=0.0)
+        # Integrate the burst from zero excursion and check the crossing.
+        dt = stage.tau_s / 5000
+        n = int(t_max / dt) + 10
+        exc = stage.excursion(np.full(n, p), dt)
+        crossing_idx = int(np.argmax(exc >= stage.delta_t_max_k))
+        assert crossing_idx * dt == pytest.approx(t_max, rel=0.02)

@@ -1,0 +1,159 @@
+"""Tests for the assembler: labels, pseudos, li expansion, data."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc import CPU, AssemblyError, assemble
+
+
+def run(source: str) -> CPU:
+    cpu = CPU()
+    cpu.load_program(assemble(source))
+    cpu.run()
+    return cpu
+
+
+class TestBasics:
+    def test_arith_and_exit_code(self):
+        cpu = run("_start:\n li a0, 5\n li a1, 7\n add a0, a0, a1\n ecall\n")
+        assert cpu.exit_code == 12
+
+    def test_labels_and_branches(self):
+        cpu = run(
+            """
+_start:
+    li t0, 0
+    li t1, 5
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    mv a0, t0
+    ecall
+"""
+        )
+        assert cpu.exit_code == 5
+
+    def test_comments_stripped(self):
+        cpu = run("_start:  # entry\n li a0, 3 # three\n ecall\n")
+        assert cpu.exit_code == 3
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("_start:\n frobnicate a0, a1\n")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(AssemblyError, match="register"):
+            assemble("_start:\n addi q9, zero, 1\n")
+
+
+class TestLiExpansion:
+    @given(st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_li_exact_for_full_64bit_range(self, value):
+        cpu = run(f"_start:\n li a0, {value}\n ecall\n")
+        assert cpu.x[10] & (2**64 - 1) == value & (2**64 - 1)
+
+    def test_li_small_is_single_instruction(self):
+        prog = assemble("_start:\n li a0, 100\n ecall\n")
+        assert len(prog.text) == 2
+
+    def test_li_32bit_is_two_instructions(self):
+        prog = assemble("_start:\n li a0, 0x12345678\n ecall\n")
+        assert len(prog.text) == 3
+
+    def test_lui_corner_case(self):
+        # Values in [2^31-2048, 2^31) overflow the naive lui rounding.
+        cpu = run(f"_start:\n li a0, {2**31 - 1}\n ecall\n")
+        assert cpu.x[10] == 2**31 - 1
+
+
+class TestPseudoInstructions:
+    @pytest.mark.parametrize(
+        "body,expected",
+        [
+            ("li a0, 9\n mv a0, a0", 9),
+            ("li a0, 5\n neg a0, a0\n neg a0, a0", 5),
+            ("li a0, 0\n not a0, a0\n snez a0, a0", 1),
+            ("li t0, 0\n seqz a0, t0", 1),
+        ],
+    )
+    def test_pseudo_semantics(self, body, expected):
+        cpu = run(f"_start:\n {body}\n ecall\n")
+        assert cpu.exit_code == expected
+
+    def test_call_and_ret(self):
+        cpu = run(
+            """
+_start:
+    li a0, 10
+    call double
+    ecall
+double:
+    add a0, a0, a0
+    ret
+"""
+        )
+        assert cpu.exit_code == 20
+
+    def test_j_is_unconditional(self):
+        cpu = run(
+            """
+_start:
+    li a0, 1
+    j end
+    li a0, 99
+end:
+    ecall
+"""
+        )
+        assert cpu.exit_code == 1
+
+
+class TestDataSection:
+    def test_dword_and_load(self):
+        cpu = run(
+            """
+.data
+value: .dword 0xDEAD
+.text
+_start:
+    la t0, value
+    ld a0, 0(t0)
+    ecall
+"""
+        )
+        assert cpu.exit_code == 0xDEAD
+
+    def test_double_roundtrip(self):
+        cpu = run(
+            """
+.data
+pi: .double 3.5
+.text
+_start:
+    la t0, pi
+    fld fa0, 0(t0)
+    fld fa1, 0(t0)
+    fadd.d fa0, fa0, fa1
+    fcvt.w.d a0, fa0
+    ecall
+"""
+        )
+        assert cpu.exit_code == 7
+
+    def test_zero_directive_reserves(self):
+        prog = assemble(".data\nbuf: .zero 64\nafter: .dword 1\n.text\n_start:\n ecall\n")
+        assert prog.labels["after"] - prog.labels["buf"] == 64
+
+    def test_align_directive(self):
+        prog = assemble(
+            ".data\na: .word 1\n.align 3\nb: .dword 2\n.text\n_start:\n ecall\n"
+        )
+        assert prog.labels["b"] % 8 == 0
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(AssemblyError, match="directive"):
+            assemble(".data\n.wibble 3\n.text\n_start:\n ecall\n")

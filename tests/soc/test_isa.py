@@ -1,0 +1,59 @@
+"""Encode/decode round-trip and field tests for the ISA layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.isa import Instruction, OPCODES, decode, encode
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mnemonic", sorted(OPCODES))
+    def test_every_mnemonic_roundtrips(self, mnemonic):
+        fmt = OPCODES[mnemonic][0]
+        instr = Instruction(
+            mnemonic,
+            rd=3 if fmt != "B" else 0,
+            rs1=4 if fmt not in ("U", "J") else 0,
+            rs2=5 if fmt in ("R", "S", "B") else 0,
+            imm={"I": 100, "I*": 7, "S": -12, "B": 2048, "U": 0x12345,
+                 "J": 4096}.get(fmt, 0),
+        )
+        back = decode(encode(instr))
+        assert back.mnemonic == mnemonic
+        if fmt in ("I", "S", "B", "J", "I*"):
+            assert back.imm == instr.imm
+
+    @given(
+        rd=st.integers(1, 31), rs1=st.integers(0, 31),
+        imm=st.integers(-2048, 2047),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_itype_fields(self, rd, rs1, imm):
+        back = decode(encode(Instruction("addi", rd=rd, rs1=rs1, imm=imm)))
+        assert (back.rd, back.rs1, back.imm) == (rd, rs1, imm)
+
+    @given(imm=st.integers(-4096, 4094).map(lambda x: x & ~1))
+    @settings(max_examples=60, deadline=None)
+    def test_branch_offsets(self, imm):
+        back = decode(encode(Instruction("beq", rs1=1, rs2=2, imm=imm)))
+        assert back.imm == imm
+
+    @given(imm=st.integers(-(1 << 20), (1 << 20) - 2).map(lambda x: x & ~1))
+    @settings(max_examples=60, deadline=None)
+    def test_jal_offsets(self, imm):
+        back = decode(encode(Instruction("jal", rd=1, imm=imm)))
+        assert back.imm == imm
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(ValueError):
+            decode(0xFFFFFFFF)
+
+    def test_fp_discriminators(self):
+        # fcvt.d.w and fcvt.d.l share funct7; rs2 disambiguates.
+        w = decode(encode(Instruction("fcvt.d.w", rd=1, rs1=2)))
+        l = decode(encode(Instruction("fcvt.d.l", rd=1, rs1=2)))
+        assert w.mnemonic == "fcvt.d.w"
+        assert l.mnemonic == "fcvt.d.l"

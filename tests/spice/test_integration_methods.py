@@ -1,0 +1,86 @@
+"""Numerical-order validation of the transient integrators.
+
+A grid-aligned ramp into an RC has a closed-form response; halving the
+timestep must quarter the trapezoidal error (2nd order) and halve the
+backward-Euler error (1st order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, ramp, transient
+
+R, C, V = 1e3, 1e-12, 1.0
+TAU = R * C
+T_START = 0.1 * TAU
+T_RAMP = 0.1 * TAU
+
+
+def _circuit() -> Circuit:
+    ckt = Circuit()
+    ckt.add_vsource("v1", "src", "0", ramp(T_START, T_RAMP, 0.0, V))
+    ckt.add_resistor("r1", "src", "out", R)
+    ckt.add_capacitor("c1", "out", "0", C)
+    return ckt
+
+
+def _analytic(t: np.ndarray) -> np.ndarray:
+    """Superposition of two ramp responses (slope +-V/T_RAMP)."""
+
+    def ramp_response(t: np.ndarray, t0: float) -> np.ndarray:
+        x = np.maximum(t - t0, 0.0)
+        return (V / T_RAMP) * (x - TAU * (1 - np.exp(-x / TAU)))
+
+    return ramp_response(t, T_START) - ramp_response(t, T_START + T_RAMP)
+
+
+def _max_error(method: str, dt: float) -> float:
+    result = transient(_circuit(), t_stop=4 * TAU, dt=dt, record=["out"],
+                       method=method)
+    wave = result.waveform("out")
+    return float(np.max(np.abs(wave.values - _analytic(wave.time))))
+
+
+class TestIntegrationOrder:
+    def test_backward_euler_is_first_order(self):
+        coarse = _max_error("be", TAU / 20)
+        fine = _max_error("be", TAU / 40)
+        assert coarse / fine == pytest.approx(2.0, rel=0.15)
+
+    def test_trapezoidal_is_second_order(self):
+        coarse = _max_error("trap", TAU / 20)
+        fine = _max_error("trap", TAU / 40)
+        assert coarse / fine == pytest.approx(4.0, rel=0.2)
+
+    def test_trapezoidal_far_more_accurate_at_same_step(self):
+        assert _max_error("trap", TAU / 20) < 0.05 * _max_error("be",
+                                                                TAU / 20)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            transient(_circuit(), t_stop=TAU, dt=TAU / 10, method="gear2")
+
+    def test_methods_agree_on_final_value(self):
+        be = transient(_circuit(), t_stop=6 * TAU, dt=TAU / 50,
+                       record=["out"], method="be")
+        tr = transient(_circuit(), t_stop=6 * TAU, dt=TAU / 50,
+                       record=["out"], method="trap")
+        assert be.waveform("out").final == pytest.approx(
+            tr.waveform("out").final, abs=1e-3
+        )
+
+    def test_nonlinear_circuit_runs_with_trap(self):
+        from repro.device import FinFET, golden_nfet, golden_pfet
+        from repro.spice import DC
+
+        ckt = Circuit("inv", temperature_k=300.0)
+        ckt.add_vsource("vdd", "vdd", "0", DC(0.7))
+        ckt.add_vsource("vin", "in", "0", ramp(5e-12, 5e-12, 0.0, 0.7))
+        ckt.add_finfet("mp", "out", "in", "vdd", FinFET(golden_pfet(nfin=2)))
+        ckt.add_finfet("mn", "out", "in", "0", FinFET(golden_nfet(nfin=2)))
+        ckt.add_capacitor("cl", "out", "0", 1e-15)
+        result = transient(ckt, t_stop=60e-12, dt=0.25e-12,
+                           record=["out"], method="trap")
+        assert result.waveform("out").final == pytest.approx(0.0, abs=0.02)

@@ -1,0 +1,83 @@
+"""Tests for circuit construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import FinFET, golden_nfet
+from repro.spice import Circuit, DC
+
+
+class TestElementValidation:
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 100.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_resistor("r1", "b", "c", 100.0)
+
+    def test_duplicate_across_types_rejected(self):
+        c = Circuit()
+        c.add_resistor("x", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_capacitor("x", "a", "0", 1e-15)
+
+    def test_nonpositive_resistance_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="resistance"):
+            c.add_resistor("r1", "a", "b", 0.0)
+
+    def test_negative_capacitance_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="capacitance"):
+            c.add_capacitor("c1", "a", "b", -1e-15)
+
+
+class TestNodeBookkeeping:
+    def test_ground_aliases_excluded(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "0", 1.0)
+        c.add_resistor("r2", "b", "gnd", 1.0)
+        c.add_resistor("r3", "c", "vss", 1.0)
+        assert c.node_names() == ["a", "b", "c"]
+
+    def test_nodes_sorted_deterministically(self):
+        c = Circuit()
+        c.add_resistor("r1", "zeta", "alpha", 1.0)
+        c.add_resistor("r2", "mid", "alpha", 1.0)
+        assert c.node_names() == sorted(c.node_names())
+
+    def test_finfet_terminal_nodes_registered(self):
+        c = Circuit()
+        c.add_finfet("m1", "d", "g", "s", FinFET(golden_nfet()))
+        assert {"d", "g", "s"} <= set(c.node_names())
+
+    def test_element_count(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "0", DC(1.0))
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_finfet("m1", "b", "a", "0", FinFET(golden_nfet()),
+                     with_parasitics=False)
+        assert c.element_count == 3
+
+
+class TestParasitics:
+    def test_parasitic_caps_attached_by_default(self):
+        c = Circuit()
+        c.add_finfet("m1", "d", "g", "s", FinFET(golden_nfet()))
+        names = {cap.name for cap in c.capacitors}
+        assert names == {"m1_cgs", "m1_cgd", "m1_cdb"}
+
+    def test_parasitics_split_gate_cap_evenly(self):
+        c = Circuit()
+        model = FinFET(golden_nfet(nfin=2))
+        c.add_finfet("m1", "d", "g", "s", model)
+        cgs = next(cap for cap in c.capacitors if cap.name == "m1_cgs")
+        cgd = next(cap for cap in c.capacitors if cap.name == "m1_cgd")
+        assert cgs.capacitance == pytest.approx(model.gate_capacitance() / 2)
+        assert cgd.capacitance == pytest.approx(model.gate_capacitance() / 2)
+
+    def test_parasitics_can_be_suppressed(self):
+        c = Circuit()
+        c.add_finfet("m1", "d", "g", "s", FinFET(golden_nfet()),
+                     with_parasitics=False)
+        assert not c.capacitors

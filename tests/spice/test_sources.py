@@ -1,0 +1,80 @@
+"""Tests for source waveforms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.sources import DC, PWL, Pulse, ramp
+
+
+class TestDC:
+    def test_constant(self):
+        assert DC(0.7).value(0.0) == 0.7
+        assert DC(0.7).value(1e-3) == 0.7
+
+
+class TestPWL:
+    def test_interpolates(self):
+        w = PWL((0.0, 1.0), (0.0, 2.0))
+        assert w.value(0.5) == pytest.approx(1.0)
+
+    def test_holds_outside_range(self):
+        w = PWL((1.0, 2.0), (3.0, 5.0))
+        assert w.value(0.0) == 3.0
+        assert w.value(10.0) == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            PWL((0.0, 1.0), (0.0,))
+
+    def test_nonincreasing_times_rejected(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            PWL((0.0, 0.0), (0.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PWL((), ())
+
+
+class TestPulse:
+    @pytest.fixture
+    def pulse(self) -> Pulse:
+        return Pulse(v1=0.0, v2=0.7, delay=1e-9, rise=0.1e-9, fall=0.2e-9,
+                     width=2e-9, period=10e-9)
+
+    def test_initial_level(self, pulse):
+        assert pulse.value(0.0) == 0.0
+
+    def test_mid_rise(self, pulse):
+        assert pulse.value(1e-9 + 0.05e-9) == pytest.approx(0.35)
+
+    def test_high_level(self, pulse):
+        assert pulse.value(2e-9) == 0.7
+
+    def test_mid_fall(self, pulse):
+        assert pulse.value(1e-9 + 0.1e-9 + 2e-9 + 0.1e-9) == pytest.approx(0.35)
+
+    def test_periodicity(self, pulse):
+        assert pulse.value(2e-9) == pytest.approx(pulse.value(12e-9))
+
+    @given(st.floats(min_value=0.0, max_value=50e-9))
+    @settings(max_examples=100, deadline=None)
+    def test_output_always_within_rails(self, t):
+        p = Pulse(v1=0.0, v2=0.7, delay=1e-9, rise=0.1e-9, fall=0.2e-9,
+                  width=2e-9, period=10e-9)
+        assert -1e-12 <= p.value(t) <= 0.7 + 1e-12
+
+
+class TestRamp:
+    def test_endpoints(self):
+        w = ramp(1e-9, 10e-12, 0.0, 0.7)
+        assert w.value(0.0) == 0.0
+        assert w.value(1e-9) == 0.0
+        assert w.value(1e-9 + 10e-12) == pytest.approx(0.7)
+        assert w.value(1.0) == pytest.approx(0.7)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ramp(0.0, 0.0, 0.0, 1.0)

@@ -1,0 +1,93 @@
+"""Tests for waveform measurement utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spice.waveform import Waveform, propagation_delay
+
+
+def _ramp_wave(t0=1.0, t1=2.0, v0=0.0, v1=1.0, n=201, t_end=3.0):
+    t = np.linspace(0.0, t_end, n)
+    v = np.interp(t, [0.0, t0, t1, t_end], [v0, v0, v1, v1])
+    return Waveform(t, v, name="ramp")
+
+
+class TestCrossings:
+    def test_single_rise_crossing(self):
+        w = _ramp_wave()
+        assert w.cross(0.5, "rise") == pytest.approx(1.5, abs=1e-6)
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 4, 401)
+        v = np.interp(t, [0, 1, 2, 3, 4], [0, 1, 1, 0, 0])
+        w = Waveform(t, v)
+        assert w.cross(0.5, "rise") == pytest.approx(0.5, abs=1e-2)
+        assert w.cross(0.5, "fall") == pytest.approx(2.5, abs=1e-2)
+        assert len(w.crossings(0.5, "any")) == 2
+
+    def test_occurrence_selection(self):
+        t = np.linspace(0, 4, 401)
+        v = 0.5 + 0.5 * np.sin(2 * np.pi * t)
+        w = Waveform(t, v)
+        first = w.cross(0.5, "rise", occurrence=0)
+        second = w.cross(0.5, "rise", occurrence=1)
+        assert second - first == pytest.approx(1.0, abs=1e-2)
+
+    def test_missing_crossing_raises(self):
+        w = _ramp_wave()
+        with pytest.raises(ValueError, match="crosses"):
+            w.cross(2.0)
+
+    def test_interpolation_accuracy(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 1.0])
+        assert Waveform(t, v).cross(0.25) == pytest.approx(0.25)
+
+
+class TestTransitionTime:
+    def test_rise_slew_of_linear_ramp(self):
+        w = _ramp_wave(t0=1.0, t1=2.0)
+        # 10 % -> 90 % of a unit linear ramp spans 80 % of its duration.
+        assert w.transition_time(0.0, 1.0) == pytest.approx(0.8, abs=1e-3)
+
+    def test_fall_slew(self):
+        t = np.linspace(0, 3, 301)
+        v = np.interp(t, [0, 1, 2, 3], [1, 1, 0, 0])
+        w = Waveform(t, v)
+        assert w.transition_time(0.0, 1.0, direction="fall") == pytest.approx(
+            0.8, abs=1e-3
+        )
+
+    def test_custom_thresholds(self):
+        w = _ramp_wave()
+        t_2080 = w.transition_time(0.0, 1.0, lo_frac=0.2, hi_frac=0.8)
+        assert t_2080 == pytest.approx(0.6, abs=1e-3)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="two samples"):
+            Waveform(np.array([0.0]), np.array([0.0]))
+
+    def test_endpoints(self):
+        w = _ramp_wave()
+        assert w.initial == 0.0
+        assert w.final == 1.0
+        assert w.settled(1.0, 0.01)
+        assert not w.settled(0.0, 0.01)
+
+
+class TestPropagationDelay:
+    def test_delay_between_two_ramps(self):
+        win = _ramp_wave(t0=1.0, t1=1.2)
+        t = np.linspace(0, 3, 301)
+        vout = np.interp(t, [0, 1.5, 1.7, 3], [1, 1, 0, 0])
+        wout = Waveform(t, vout)
+        d = propagation_delay(win, wout, 1.0, "rise", "fall")
+        assert d == pytest.approx(0.5, abs=1e-2)

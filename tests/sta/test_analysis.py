@@ -1,0 +1,186 @@
+"""Tests for the static timing analyzer, including the Table-1 shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import FinFET, golden_nfet, golden_pfet
+from repro.sta import analyze
+from repro.synth import GateNetlist, Macro, RTLBuilder, place
+from repro.synth.opt import buffer_high_fanout, upsize_for_load
+from repro.synth.soc_builder import build_soc
+
+
+def _inverter_chain(n: int) -> GateNetlist:
+    nl = GateNetlist("chain")
+    clk = nl.add_input("clk")
+    nl.set_clock(clk)
+    rtl = RTLBuilder(nl)
+    q = rtl.dff(nl.add_input("d_in"), clk, "q0")
+    net = q
+    for _ in range(n):
+        net = rtl.inv(net)
+    rtl.dff(net, clk, "q1")
+    return nl
+
+
+class TestBasicTiming:
+    def test_longer_chain_longer_delay(self, lib300):
+        short = analyze(_inverter_chain(4), lib300)
+        long = analyze(_inverter_chain(16), lib300)
+        assert long.critical_path_delay > short.critical_path_delay
+
+    def test_fmax_is_inverse_of_critical(self, lib300):
+        rep = analyze(_inverter_chain(8), lib300)
+        assert rep.fmax_hz == pytest.approx(1.0 / rep.critical_path_delay)
+
+    def test_slack_sign(self, lib300):
+        rep = analyze(_inverter_chain(8), lib300)
+        assert rep.slack(rep.critical_path_delay * 2) > 0
+        assert rep.slack(rep.critical_path_delay / 2) < 0
+
+    def test_path_is_recovered(self, lib300):
+        rep = analyze(_inverter_chain(6), lib300)
+        assert len(rep.path) >= 6
+        arrivals = [p.arrival for p in rep.path]
+        assert arrivals == sorted(arrivals)
+
+    def test_endpoint_is_flop_d(self, lib300):
+        rep = analyze(_inverter_chain(6), lib300)
+        assert rep.critical_endpoint.endswith("/D")
+
+    def test_no_endpoints_raises(self, lib300):
+        nl = GateNetlist("empty")
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1", {"A": a})
+        with pytest.raises(ValueError, match="no timing endpoints"):
+            analyze(nl, lib300)
+
+    def test_primary_output_endpoint(self, lib300):
+        nl = GateNetlist("po")
+        a = nl.add_input("a")
+        y = nl.add_gate("INV_X1", {"A": a})
+        nl.add_output(y)
+        rep = analyze(nl, lib300)
+        assert rep.critical_endpoint == f"out:{y}"
+
+
+class TestMacroTiming:
+    def _macro_netlist(self) -> GateNetlist:
+        nl = GateNetlist("m")
+        clk = nl.add_input("clk")
+        nl.set_clock(clk)
+        macro = Macro(
+            name="sram0", kind="sram_data",
+            inputs=["addr0"], outputs=["do0"],
+            clk_to_out=400e-12, input_setup=50e-12, bits=1024,
+        )
+        nl.add_macro(macro)
+        rtl = RTLBuilder(nl)
+        y = rtl.inv("do0")
+        rtl.dff(y, clk, "q")
+        nl.add_gate("BUF_X1", {"A": rtl.dff(nl.add_input("a"), clk, "qa")},
+                    output="addr0")
+        return nl
+
+    def test_macro_output_is_start_point(self, lib300):
+        rep = analyze(self._macro_netlist(), lib300)
+        assert rep.critical_path_delay > 400e-12
+
+    def test_macro_delay_scale_applies(self, lib300):
+        nl = self._macro_netlist()
+        base = analyze(nl, lib300, macro_delay_scale=1.0)
+        slow = analyze(nl, lib300, macro_delay_scale=1.5)
+        assert slow.critical_path_delay > base.critical_path_delay
+
+
+class TestSoCTable1:
+    """Reproduces the shape of paper Table 1."""
+
+    @pytest.fixture(scope="class")
+    def soc_reports(self, lib300, lib10):
+        soc = build_soc(lib300)
+        buffer_high_fanout(soc.netlist, lib300)
+        upsize_for_load(soc.netlist, lib300)
+        pl = place(soc.netlist, lib300)
+
+        def scale(t):
+            n0, p0 = FinFET(golden_nfet()), FinFET(golden_pfet())
+            base = n0.effective_current(300.0) + p0.effective_current(300.0)
+            now = n0.effective_current(t) + p0.effective_current(t)
+            return base / now
+
+        rep300 = analyze(soc.netlist, lib300, pl, macro_delay_scale=1.0)
+        rep10 = analyze(soc.netlist, lib10, pl, macro_delay_scale=scale(10.0))
+        return rep300, rep10
+
+    def test_critical_path_near_one_nanosecond(self, soc_reports):
+        rep300, _ = soc_reports
+        # Paper: 1.04 ns at 300 K.
+        assert 0.8e-9 < rep300.critical_path_delay < 1.4e-9
+
+    def test_clock_frequency_near_1ghz(self, soc_reports):
+        rep300, _ = soc_reports
+        assert 700e6 < rep300.fmax_hz < 1.3e9
+
+    def test_cryo_slowdown_under_ten_percent(self, soc_reports):
+        rep300, rep10 = soc_reports
+        slowdown = rep10.critical_path_delay / rep300.critical_path_delay - 1
+        # Paper: 4.6 % slowdown, "difference is less than 10 %".
+        assert 0.0 < slowdown < 0.10
+
+    def test_cryo_slowdown_matches_paper_band(self, soc_reports):
+        rep300, rep10 = soc_reports
+        slowdown = rep10.critical_path_delay / rep300.critical_path_delay - 1
+        assert 0.02 < slowdown < 0.08
+
+    def test_same_critical_endpoint_at_both_corners(self, soc_reports):
+        rep300, rep10 = soc_reports
+        assert rep300.critical_endpoint == rep10.critical_endpoint
+
+    def test_worst_endpoints_ranked(self, soc_reports):
+        rep300, _ = soc_reports
+        worst = rep300.worst_endpoints(5)
+        values = [v for _, v in worst]
+        assert values == sorted(values, reverse=True)
+        assert worst[0][1] == rep300.critical_path_delay
+
+
+class TestUnatenessAndSlew:
+    def test_non_unate_xor_propagates_both_transitions(self, lib300):
+        from repro.synth import GateNetlist, RTLBuilder
+
+        nl = GateNetlist("xorpath")
+        clk = nl.add_input("clk")
+        nl.set_clock(clk)
+        rtl = RTLBuilder(nl)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        y = rtl.xor2(a, b)
+        rtl.dff(y, clk, "q")
+        rep = analyze(nl, lib300)
+        # Both transitions must be present on the XOR output path.
+        assert rep.critical_path_delay > 0
+        assert any(p.cell.startswith("XOR2") for p in rep.path)
+
+    def test_larger_input_slew_increases_delay(self, lib300):
+        # Input slew applies at primary inputs, so use a purely
+        # combinational input -> output path (flop Q pins launch with the
+        # fixed clock slew instead).
+        from repro.synth import GateNetlist, RTLBuilder
+
+        nl = GateNetlist("comb")
+        rtl = RTLBuilder(nl)
+        net = nl.add_input("a")
+        for _ in range(4):
+            net = rtl.inv(net)
+        nl.add_output(net)
+        fast = analyze(nl, lib300, input_slew=4e-12)
+        slow = analyze(nl, lib300, input_slew=100e-12)
+        assert slow.critical_path_delay > fast.critical_path_delay
+
+    def test_wire_loads_increase_delay(self, lib300):
+        nl = _inverter_chain(10)
+        unplaced = analyze(nl, lib300, placement=None)
+        placed = analyze(nl, lib300, placement=place(nl, lib300))
+        assert placed.critical_path_delay >= unplaced.critical_path_delay

@@ -1,0 +1,81 @@
+"""Tests for min-delay (hold) analysis -- the paper's Table-1 side claim
+that "the hold times of the circuit are not impacted" at 10 K."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sta import analyze_hold
+from repro.synth import GateNetlist, RTLBuilder, place
+from repro.synth.opt import buffer_high_fanout, upsize_for_load
+from repro.synth.soc_builder import build_soc
+
+
+def _flop_to_flop(n_buffers: int) -> GateNetlist:
+    nl = GateNetlist("f2f")
+    clk = nl.add_input("clk")
+    nl.set_clock(clk)
+    rtl = RTLBuilder(nl)
+    q = rtl.dff(nl.add_input("d"), clk, "launch")
+    net = q
+    for _ in range(n_buffers):
+        net = rtl.buf(net)
+    rtl.dff(net, clk, "capture")
+    return nl
+
+
+class TestBasics:
+    def test_more_logic_more_hold_slack(self, lib300):
+        short = analyze_hold(_flop_to_flop(0), lib300)
+        long = analyze_hold(_flop_to_flop(6), lib300)
+        assert long.worst_hold_slack > short.worst_hold_slack
+
+    def test_direct_flop_to_flop_is_clean(self, lib300):
+        # clk-to-Q alone exceeds the flop's hold window in this library.
+        rep = analyze_hold(_flop_to_flop(0), lib300)
+        assert rep.clean
+
+    def test_zero_input_delay_can_violate(self, lib300):
+        # An input wired straight to a D pin with no launch delay is the
+        # classic artificial hold violation.
+        nl = GateNetlist("pi2d")
+        clk = nl.add_input("clk")
+        nl.set_clock(clk)
+        d = nl.add_input("d")
+        nl.add_gate("DFF_X4", {"D": d, "CK": clk})
+        rep = analyze_hold(nl, lib300, input_delay=0.0)
+        assert not rep.clean
+        rep_delayed = analyze_hold(nl, lib300, input_delay=25e-12)
+        assert rep_delayed.clean
+
+    def test_no_endpoints_raises(self, lib300):
+        nl = GateNetlist("none")
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1", {"A": a})
+        with pytest.raises(ValueError, match="hold endpoints"):
+            analyze_hold(nl, lib300)
+
+
+class TestSoCHoldClaim:
+    """Paper: "the hold times of the circuit are not impacted" at 10 K."""
+
+    @pytest.fixture(scope="class")
+    def soc_setup(self, lib300):
+        soc = build_soc(lib300)
+        buffer_high_fanout(soc.netlist, lib300)
+        upsize_for_load(soc.netlist, lib300)
+        return soc, place(soc.netlist, lib300)
+
+    def test_hold_clean_at_both_corners(self, soc_setup, lib300, lib10):
+        soc, pl = soc_setup
+        for lib in (lib300, lib10):
+            rep = analyze_hold(soc.netlist, lib, pl)
+            assert rep.clean, (lib.temperature_k, rep.worst_endpoint)
+
+    def test_hold_slack_barely_moves_with_temperature(
+        self, soc_setup, lib300, lib10
+    ):
+        soc, pl = soc_setup
+        s300 = analyze_hold(soc.netlist, lib300, pl).worst_hold_slack
+        s10 = analyze_hold(soc.netlist, lib10, pl).worst_hold_slack
+        assert abs(s10 - s300) < 3e-12

@@ -1,0 +1,192 @@
+"""Tests for the AIG and the cut-based technology mapper."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import AND, NOT, OR, VAR, XOR
+from repro.synth.aig import AIG
+from repro.synth.simulate import NetlistSimulator
+from repro.synth.techmap import PatternLibrary, _permute_truth, technology_map
+
+
+class TestAIGCore:
+    def test_constant_folding(self):
+        aig = AIG()
+        a = aig.pi("a")
+        assert aig.and_(a, aig.const0) == aig.const0
+        assert aig.and_(a, aig.const1) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, aig.negate(a)) == aig.const0
+
+    def test_structural_hashing_shares_nodes(self):
+        aig = AIG()
+        a, b = aig.pi("a"), aig.pi("b")
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(b, a)  # commuted
+        assert n1 == n2
+        assert aig.n_nodes == 1
+
+    def test_negate_is_involution(self):
+        aig = AIG()
+        a = aig.pi("a")
+        assert aig.negate(aig.negate(a)) == a
+
+    def test_levels_of_chain(self):
+        aig = AIG()
+        a, b, c = aig.pi("a"), aig.pi("b"), aig.pi("c")
+        n1 = aig.and_(a, b)
+        n2 = aig.and_(n1, c)
+        aig.po("y", n2)
+        levels = aig.levels()
+        assert levels[aig.node_of(n2)] == 2
+
+    def test_evaluate_matches_expr(self):
+        expr = OR(AND(VAR("a"), NOT(VAR("b"))), XOR(VAR("c"), VAR("a")))
+        aig = AIG()
+        aig.po("y", aig.add_expr(expr))
+        for bits in itertools.product([False, True], repeat=3):
+            asg = dict(zip("abc", bits))
+            assert aig.evaluate(asg)["y"] == expr.evaluate(asg)
+
+    def test_xor_node_count_reasonable(self):
+        aig = AIG()
+        lit = aig.add_expr(XOR(VAR("a"), VAR("b")))
+        aig.po("y", lit)
+        assert aig.n_nodes <= 3
+
+
+class TestPermuteTruth:
+    def test_identity(self):
+        assert _permute_truth(0b1000, (0, 1), 2) == 0b1000
+
+    def test_swap_on_asymmetric_function(self):
+        # f(a, b) = a & !b  -> swapping gives !a & b.
+        f = 0b0010  # minterm a=1,b=0 -> index 1
+        swapped = _permute_truth(f, (1, 0), 2)
+        assert swapped == 0b0100
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_roundtrip(self, truth):
+        perm = (2, 0, 1)
+        inverse = (1, 2, 0)
+        once = _permute_truth(truth, perm, 3)
+        assert _permute_truth(once, inverse, 3) == truth
+
+
+class TestPatternLibrary:
+    def test_nand_pattern_found(self, lib300):
+        patterns = PatternLibrary(lib300)
+        nand_truth = lib300["NAND2_X1"].truth
+        pat = patterns.match(2, nand_truth)
+        assert pat is not None
+        assert pat.cell.startswith("NAND2")
+
+    def test_cheapest_variant_wins(self, lib300):
+        patterns = PatternLibrary(lib300)
+        pat = patterns.match(2, lib300["NAND2_X1"].truth)
+        # X1 is the smallest-area NAND2 variant.
+        assert pat.cell == "NAND2_X1"
+
+    def test_no_match_for_random_5_input(self, lib300):
+        patterns = PatternLibrary(lib300)
+        assert patterns.match(5, 0xDEADBEEF) is None
+
+
+class TestTechnologyMap:
+    def _check_equivalence(self, aig, lib):
+        nl, outs = technology_map(aig, lib)
+        sim_inputs = list(aig.inputs)
+        for bits in itertools.product([False, True], repeat=len(sim_inputs)):
+            asg = dict(zip(sim_inputs, bits))
+            ref = aig.evaluate(asg)
+            sim = NetlistSimulator(nl, lib)
+            sim.set_inputs(asg)
+            sim.settle()
+            for name, net in outs.items():
+                assert sim.value(net) == ref[name], (name, asg)
+        return nl
+
+    def test_simple_functions_equivalent(self, lib300):
+        aig = AIG()
+        a, b, c = aig.pi("a"), aig.pi("b"), aig.pi("c")
+        aig.po("f_and", aig.and_(a, b))
+        aig.po("f_or", aig.or_(a, b))
+        aig.po("f_xor", aig.xor_(a, c))
+        aig.po("f_mux", aig.mux_(a, b, c))
+        self._check_equivalence(aig, lib300)
+
+    def test_complex_cone_uses_complex_cells(self, lib300):
+        aig = AIG()
+        a, b, c, d = (aig.pi(x) for x in "abcd")
+        aig.po("y", aig.negate(aig.or_(aig.and_(a, b), aig.and_(c, d))))
+        nl = self._check_equivalence(aig, lib300)
+        # An AOI22 covers this in one cell.
+        assert any(cell.startswith("AOI22") for cell in nl.count_by_cell())
+
+    def test_shared_logic_mapped_once(self, lib300):
+        aig = AIG()
+        a, b = aig.pi("a"), aig.pi("b")
+        shared = aig.and_(a, b)
+        aig.po("y1", aig.negate(shared))
+        aig.po("y2", aig.or_(shared, a))
+        nl, _ = technology_map(aig, lib300)
+        assert nl.gate_count <= 4
+
+    def test_constant_output(self, lib300):
+        aig = AIG()
+        a = aig.pi("a")
+        aig.po("zero", aig.and_(a, aig.negate(a)))
+        nl, outs = technology_map(aig, lib300)
+        assert outs["zero"] == "const0"
+
+    def test_inverted_constant_output(self, lib300):
+        aig = AIG()
+        a = aig.pi("a")
+        aig.po("one", aig.negate(aig.and_(a, aig.negate(a))))
+        _, outs = technology_map(aig, lib300)
+        assert outs["one"] == "const1"
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_4input_truth_tables(self, lib300, truth):
+        """Map an arbitrary 4-input function and verify equivalence."""
+        from repro.logic import CONST, Expr
+
+        aig = AIG()
+        lits = [aig.pi(x) for x in "abcd"]
+        # Build the function as a sum of minterms.
+        terms = []
+        for m in range(16):
+            if (truth >> m) & 1:
+                parts = [
+                    lits[k] if (m >> k) & 1 else aig.negate(lits[k])
+                    for k in range(4)
+                ]
+                t = parts[0]
+                for p in parts[1:]:
+                    t = aig.and_(t, p)
+                terms.append(t)
+        if not terms:
+            out = aig.const0
+        else:
+            out = terms[0]
+            for t in terms[1:]:
+                out = aig.or_(out, t)
+        aig.po("y", out)
+        nl, outs = technology_map(aig, lib300)
+        for m in range(16):
+            asg = {x: bool((m >> k) & 1) for k, x in enumerate("abcd")}
+            if outs["y"] in ("const0", "const1"):
+                got = outs["y"] == "const1"
+            else:
+                sim = NetlistSimulator(nl, lib300)
+                sim.set_inputs(asg)
+                sim.settle()
+                got = sim.value(outs["y"])
+            assert got == bool((truth >> m) & 1), (m, truth)

@@ -1,0 +1,111 @@
+"""Tests for the shared boolean-expression algebra."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import AND, CONST, NOT, OR, VAR, XOR, Expr, truth_table
+
+
+def exprs(max_vars: int = 3):
+    """Random expression trees over a small variable set."""
+    names = [f"v{i}" for i in range(max_vars)]
+    leaves = st.one_of(
+        st.sampled_from(names).map(VAR),
+        st.booleans().map(CONST),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(NOT),
+            st.lists(children, min_size=2, max_size=3).map(lambda xs: AND(*xs)),
+            st.lists(children, min_size=2, max_size=3).map(lambda xs: OR(*xs)),
+            st.lists(children, min_size=2, max_size=2).map(lambda xs: XOR(*xs)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestEvaluation:
+    def test_basic_gates(self):
+        a, b = VAR("a"), VAR("b")
+        asg = {"a": True, "b": False}
+        assert AND(a, b).evaluate(asg) is False
+        assert OR(a, b).evaluate(asg) is True
+        assert XOR(a, b).evaluate(asg) is True
+        assert NOT(a).evaluate(asg) is False
+        assert CONST(True).evaluate({}) is True
+
+    def test_nary_xor_is_parity(self):
+        e = XOR(VAR("a"), VAR("b"), VAR("c"))
+        for bits in itertools.product([False, True], repeat=3):
+            asg = dict(zip("abc", bits))
+            assert e.evaluate(asg) == (sum(bits) % 2 == 1)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError, match="no value"):
+            VAR("q").evaluate({})
+
+    def test_operator_overloads(self):
+        a, b = VAR("a"), VAR("b")
+        assert (a & b).op == "and"
+        assert (a | b).op == "or"
+        assert (a ^ b).op == "xor"
+        assert (~a).op == "not"
+
+    def test_too_few_operands_rejected(self):
+        with pytest.raises(ValueError):
+            AND(VAR("a"))
+
+    def test_str_rendering(self):
+        assert str(AND(VAR("a"), NOT(VAR("b")))) == "(a & !b)"
+
+
+class TestVariables:
+    def test_sorted_unique(self):
+        e = AND(VAR("z"), OR(VAR("a"), VAR("z")))
+        assert e.variables() == ("a", "z")
+
+    @given(exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_evaluate_needs_only_listed_variables(self, e: Expr):
+        asg = {v: False for v in e.variables()}
+        assert e.evaluate(asg) in (True, False)
+
+
+class TestTruthTable:
+    def test_and2(self):
+        assert truth_table(AND(VAR("a"), VAR("b"))) == 0b1000
+
+    def test_or2(self):
+        assert truth_table(OR(VAR("a"), VAR("b"))) == 0b1110
+
+    def test_first_variable_is_lsb(self):
+        # f = a (ignore b): minterms where bit0 of the index is set.
+        t = truth_table(VAR("a"), ("a", "b"))
+        assert t == 0b1010
+
+    def test_uncovered_variable_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            truth_table(VAR("a"), ("b",))
+
+    @given(exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_table_consistent_with_evaluate(self, e: Expr):
+        variables = e.variables()
+        t = truth_table(e, variables)
+        for i, bits in enumerate(
+            itertools.product([False, True], repeat=len(variables))
+        ):
+            asg = dict(zip(variables, bits[::-1]))
+            assert bool((t >> i) & 1) == e.evaluate(asg)
+
+    @given(exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_double_negation_preserves_table(self, e: Expr):
+        variables = e.variables()
+        assert truth_table(NOT(NOT(e)), variables) == truth_table(e, variables)

@@ -1,0 +1,103 @@
+"""Tests for the gate-level netlist IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import GateNetlist, Macro
+
+
+def _simple_netlist() -> GateNetlist:
+    nl = GateNetlist("t")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    n1 = nl.add_gate("NAND2_X1", {"A": a, "B": b})
+    y = nl.add_gate("INV_X1", {"A": n1})
+    nl.add_output(y)
+    return nl
+
+
+class TestConstruction:
+    def test_double_driven_net_rejected(self):
+        nl = GateNetlist("t")
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1", {"A": a}, output="y")
+        with pytest.raises(ValueError, match="already driven"):
+            nl.add_gate("INV_X1", {"A": a}, output="y")
+
+    def test_duplicate_instance_rejected(self):
+        nl = GateNetlist("t")
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1", {"A": a}, name="u1")
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_gate("INV_X1", {"A": a}, name="u1")
+
+    def test_input_collision_rejected(self):
+        nl = GateNetlist("t")
+        nl.add_input("a")
+        with pytest.raises(ValueError, match="already driven"):
+            nl.add_input("a")
+
+    def test_macro_output_collision_rejected(self):
+        nl = GateNetlist("t")
+        nl.add_input("x")
+        with pytest.raises(ValueError, match="already driven"):
+            nl.add_macro(
+                Macro("m", "sram_data", [], ["x"], 1e-10, 1e-11, 8)
+            )
+
+
+class TestQueries:
+    def test_driver_and_loads(self):
+        nl = _simple_netlist()
+        assert nl.driver_of("a") == "@input"
+        nand_out = nl.gates["g0"].output
+        assert nl.driver_of(nand_out) == "g0"
+        assert ("g1", "A") in nl.loads_of(nand_out)
+        assert nl.fanout("a") == 1
+
+    def test_undriven_detection(self):
+        nl = GateNetlist("t")
+        nl.add_gate("INV_X1", {"A": "phantom"})
+        assert nl.undriven_nets() == ["phantom"]
+
+    def test_clean_netlist_has_no_undriven(self):
+        assert _simple_netlist().undriven_nets() == []
+
+    def test_counters(self):
+        nl = _simple_netlist()
+        assert nl.gate_count == 2
+        assert nl.count_by_cell() == {"INV_X1": 1, "NAND2_X1": 1}
+
+    def test_constants_idempotent(self):
+        nl = GateNetlist("t")
+        nl.ensure_constants()
+        nl.ensure_constants()
+        assert nl.driver_of("const0") == "@const"
+
+
+class TestTopological:
+    def test_order_respects_dependencies(self, lib300):
+        nl = _simple_netlist()
+        order = [g.name for g in nl.topological_gates(lib300)]
+        assert order.index("g0") < order.index("g1")
+
+    def test_flops_break_cycles(self, lib300):
+        nl = GateNetlist("loop")
+        clk = nl.add_input("clk")
+        q = nl.add_gate("DFF_X1", {"D": "d_net", "CK": clk}, output="q_net")
+        nl.add_gate("INV_X1", {"A": q}, output="d_net")
+        order = nl.topological_gates(lib300)
+        assert [g.cell for g in order] == ["INV_X1"]
+
+    def test_combinational_loop_detected(self, lib300):
+        nl = GateNetlist("bad")
+        nl.add_gate("INV_X1", {"A": "y"}, output="x")
+        nl.add_gate("INV_X1", {"A": "x"}, output="y")
+        with pytest.raises(ValueError, match="loop"):
+            nl.topological_gates(lib300)
+
+    def test_area_sums_library_areas(self, lib300):
+        nl = _simple_netlist()
+        expected = lib300["NAND2_X1"].area_um2 + lib300["INV_X1"].area_um2
+        assert nl.area_um2(lib300) == pytest.approx(expected)

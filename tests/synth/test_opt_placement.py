@@ -1,0 +1,138 @@
+"""Tests for sizing, buffering, sweeping and toy placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import (
+    GateNetlist,
+    RTLBuilder,
+    net_load,
+    place,
+    sweep_dangling,
+    upsize_for_load,
+)
+from repro.synth.opt import buffer_high_fanout
+from repro.synth.simulate import NetlistSimulator
+
+
+def _fanout_netlist(n_loads: int) -> GateNetlist:
+    nl = GateNetlist("fan")
+    a = nl.add_input("a")
+    src = nl.add_gate("INV_X1", {"A": a}, output="big")
+    for k in range(n_loads):
+        nl.add_gate("INV_X1", {"A": src}, output=f"leaf{k}")
+        nl.add_output(f"leaf{k}")
+    return nl
+
+
+class TestUpsize:
+    def test_high_fanout_gate_upsized(self, lib300):
+        nl = _fanout_netlist(32)
+        changed = upsize_for_load(nl, lib300, max_gain=4.0)
+        assert changed >= 1
+        driver = nl.gates[nl.driver_of("big")]
+        assert driver.cell != "INV_X1"
+
+    def test_light_load_keeps_x1(self, lib300):
+        nl = _fanout_netlist(1)
+        upsize_for_load(nl, lib300, max_gain=6.0)
+        driver = nl.gates[nl.driver_of("big")]
+        assert driver.cell == "INV_X1"
+
+    def test_net_load_sums_pin_caps(self, lib300):
+        nl = _fanout_netlist(3)
+        expected = 3 * lib300["INV_X1"].pin_capacitance("A")
+        assert net_load(nl, "big", lib300) == pytest.approx(expected)
+
+
+class TestBufferTrees:
+    def test_fanout_bounded_after_pass(self, lib300):
+        nl = _fanout_netlist(100)
+        inserted = buffer_high_fanout(nl, lib300, max_fanout=8)
+        assert inserted > 0
+        for net in nl.all_nets():
+            if net == nl.clock:
+                continue
+            assert nl.fanout(net) <= 8, net
+
+    def test_functionality_preserved(self, lib300):
+        nl = _fanout_netlist(40)
+        buffer_high_fanout(nl, lib300, max_fanout=8)
+        sim = NetlistSimulator(nl, lib300)
+        for value in (False, True):
+            sim.set_inputs({"a": value})
+            sim.settle()
+            for k in range(40):
+                assert sim.value(f"leaf{k}") == value
+
+    def test_clock_net_untouched(self, lib300):
+        nl = GateNetlist("clked")
+        clk = nl.add_input("clk")
+        nl.set_clock(clk)
+        rtl = RTLBuilder(nl)
+        d = nl.add_input("d")
+        for k in range(50):
+            rtl.dff(d, clk, f"q{k}")
+        before = nl.fanout(clk)
+        buffer_high_fanout(nl, lib300, max_fanout=8)
+        assert nl.fanout(clk) == before
+
+
+class TestSweep:
+    def test_dead_cone_removed(self, lib300):
+        nl = GateNetlist("dead")
+        a = nl.add_input("a")
+        keep = nl.add_gate("INV_X1", {"A": a}, output="keep")
+        nl.add_output(keep)
+        d1 = nl.add_gate("INV_X1", {"A": a}, output="dead1")
+        nl.add_gate("INV_X1", {"A": d1}, output="dead2")
+        removed = sweep_dangling(nl)
+        assert removed == 2
+        assert nl.gate_count == 1
+
+    def test_protected_net_survives(self, lib300):
+        nl = GateNetlist("prot")
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1", {"A": a}, output="keepme")
+        removed = sweep_dangling(nl, protect={"keepme"})
+        assert removed == 0
+
+
+class TestPlacement:
+    def test_all_gates_placed(self, lib300):
+        nl = _fanout_netlist(10)
+        pl = place(nl, lib300)
+        assert set(pl.positions) >= set(nl.gates)
+
+    def test_hpwl_zero_for_single_point(self, lib300):
+        nl = _fanout_netlist(2)
+        pl = place(nl, lib300)
+        # 'a' is driven by @input which has no position; its HPWL covers
+        # only the sink gate -> 0 with one point... the inverter output
+        # 'big' spans driver + 2 loads.
+        assert pl.net_hpwl_um("big") >= 0.0
+
+    def test_wire_cap_proportional_to_hpwl(self, lib300):
+        nl = _fanout_netlist(20)
+        pl = place(nl, lib300)
+        from repro.synth.placement import WIRE_CAP_PER_UM
+
+        assert pl.net_wire_cap("big") == pytest.approx(
+            pl.net_hpwl_um("big") * WIRE_CAP_PER_UM
+        )
+
+    def test_levelized_columns_follow_depth(self, lib300):
+        nl = GateNetlist("chain")
+        a = nl.add_input("a")
+        n1 = nl.add_gate("INV_X1", {"A": a}, name="u1")
+        n2 = nl.add_gate("INV_X1", {"A": n1}, name="u2")
+        nl.add_output(n2)
+        pl = place(nl, lib300)
+        assert pl.positions["u2"][0] > pl.positions["u1"][0]
+
+    def test_bounding_box_positive(self, lib300):
+        nl = _fanout_netlist(16)
+        pl = place(nl, lib300)
+        w, h = pl.bounding_box_um
+        assert w >= 0 and h > 0

@@ -1,0 +1,67 @@
+"""Tests for the Rocket-class SoC structural model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.opt import buffer_high_fanout, upsize_for_load
+from repro.synth.soc_builder import SoCConfig, build_soc
+
+
+@pytest.fixture(scope="module")
+def soc(lib300):
+    model = build_soc(lib300)
+    buffer_high_fanout(model.netlist, lib300)
+    upsize_for_load(model.netlist, lib300)
+    return model
+
+
+class TestConfig:
+    def test_paper_memory_inventory(self):
+        cfg = SoCConfig()
+        # "split L1 cache ... each with 16 [KiB] and a shared L2 of 512".
+        assert cfg.l1i_kib == 16
+        assert cfg.l1d_kib == 16
+        assert cfg.l2_kib == 512
+        # "581 [KiB] total on-chip SRAM" (data + tags); geometry-derived.
+        assert 560 <= cfg.total_sram_kib <= 600
+
+    def test_tag_bits_sane(self):
+        cfg = SoCConfig()
+        assert 30 <= cfg.tag_bits(16) <= 44
+        assert cfg.tag_bits(512) < cfg.tag_bits(16)
+
+
+class TestStructure:
+    def test_netlist_is_connected(self, soc):
+        assert soc.netlist.undriven_nets() == []
+
+    def test_gate_count_order_of_magnitude(self, soc):
+        assert 10_000 <= soc.gate_count <= 40_000
+
+    def test_flop_count_dominated_by_regfile(self, soc):
+        # 31 x 64 architectural registers plus pipeline state.
+        assert soc.flop_count >= 31 * 64
+
+    def test_expected_modules_present(self, soc):
+        modules = set(soc.netlist.count_by_module())
+        assert {"ifu", "decode", "regfile", "alu", "l1d"} <= modules
+
+    def test_macro_inventory(self, soc):
+        macros = soc.netlist.macros
+        assert {"l1i_data", "l1d_data", "l1d_tags", "l2_data"} <= set(macros)
+        total_bits = sum(m.bits for m in macros.values())
+        total_kib = total_bits / 8 / 1024
+        assert total_kib == pytest.approx(soc.config.total_sram_kib, rel=0.02)
+
+    def test_topological_order_exists(self, soc, lib300):
+        order = soc.netlist.topological_gates(lib300)
+        assert len(order) == soc.gate_count - len(
+            soc.netlist.sequential_gates(lib300)
+        )
+
+    def test_ripple_variant_builds_too(self, lib300):
+        small = build_soc(lib300, SoCConfig(adder="ripple"))
+        assert small.netlist.undriven_nets() == []
+        # Ripple trades area: fewer adder cells than carry-select.
+        assert small.gate_count < build_soc(lib300).gate_count
