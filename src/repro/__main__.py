@@ -7,6 +7,7 @@
     python -m repro fig2|fig3|fig5  # the remaining artifacts
     python -m repro ablations       # ABL-1..4
     python -m repro extensions      # EXT-THERMAL/FPGA/QEC/VDD/VQE/MISMATCH
+    python -m repro ext_seu         # EXT-SEU fault-injection campaign
     python -m repro all             # everything above
 
 ``--calibrated`` runs the honest flow (staged calibration first) instead
@@ -21,7 +22,7 @@ import sys
 
 COMMANDS = (
     "fig2", "fig3", "fig5", "table1", "fig6", "table2", "fig7",
-    "ablations", "extensions", "all",
+    "ablations", "extensions", "ext_seu", "all",
 )
 
 
@@ -56,6 +57,8 @@ def main(argv: list[str] | None = None) -> int:
             print(exp.fig2_readout.report())
         elif command == "fig3":
             print(exp.fig3_calibration.report())
+        elif command == "ext_seu":
+            print(exp.ext_seu.report())
         else:
             study = study or _build_study(args)
             if command == "fig5":

@@ -55,6 +55,13 @@ SLEW_FEEDTHROUGH = 0.21
 SHORT_CIRCUIT_FACTOR = 1.15
 """Multiplier on CV^2/2 accounting for short-circuit current."""
 
+# Per-transient solver budgets for the SPICE engine.  The first attempt
+# gets room to work; the retry is deliberately tightened (fail fast at a
+# finer timestep) because a solve that needs more than this is cheaper to
+# replace with the analytic estimate than to grind out.
+SPICE_POINT_BUDGET_S = 30.0
+SPICE_RETRY_BUDGET_S = 10.0
+
 
 @dataclass(frozen=True)
 class TechModels:
@@ -109,6 +116,9 @@ class CharacterizedCell:
     switching_energy: float = 0.0
     truth: int | None = None
     input_order: tuple[str, ...] = ()
+    notes: list[str] = field(default_factory=list)
+    """Degradation notes: non-empty when any arc point needed the solver
+    retry ladder or the analytic fallback (see build_library)."""
     # Sequential-only attributes (seconds):
     setup_time: float = 0.0
     hold_time: float = 0.0
@@ -356,9 +366,57 @@ class CellCharacterizer:
             circuit.add_capacitor("c_load", cell.output, "0", load)
         return circuit
 
-    def _characterize_arc_spice(self, cell: StandardCell, pin: str) -> TimingArc:
-        from repro.spice import DC, propagation_delay, ramp, transient
+    def _solve_point_resilient(
+        self,
+        cell: StandardCell,
+        pin: str,
+        circuit,
+        t_stop: float,
+        dt: float,
+        notes: list[str],
+    ):
+        """Transient with the characterization retry ladder.
 
+        Attempt the configured step under a wall-clock budget; on solver
+        failure retry once at half the step under a *tightened* budget
+        (a finer grid gives Newton better per-step initial guesses, and
+        a solve that still will not go is not worth more wall-clock);
+        returns ``None`` when both fail so the caller can fall back to
+        the analytic estimate for this table point.
+        """
+        from repro.errors import SolverError
+        from repro.spice import SolverBudget, transient
+
+        record = [pin, cell.output]
+        try:
+            return transient(
+                circuit, t_stop, dt, record=record,
+                budget=SolverBudget(max_seconds=SPICE_POINT_BUDGET_S),
+            )
+        except SolverError as exc:
+            first = f"{type(exc).__name__}: {exc}"
+        try:
+            result = transient(
+                circuit, t_stop, dt / 2.0, record=record,
+                budget=SolverBudget(max_seconds=SPICE_RETRY_BUDGET_S),
+            )
+            notes.append(
+                f"arc {pin}: retried at dt/2 after {first}"
+            )
+            return result
+        except SolverError as exc:
+            notes.append(
+                f"arc {pin}: analytic fallback ({first}; retry "
+                f"{type(exc).__name__}: {exc})"
+            )
+            return None
+
+    def _characterize_arc_spice(
+        self, cell: StandardCell, pin: str, notes: list[str] | None = None
+    ) -> TimingArc:
+        from repro.spice import DC, propagation_delay, ramp
+
+        notes = [] if notes is None else notes
         cfg = self.config
         side = self._sensitize(cell, pin)
         if side is None:
@@ -397,13 +455,23 @@ class CellCharacterizer:
                     }
                     wave_map[pin] = ramp(t_start, ramp_dur, v0, v1)
                     circuit = self.build_cell_circuit(cell, c, wave_map)
-                    res = transient(
-                        circuit, t_stop, dt, record=[pin, cell.output]
+                    res = self._solve_point_resilient(
+                        cell, pin, circuit, t_stop, dt, notes
                     )
-                    win = res.waveform(pin)
-                    wout = res.waveform(cell.output)
-                    d = propagation_delay(win, wout, cfg.vdd, in_tr, out_tr)
-                    sl = wout.transition_time(0.0, cfg.vdd, direction=out_tr)
+                    if res is None:
+                        # Irrecoverable solve: use the analytic estimate
+                        # for this point so one bad corner does not void
+                        # the whole arc.
+                        d, sl = est_d, est_s
+                    else:
+                        win = res.waveform(pin)
+                        wout = res.waveform(cell.output)
+                        d = propagation_delay(
+                            win, wout, cfg.vdd, in_tr, out_tr
+                        )
+                        sl = wout.transition_time(
+                            0.0, cfg.vdd, direction=out_tr
+                        )
                     if d > tables[f"cell_{out_tr}"][i, j]:
                         tables[f"cell_{out_tr}"][i, j] = d
                         tables[f"{out_tr}_transition"][i, j] = sl
@@ -563,14 +631,23 @@ class CellCharacterizer:
     # Top level
     # ------------------------------------------------------------------ #
     def characterize(self, cell: StandardCell | SequentialCell) -> CharacterizedCell:
-        """Characterize one cell with the configured engine."""
+        """Characterize one cell with the configured engine.
+
+        Per-arc solver failures inside the SPICE engine are absorbed by
+        the retry ladder (see :meth:`_solve_point_resilient`) and show
+        up in :attr:`CharacterizedCell.notes`; failures that escape this
+        method are wrapped in
+        :class:`~repro.errors.CharacterizationError` with cell/arc
+        context by :func:`repro.cells.library.build_library`.
+        """
         if cell.is_sequential:
             return self.characterize_sequential(cell)  # type: ignore[arg-type]
         assert isinstance(cell, StandardCell)
         arcs = []
+        notes: list[str] = []
         for pin in cell.inputs:
             if self.config.engine == "spice":
-                arcs.append(self._characterize_arc_spice(cell, pin))
+                arcs.append(self._characterize_arc_spice(cell, pin, notes))
             else:
                 arcs.append(self._characterize_arc_analytic(cell, pin))
         leakage = self.leakage_by_state(cell)
@@ -591,4 +668,5 @@ class CellCharacterizer:
             switching_energy=self.switching_energy(cell),
             truth=cell.truth(),
             input_order=cell.inputs,
+            notes=notes,
         )

@@ -7,7 +7,7 @@ produces (Fig. 4 outputs, one per temperature corner).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -19,6 +19,8 @@ from repro.cells.characterize import (
     CharacterizedCell,
     TechModels,
 )
+from repro.errors import CharacterizationError
+from repro.reliability.coverage import CoverageReport
 
 __all__ = ["CellLibrary", "build_library"]
 
@@ -31,6 +33,9 @@ class CellLibrary:
     temperature_k: float
     vdd: float
     cells: dict[str, CharacterizedCell] = field(default_factory=dict)
+    coverage: CoverageReport | None = None
+    """Per-cell characterization outcome of the build that produced this
+    library; ``None`` for hand-assembled libraries."""
 
     def __getitem__(self, name: str) -> CharacterizedCell:
         try:
@@ -111,18 +116,64 @@ def build_library(
     config: CharacterizationConfig,
     catalog: list[StandardCell | SequentialCell] | None = None,
     name: str | None = None,
+    strict: bool = False,
 ) -> CellLibrary:
     """Characterize a catalog into a library at one corner.
 
     With the default analytic engine the full ~200-cell catalog takes a
     few seconds; the SPICE engine is practical for small catalogs only.
+
+    The build is resilient by default: a cell whose characterization
+    fails is retried (for the SPICE engine, with the analytic engine as
+    the last rung of the ladder) and quarantined if irrecoverable; the
+    returned library carries the per-cell outcome in
+    :attr:`CellLibrary.coverage` instead of the whole build aborting.
+    ``strict=True`` restores fail-fast semantics, raising
+    :class:`~repro.errors.CharacterizationError` on the first bad cell.
     """
     catalog = full_catalog() if catalog is None else catalog
     name = name or f"repro5nm_{config.temperature_k:g}K"
     library = CellLibrary(
         name=name, temperature_k=config.temperature_k, vdd=config.vdd
     )
+    report = CoverageReport(library=name, total=len(catalog))
     characterizer = CellCharacterizer(models, config)
+    analytic: CellCharacterizer | None = None
     for cell in catalog:
-        library.add(characterizer.characterize(cell))
+        try:
+            characterized = characterizer.characterize(cell)
+        except Exception as exc:  # noqa: BLE001 - quarantine anything
+            if strict:
+                raise CharacterizationError(
+                    f"cell {cell.name!r}: {type(exc).__name__}: {exc}",
+                    cell=cell.name,
+                ) from exc
+            failure = f"{type(exc).__name__}: {exc}"
+            if config.engine == "spice":
+                # Last rung of the ladder: the whole cell falls back to
+                # the analytic engine.
+                if analytic is None:
+                    analytic = CellCharacterizer(
+                        models, replace(config, engine="analytic")
+                    )
+                try:
+                    characterized = analytic.characterize(cell)
+                except Exception as exc2:  # noqa: BLE001
+                    report.quarantined[cell.name] = (
+                        f"spice: {failure}; analytic: "
+                        f"{type(exc2).__name__}: {exc2}"
+                    )
+                    continue
+                characterized.notes.append(
+                    f"analytic-engine fallback after {failure}"
+                )
+            else:
+                report.quarantined[cell.name] = failure
+                continue
+        if characterized.notes:
+            report.degraded[cell.name] = "; ".join(characterized.notes)
+        else:
+            report.clean.append(cell.name)
+        library.add(characterized)
+    library.coverage = report
     return library

@@ -120,6 +120,31 @@ class CryoStudy:
             for t in (T_ROOM, T_CRYO)
         }
 
+    @cached_property
+    def coverage_reports(self):
+        """Per-corner characterization coverage (reliability surfacing).
+
+        The resilient library build quarantines irrecoverable cells
+        instead of aborting the flow; downstream stages (and operators)
+        read the damage here.  ``flow_health()`` aggregates the same
+        information into one verdict.
+        """
+        return {t: lib.coverage for t, lib in self.libraries.items()}
+
+    def flow_health(self) -> dict:
+        """One-line reliability verdict over every built corner."""
+        reports = {
+            t: r for t, r in self.coverage_reports.items() if r is not None
+        }
+        return {
+            "complete": all(r.complete for r in reports.values()),
+            "coverage": {t: r.coverage for t, r in reports.items()},
+            "quarantined": {
+                t: sorted(r.quarantined) for t, r in reports.items()
+                if r.quarantined
+            },
+        }
+
     # ------------------------------------------------------------------ #
     # Stage 4: SoC synthesis, placement, timing (Section V-A, Table 1)
     # ------------------------------------------------------------------ #

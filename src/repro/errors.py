@@ -1,0 +1,73 @@
+"""Structured exception taxonomy shared by every repro package.
+
+The seed code raised a zoo of bare ``RuntimeError``/``ValueError``
+subclasses defined next to their call sites, which made flow-level
+recovery impossible: a library build could not tell a solver
+non-convergence (retryable, quarantineable) from a programming error.
+Every recoverable failure now derives from :class:`ReproError` and is
+tagged by layer:
+
+``ReproError``
+    Base class; still a ``RuntimeError`` so pre-existing ``except
+    RuntimeError`` call sites keep working.
+``SolverError``
+    The SPICE layer could not produce a solution: Newton-Raphson
+    non-convergence at every gmin/source step
+    (:class:`~repro.spice.solver.ConvergenceError`), a singular MNA
+    matrix, or an exhausted per-solve budget
+    (:class:`SolverBudgetError`).
+``CharacterizationError``
+    A cell/arc could not be characterized.  Carries the cell and arc so
+    the resilient library build can quarantine precisely.
+``WorkloadError``
+    An ISS workload failed: runaway execution
+    (:class:`~repro.soc.cpu.HaltError`) or a cycle-budget watchdog trip
+    (:class:`HangError`) -- the crash/hang buckets of a fault-injection
+    campaign.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CharacterizationError",
+    "HangError",
+    "ReproError",
+    "SolverBudgetError",
+    "SolverError",
+    "WorkloadError",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class for every recoverable failure raised by repro code."""
+
+
+class SolverError(ReproError):
+    """The circuit solver failed to produce a solution."""
+
+
+class SolverBudgetError(SolverError):
+    """A per-solve iteration or wall-clock budget was exhausted.
+
+    Distinct from plain non-convergence so callers can tell "this solve
+    is hopeless" from "this solve is too expensive" -- the
+    characterization retry ladder treats them the same, a debugging
+    session does not.
+    """
+
+
+class CharacterizationError(ReproError):
+    """One cell (or one timing arc) could not be characterized."""
+
+    def __init__(self, message: str, cell: str = "", arc: str = ""):
+        super().__init__(message)
+        self.cell = cell
+        self.arc = arc
+
+
+class WorkloadError(ReproError):
+    """An ISS workload run failed."""
+
+
+class HangError(WorkloadError):
+    """A cycle-budget watchdog expired before the workload halted."""

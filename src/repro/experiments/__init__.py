@@ -21,6 +21,7 @@ Index (see DESIGN.md section 4):
 * :mod:`~repro.experiments.ext_vqe`          -- EXT: hybrid-loop latency
 * :mod:`~repro.experiments.ext_mismatch`     -- EXT: mismatch + SRAM SNM
 * :mod:`~repro.experiments.ext_soc_sweep`    -- EXT: SoC config sweep
+* :mod:`~repro.experiments.ext_seu`          -- EXT: SEU fault injection
 """
 
 from repro.experiments import (
@@ -28,6 +29,7 @@ from repro.experiments import (
     ext_fpga,
     ext_mismatch,
     ext_qec,
+    ext_seu,
     ext_soc_sweep,
     ext_thermal,
     ext_vdd,
@@ -46,6 +48,7 @@ __all__ = [
     "ext_fpga",
     "ext_mismatch",
     "ext_qec",
+    "ext_seu",
     "ext_soc_sweep",
     "ext_thermal",
     "ext_vdd",

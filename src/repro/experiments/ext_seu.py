@@ -1,0 +1,98 @@
+"""EXT-SEU: single-event-upset vulnerability of the readout classifier.
+
+The paper's SoC classifies qubit states *inside* the cryostat, where
+the classical logic itself is exposed to the radiation/low-temperature
+upset mechanisms the "Intelligent Methods for Test and Reliability"
+umbrella project studies.  This experiment asks the obvious follow-up
+the paper leaves open: if a single bit flips in the register file, the
+data memory or the L1D arrays mid-classification, does the 110 us
+decoherence budget ship a wrong label (silent data corruption), a
+detectable crash/hang, or nothing at all?
+
+Method: a seeded statistical fault-injection campaign (one flip per
+run, outcomes bucketed against a golden run; see
+:mod:`repro.reliability.campaign`) on the kNN kernel, reported as
+per-structure architectural-vulnerability factors -- then repeated
+with task-level software TMR to quantify how much of the SDC rate the
+classic mitigation buys back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.reliability import CampaignConfig, knn_workload, run_campaign
+
+__all__ = ["run", "report"]
+
+
+def run(
+    n_injections: int = 200,
+    n_qubits: int = 8,
+    shots: int = 12,
+    seed: int = 2023,
+) -> dict:
+    """Campaign on the kNN kernel, without and with software TMR."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 0.8, (n_qubits, 2, 2))
+    measurements = rng.normal(0.0, 0.8, (shots * n_qubits, 2))
+    spec = knn_workload(centers, measurements, n_qubits)
+    base = run_campaign(
+        spec, CampaignConfig(n_injections=n_injections, seed=seed)
+    )
+    tmr = run_campaign(
+        spec, CampaignConfig(n_injections=n_injections, seed=seed, tmr=True)
+    )
+    return {
+        "n_injections": n_injections,
+        "n_qubits": n_qubits,
+        "campaign": base,
+        "campaign_tmr": tmr,
+        "sdc_rate": base.rate("sdc"),
+        "sdc_rate_tmr": tmr.rate("sdc"),
+        "avf": {s: base.avf(s) for s in base.structures()},
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    base = result["campaign"]
+    tmr = result["campaign_tmr"]
+    rows = []
+    for s in base.structures():
+        c = base.counts(s)
+        n = sum(c.values())
+        rows.append([
+            s,
+            n,
+            c["masked"],
+            c["sdc"],
+            c["crash"],
+            c["hang"],
+            f"{base.avf(s) * 100:.1f} %",
+            f"{tmr.rate('sdc', s) * 100:.1f} %",
+        ])
+    c = base.counts()
+    rows.append([
+        "TOTAL",
+        sum(c.values()),
+        c["masked"],
+        c["sdc"],
+        c["crash"],
+        c["hang"],
+        f"{base.avf() * 100:.1f} %",
+        f"{tmr.rate('sdc') * 100:.1f} %",
+    ])
+    return format_table(
+        ["structure", "n", "masked", "SDC", "crash", "hang", "AVF",
+         "SDC w/ TMR"],
+        rows,
+        title=(
+            f"EXT-SEU: {result['n_injections']} injections, kNN kernel, "
+            f"{result['n_qubits']} qubits "
+            f"(golden {base.golden_cycles} cycles; "
+            f"SDC {result['sdc_rate']:.1%} -> "
+            f"{result['sdc_rate_tmr']:.1%} with TMR)"
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Reliability layer: fault injection, resilience and coverage.
+
+The umbrella project behind the source paper is "Intelligent Methods
+for Test and Reliability"; this package supplies the reliability half
+of that story for the reproduction:
+
+* :mod:`~repro.reliability.faults`   -- seeded SEU fault models
+  (register file, data memory, L1D data/tag arrays);
+* :mod:`~repro.reliability.injector` -- applies flips to a live ISS and
+  drives runs with scheduled injections;
+* :mod:`~repro.reliability.campaign` -- the campaign runner: outcome
+  buckets (masked / SDC / crash / hang), per-structure AVF, and a
+  software-TMR mitigation knob;
+* :mod:`~repro.reliability.coverage` -- :class:`CoverageReport` for
+  resilient library characterization (graceful degradation instead of
+  flow abort).
+
+See ``docs/ARCHITECTURE.md`` ("Reliability & fault injection") for how
+this layer hooks into the Fig. 1 stack.
+"""
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    InjectionRecord,
+    WorkloadSpec,
+    hdc_workload,
+    knn_workload,
+    majority_vote,
+    qec_workload,
+    run_campaign,
+)
+from repro.reliability.coverage import CoverageReport
+from repro.reliability.faults import ALL_STRUCTURES, BitFlip, FaultPlanner
+from repro.reliability.injector import inject, run_with_faults
+
+__all__ = [
+    "ALL_STRUCTURES",
+    "BitFlip",
+    "CampaignConfig",
+    "CampaignResult",
+    "CoverageReport",
+    "FaultPlanner",
+    "InjectionRecord",
+    "WorkloadSpec",
+    "hdc_workload",
+    "inject",
+    "knn_workload",
+    "majority_vote",
+    "qec_workload",
+    "run_campaign",
+    "run_with_faults",
+]

@@ -1,0 +1,126 @@
+"""Single-event-upset fault models for the SoC ISS.
+
+A fault is one :class:`BitFlip`: a structure, a scheduled injection
+cycle, a location within the structure and a bit position.  Plans are
+produced by :class:`FaultPlanner` from a seeded generator, so a campaign
+is reproducible bit-for-bit from ``(seed, n_injections, structures)``
+alone -- re-running a campaign with the same configuration must land
+every flip in the same place at the same cycle.
+
+Structures model the SEU-susceptible SRAM/flip-flop arrays of the
+paper's Rocket-class SoC at 10 K:
+
+``regfile``
+    The 31 writable integer registers (x0 is hard-wired; a strike on it
+    is architecturally masked and the planner still schedules it so AVF
+    accounting stays unbiased).
+``dmem``
+    Workload data words in main memory (calibration centers,
+    measurement buffers, HDC tables).
+``l1d_data``
+    The L1 data-cache data array: the flip lands in a byte of a
+    *currently resident* line, visible to subsequent hits and
+    writebacks.
+``l1d_tag``
+    The L1 data-cache tag array: the struck line stops matching its
+    address and effectively vanishes (a timing fault, not a data
+    fault, in a system whose backing store is coherent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ALL_STRUCTURES", "BitFlip", "FaultPlanner"]
+
+#: Every structure the injector knows how to strike.
+ALL_STRUCTURES = ("regfile", "dmem", "l1d_data", "l1d_tag")
+
+_XLEN = 64
+_N_REGS = 32
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One scheduled single-bit upset.
+
+    ``index`` is structure-relative: a register number for ``regfile``,
+    an absolute byte address for ``dmem``, and a raw selector for the
+    cache structures (resolved against the set of resident lines at
+    injection time, which is deterministic for a deterministic
+    workload).  ``offset`` picks the byte within a cache line and is 0
+    elsewhere.  ``bit`` is the bit within the 64-bit register
+    (``regfile``) or within the byte (everything else).
+    """
+
+    structure: str
+    cycle: int
+    index: int
+    bit: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.structure not in ALL_STRUCTURES:
+            raise ValueError(f"unknown structure {self.structure!r}; "
+                             f"expected one of {ALL_STRUCTURES}")
+
+
+class FaultPlanner:
+    """Seeded sampler of injection plans."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def plan(
+        self,
+        n_injections: int,
+        cycle_max: int,
+        data_regions: list[tuple[int, int]],
+        structures: tuple[str, ...] = ALL_STRUCTURES,
+    ) -> list[BitFlip]:
+        """Sample ``n_injections`` flips over ``structures``.
+
+        Injection cycles are uniform over ``[0, cycle_max)`` (the golden
+        run's span); ``dmem`` addresses are uniform over the workload's
+        live ``data_regions``.  Structures are assigned round-robin so
+        per-structure sample counts differ by at most one -- AVF
+        estimates then have comparable confidence across structures.
+        """
+        if n_injections <= 0:
+            raise ValueError("need a positive injection count")
+        if cycle_max <= 0:
+            raise ValueError("need a positive cycle span")
+        if not structures:
+            raise ValueError("need at least one target structure")
+        sizes = [max(1, size) for _base, size in data_regions] or [1]
+        total = sum(sizes)
+        rng = self._rng
+        faults: list[BitFlip] = []
+        for k in range(n_injections):
+            structure = structures[k % len(structures)]
+            cycle = int(rng.integers(0, cycle_max))
+            if structure == "regfile":
+                index = int(rng.integers(0, _N_REGS))
+                bit = int(rng.integers(0, _XLEN))
+                offset = 0
+            elif structure == "dmem":
+                # Area-weighted region choice, then a byte within it.
+                pick = int(rng.integers(0, total))
+                index = 0
+                for (base, size), w in zip(data_regions, sizes):
+                    if pick < w:
+                        index = base + pick
+                        break
+                    pick -= w
+                bit = int(rng.integers(0, 8))
+                offset = 0
+            else:  # l1d_data / l1d_tag: selector resolved at inject time
+                index = int(rng.integers(0, 1 << 30))
+                bit = int(rng.integers(0, 8))
+                offset = int(rng.integers(0, 64))
+            faults.append(BitFlip(structure=structure, cycle=cycle,
+                                  index=index, bit=bit, offset=offset))
+        return faults

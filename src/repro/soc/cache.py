@@ -82,6 +82,39 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    # Fault injection ----------------------------------------------------- #
+    def resident(self, addr: int) -> bool:
+        """True if the line containing ``addr`` is currently cached
+        (without touching LRU order or statistics)."""
+        set_idx, tag = self._locate(addr)
+        return any(t == tag for t, _ in self._sets[set_idx])
+
+    def lines(self) -> list[tuple[int, int, bool]]:
+        """Snapshot of every valid line as (set, tag, dirty) -- the
+        address space a tag-array SEU can strike."""
+        out = []
+        for set_idx, ways in enumerate(self._sets):
+            for tag, dirty in ways:
+                out.append((set_idx, tag, dirty))
+        return out
+
+    def corrupt_tag(self, set_idx: int, tag: int) -> bool:
+        """Model a tag-array SEU on one valid line.
+
+        The flipped tag no longer matches any lookup for the original
+        address, so architecturally the line simply vanishes from the
+        cache (the next access misses and refills).  A write-allocate
+        write-back cache would additionally lose dirty data, which the
+        injector models separately via the data array.  Returns True if
+        the line was present.
+        """
+        ways = self._sets[set_idx]
+        for k, (t, _dirty) in enumerate(ways):
+            if t == tag:
+                ways.pop(k)
+                return True
+        return False
+
 
 @dataclass
 class CacheHierarchy:

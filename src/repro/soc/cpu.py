@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.errors import HangError, WorkloadError
 from repro.soc.assembler import Program
 from repro.soc.cache import CacheHierarchy
 from repro.soc.isa import Instruction, decode
@@ -47,7 +48,7 @@ LATENCY = {
 REDIRECT_PENALTY = 2
 
 
-class HaltError(RuntimeError):
+class HaltError(WorkloadError):
     """Raised when execution exceeds the instruction budget."""
 
 
@@ -420,12 +421,29 @@ class CPU:
         self.pc = next_pc
 
     # ------------------------------------------------------------------ #
-    def run(self, max_instructions: int = 50_000_000) -> ExecutionStats:
-        """Run until ECALL; returns the statistics."""
+    def run(
+        self,
+        max_instructions: int = 50_000_000,
+        max_cycles: int | None = None,
+    ) -> ExecutionStats:
+        """Run until ECALL; returns the statistics.
+
+        ``max_cycles`` is a watchdog for fault-injection campaigns: a
+        corrupted loop bound usually still retires instructions, so the
+        instruction budget alone cannot distinguish "slow" from "stuck".
+        Tripping it raises :class:`~repro.errors.HangError` (the *hang*
+        outcome bucket) rather than :class:`HaltError` (the *crash*
+        bucket).
+        """
         while not self.halted:
             if self.stats.instructions >= max_instructions:
                 raise HaltError(
                     f"exceeded {max_instructions} instructions without ECALL"
+                )
+            if max_cycles is not None and self.stats.cycles > max_cycles:
+                raise HangError(
+                    f"cycle watchdog expired: {self.stats.cycles} > "
+                    f"{max_cycles} cycles without ECALL"
                 )
             self.step()
         return self.stats

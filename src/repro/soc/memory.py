@@ -60,6 +60,18 @@ class Memory:
     def store_double(self, addr: int, value: float) -> None:
         self.store_bytes(addr, struct.pack("<d", value))
 
+    # Fault injection ----------------------------------------------------- #
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit of one byte -- the SEU primitive.
+
+        ``bit`` is the bit index within the byte (0 = LSB).  Works on
+        untouched pages too: they read as zero, so the flip sets the bit.
+        """
+        if not 0 <= bit < 8:
+            raise ValueError("bit index must be in [0, 8)")
+        page, offset = self._page(addr)
+        page[offset] ^= 1 << bit
+
     @property
     def touched_bytes(self) -> int:
         """Allocated footprint (page granularity)."""

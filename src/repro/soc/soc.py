@@ -98,6 +98,49 @@ class RocketSoC:
         cpu.caches.l2.stats.writebacks = 0
 
     # ------------------------------------------------------------------ #
+    # Workload setup: (prepare, read_output, data_regions) triples.
+    #
+    # ``prepare()`` builds a fresh, fully-loaded CPU; ``read_output(cpu)``
+    # extracts the architectural result after a run; ``data_regions`` are
+    # the (base, size) byte ranges holding live workload data.  ``run_*``
+    # consumes them directly; the fault-injection campaign in
+    # :mod:`repro.reliability` re-uses them to re-execute the identical
+    # workload an arbitrary number of times under injected faults.
+    # ------------------------------------------------------------------ #
+    def setup_knn(
+        self,
+        centers: np.ndarray,
+        measurements: np.ndarray,
+        n_qubits: int,
+        with_sqrt: bool = False,
+    ):
+        """kNN workload setup; see the section comment for the contract."""
+        n = len(measurements)
+        meas_bytes = pack_measurements(measurements)
+        center_bytes = pack_centers(centers)
+
+        def prepare() -> CPU:
+            cpu = self._fresh_cpu()
+            cpu.load_program(
+                assemble(knn_source(n, n_qubits, with_sqrt=with_sqrt))
+            )
+            cpu.memory.store_bytes(CENTERS_BASE, center_bytes)
+            cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
+            self._warm(cpu, MEAS_BASE, len(meas_bytes))
+            self._warm(cpu, CENTERS_BASE, len(center_bytes))
+            return cpu
+
+        def read_output(cpu: CPU) -> np.ndarray:
+            return np.frombuffer(
+                cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
+            ).astype(int)
+
+        regions = [
+            (MEAS_BASE, len(meas_bytes)),
+            (CENTERS_BASE, len(center_bytes)),
+        ]
+        return prepare, read_output, regions
+
     def run_knn(
         self,
         centers: np.ndarray,
@@ -110,23 +153,55 @@ class RocketSoC:
         ``centers``: (n_qubits, 2, 2); ``measurements``: (n, 2) shot-major
         (qubit index cycles fastest).  Returns labels as 0/1.
         """
-        n = len(measurements)
-        cpu = self._fresh_cpu()
-        program = assemble(knn_source(n, n_qubits, with_sqrt=with_sqrt))
-        cpu.load_program(program)
-        cpu.memory.store_bytes(CENTERS_BASE, pack_centers(centers))
-        meas_bytes = pack_measurements(measurements)
-        cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
-        self._warm(cpu, MEAS_BASE, len(meas_bytes))
-        self._warm(cpu, CENTERS_BASE, CENTER_RECORD_BYTES * len(centers))
+        prepare, read_output, _ = self.setup_knn(
+            centers, measurements, n_qubits, with_sqrt=with_sqrt
+        )
+        cpu = prepare()
         stats = cpu.run()
-        labels = np.frombuffer(
-            cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
-        ).astype(int)
         return WorkloadResult(
             name="knn_sqrt" if with_sqrt else "knn", stats=stats,
-            labels=labels,
+            labels=read_output(cpu),
         )
+
+    def setup_hdc(
+        self,
+        tables: bytes,
+        measurements: np.ndarray,
+        n_qubits: int,
+        hardware_popcount: bool = False,
+        precomputed_xor: bool = True,
+    ):
+        """HDC workload setup; see the section comment for the contract."""
+        n = len(measurements)
+        meas_bytes = pack_measurements(measurements)
+
+        def prepare() -> CPU:
+            cpu = self._fresh_cpu()
+            cpu.load_program(
+                assemble(
+                    hdc_source(
+                        n, n_qubits,
+                        hardware_popcount=hardware_popcount,
+                        precomputed_xor=precomputed_xor,
+                    )
+                )
+            )
+            cpu.memory.store_bytes(TABLES_BASE, tables)
+            cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
+            self._warm(cpu, MEAS_BASE, len(meas_bytes))
+            self._warm(cpu, TABLES_BASE, len(tables))
+            return cpu
+
+        def read_output(cpu: CPU) -> np.ndarray:
+            return np.frombuffer(
+                cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
+            ).astype(int)
+
+        regions = [
+            (MEAS_BASE, len(meas_bytes)),
+            (TABLES_BASE, len(tables)),
+        ]
+        return prepare, read_output, regions
 
     def run_hdc(
         self,
@@ -141,26 +216,41 @@ class RocketSoC:
         ``tables`` comes from
         :func:`repro.soc.programs.pack_hdc_tables`.
         """
-        n = len(measurements)
-        cpu = self._fresh_cpu()
-        program = assemble(
-            hdc_source(
-                n, n_qubits,
-                hardware_popcount=hardware_popcount,
-                precomputed_xor=precomputed_xor,
-            )
+        prepare, read_output, _ = self.setup_hdc(
+            tables, measurements, n_qubits,
+            hardware_popcount=hardware_popcount,
+            precomputed_xor=precomputed_xor,
         )
-        cpu.load_program(program)
-        cpu.memory.store_bytes(TABLES_BASE, tables)
-        meas_bytes = pack_measurements(measurements)
-        cpu.memory.store_bytes(MEAS_BASE, meas_bytes)
-        self._warm(cpu, MEAS_BASE, len(meas_bytes))
-        self._warm(cpu, TABLES_BASE, len(tables))
+        cpu = prepare()
         stats = cpu.run()
-        labels = np.frombuffer(
-            cpu.memory.load_bytes(OUT_BASE, n), dtype=np.uint8
-        ).astype(int)
-        return WorkloadResult(name="hdc", stats=stats, labels=labels)
+        return WorkloadResult(name="hdc", stats=stats,
+                              labels=read_output(cpu))
+
+    def setup_qec_decode(self, bits: np.ndarray, distance: int):
+        """QEC majority-decode setup; see the section comment."""
+        from repro.soc.programs import qec_majority_source
+
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % distance:
+            raise ValueError("bit count must be a multiple of the distance")
+        n_logical = bits.size // distance
+        bit_bytes = bits.tobytes()
+
+        def prepare() -> CPU:
+            cpu = self._fresh_cpu()
+            cpu.load_program(
+                assemble(qec_majority_source(n_logical, distance))
+            )
+            cpu.memory.store_bytes(MEAS_BASE, bit_bytes)
+            self._warm(cpu, MEAS_BASE, len(bit_bytes))
+            return cpu
+
+        def read_output(cpu: CPU) -> np.ndarray:
+            return np.frombuffer(
+                cpu.memory.load_bytes(OUT_BASE, n_logical), dtype=np.uint8
+            ).astype(int)
+
+        return prepare, read_output, [(MEAS_BASE, len(bit_bytes))]
 
     def run_qec_decode(
         self, bits: np.ndarray, distance: int
@@ -170,21 +260,11 @@ class RocketSoC:
         ``bits``: flat 0/1 array, physical-qubit-major, with length a
         multiple of ``distance``.  Returns the logical values.
         """
-        from repro.soc.programs import qec_majority_source
-
-        bits = np.asarray(bits, dtype=np.uint8)
-        if bits.size % distance:
-            raise ValueError("bit count must be a multiple of the distance")
-        n_logical = bits.size // distance
-        cpu = self._fresh_cpu()
-        cpu.load_program(assemble(qec_majority_source(n_logical, distance)))
-        cpu.memory.store_bytes(MEAS_BASE, bits.tobytes())
-        self._warm(cpu, MEAS_BASE, bits.size)
+        prepare, read_output, _ = self.setup_qec_decode(bits, distance)
+        cpu = prepare()
         stats = cpu.run()
-        labels = np.frombuffer(
-            cpu.memory.load_bytes(OUT_BASE, n_logical), dtype=np.uint8
-        ).astype(int)
-        return WorkloadResult(name="qec_decode", stats=stats, labels=labels)
+        return WorkloadResult(name="qec_decode", stats=stats,
+                              labels=read_output(cpu))
 
     def run_vqe_update(
         self, bits: np.ndarray, params: np.ndarray, signs: np.ndarray

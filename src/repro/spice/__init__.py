@@ -16,6 +16,7 @@ from repro.spice.netlist import (
 from repro.spice.solver import (
     ConvergenceError,
     OperatingPoint,
+    SolverBudget,
     TransientResult,
     dc_operating_point,
     transient,
@@ -33,6 +34,7 @@ __all__ = [
     "PWL",
     "Pulse",
     "Resistor",
+    "SolverBudget",
     "TransientResult",
     "VoltageSource",
     "Waveform",

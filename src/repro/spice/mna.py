@@ -92,11 +92,14 @@ class MNASystem:
         t: float,
         gmin: float = GMIN_DEFAULT,
         cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Build the linearized system ``A x = z`` around ``v_guess``.
 
         ``cap_companion`` carries per-capacitor (geq, ieq) arrays from the
         transient integrator; ``None`` means DC (capacitors open).
+        ``source_scale`` multiplies every independent source value -- the
+        continuation parameter for source stepping.
         """
         a = self._static.copy()
         z = np.zeros(self.dim)
@@ -107,7 +110,7 @@ class MNASystem:
 
         # Sources: branch equation V(pos) - V(neg) = value(t).
         for k, src in enumerate(self.circuit.sources):
-            z[self.n_nodes + k] = src.value(t)
+            z[self.n_nodes + k] = source_scale * src.value(t)
 
         # Capacitors as Norton companions (transient only).
         if cap_companion is not None:

@@ -1,7 +1,8 @@
 """DC and transient solution of MNA circuits.
 
 * :func:`dc_operating_point` -- damped Newton-Raphson with automatic gmin
-  stepping on non-convergence.
+  stepping and a source-stepping (continuation) fallback on
+  non-convergence.
 * :func:`transient` -- fixed-step backward-Euler integration (L-stable; the
   characterization flow picks steps ~100x smaller than the fastest
   transition, where BE's first-order error is negligible against the
@@ -10,20 +11,29 @@
 Results come back as :class:`TransientResult`, which exposes per-node
 :class:`~repro.spice.waveform.Waveform` objects and per-source branch
 currents for energy integration.
+
+Robustness: every public entry point accepts an optional
+:class:`SolverBudget` bounding total Newton iterations and wall-clock
+time, so one pathological solve cannot stall a library build.  Budget
+exhaustion raises :class:`~repro.errors.SolverBudgetError`; hopeless
+solves raise :class:`ConvergenceError` carrying the full escalation
+history (plain NR -> gmin ladder -> source stepping).
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SolverBudgetError, SolverError
 from repro.spice.mna import GMIN_DEFAULT, MNASystem
 from repro.spice.netlist import Circuit
 from repro.spice.waveform import Waveform
 
-__all__ = ["ConvergenceError", "OperatingPoint", "TransientResult",
-           "dc_operating_point", "transient"]
+__all__ = ["ConvergenceError", "OperatingPoint", "SolverBudget",
+           "TransientResult", "dc_operating_point", "transient"]
 
 #: Newton-Raphson voltage update clamp (V) -- classic damping for FETs.
 _STEP_CLAMP = 0.25
@@ -31,9 +41,57 @@ _STEP_CLAMP = 0.25
 _MAX_NR_ITERATIONS = 200
 _VTOL = 1e-7
 
+#: gmin continuation ladder, walked large to small on NR failure.
+_GMIN_LADDER = (1e-3, 1e-5, 1e-7, 1e-9, GMIN_DEFAULT)
 
-class ConvergenceError(RuntimeError):
-    """Raised when Newton-Raphson fails to converge at any gmin level."""
+#: Source-stepping continuation ladder (fraction of full source value).
+_SOURCE_LADDER = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0)
+
+
+class ConvergenceError(SolverError):
+    """Raised when Newton-Raphson fails at every escalation level."""
+
+
+@dataclass(frozen=True)
+class SolverBudget:
+    """Per-solve resource bounds.
+
+    ``max_iterations`` caps the *total* Newton iterations spent by one
+    ``dc_operating_point``/``transient`` call (summed over timesteps and
+    continuation ladders); ``max_seconds`` caps its wall-clock time.
+    ``None`` disables a bound.
+    """
+
+    max_iterations: int | None = None
+    max_seconds: float | None = None
+
+    def tracker(self) -> "_BudgetTracker":
+        return _BudgetTracker(self)
+
+
+class _BudgetTracker:
+    """Mutable iteration/time accounting for one solve call."""
+
+    def __init__(self, budget: SolverBudget):
+        self.budget = budget
+        self.iterations = 0
+        self.t0 = _time.monotonic()
+
+    def charge(self, iterations: int) -> None:
+        self.iterations += iterations
+        b = self.budget
+        if b.max_iterations is not None and self.iterations > b.max_iterations:
+            raise SolverBudgetError(
+                f"solver iteration budget exhausted "
+                f"({self.iterations} > {b.max_iterations})"
+            )
+        if b.max_seconds is not None:
+            elapsed = _time.monotonic() - self.t0
+            if elapsed > b.max_seconds:
+                raise SolverBudgetError(
+                    f"solver wall-clock budget exhausted "
+                    f"({elapsed:.3f} s > {b.max_seconds} s)"
+                )
 
 
 @dataclass
@@ -56,6 +114,7 @@ class TransientResult:
     voltages: dict[str, np.ndarray]
     source_currents: dict[str, np.ndarray]
     circuit_title: str = ""
+    dt_effective: float = 0.0
 
     def waveform(self, node: str) -> Waveform:
         """Return the node voltage as a measurable waveform."""
@@ -81,15 +140,20 @@ def _newton_solve(
     t: float,
     gmin: float,
     cap_companion: tuple[np.ndarray, np.ndarray] | None,
+    source_scale: float = 1.0,
+    tracker: _BudgetTracker | None = None,
 ) -> tuple[np.ndarray, int]:
     """Damped NR iteration; returns (solution, iterations)."""
     x = x0.copy()
     for it in range(1, _MAX_NR_ITERATIONS + 1):
-        a, z = system.assemble(x, t, gmin=gmin, cap_companion=cap_companion)
+        a, z = system.assemble(x, t, gmin=gmin, cap_companion=cap_companion,
+                               source_scale=source_scale)
         try:
             x_new = np.linalg.solve(a, z)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(f"singular MNA matrix at t={t}") from exc
+        if tracker is not None:
+            tracker.charge(1)
         delta = x_new - x
         # Clamp only the node-voltage part; branch currents move freely.
         dv = delta[: system.n_nodes]
@@ -101,8 +165,33 @@ def _newton_solve(
             return x, it
     raise ConvergenceError(
         f"Newton-Raphson did not converge in {_MAX_NR_ITERATIONS} iterations "
-        f"(t={t}, gmin={gmin})"
+        f"(t={t}, gmin={gmin}, source_scale={source_scale})"
     )
+
+
+def _solve_with_source_stepping(
+    system: MNASystem,
+    x0: np.ndarray,
+    t: float,
+    cap_companion: tuple[np.ndarray, np.ndarray] | None,
+    tracker: _BudgetTracker | None,
+) -> tuple[np.ndarray, int]:
+    """Continuation in the source amplitude: ramp 0 -> 1, tracking the
+    solution branch.  The near-zero-bias circuit is almost linear, so the
+    first rung converges from a cold start and each later rung starts from
+    the previous solution."""
+    x = x0.copy()
+    total = 0
+    for scale in _SOURCE_LADDER:
+        try:
+            x, its = _newton_solve(system, x, t, GMIN_DEFAULT, cap_companion,
+                                   source_scale=scale, tracker=tracker)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"source stepping failed at scale={scale} (t={t})"
+            ) from exc
+        total += its
+    return x, total
 
 
 def _solve_with_gmin_stepping(
@@ -110,25 +199,58 @@ def _solve_with_gmin_stepping(
     x0: np.ndarray,
     t: float,
     cap_companion: tuple[np.ndarray, np.ndarray] | None,
+    tracker: _BudgetTracker | None = None,
 ) -> tuple[np.ndarray, int]:
-    """Try plain NR; on failure walk gmin from large to small."""
+    """Try plain NR; on failure walk gmin large to small; on a mid-ladder
+    failure fall through to source stepping before giving up."""
     try:
-        return _newton_solve(system, x0, t, GMIN_DEFAULT, cap_companion)
+        return _newton_solve(system, x0, t, GMIN_DEFAULT, cap_companion,
+                             tracker=tracker)
+    except SolverBudgetError:
+        raise
     except ConvergenceError:
         pass
+
+    gmin_failure: ConvergenceError | None = None
     x = x0.copy()
     total = 0
-    for gmin in (1e-3, 1e-5, 1e-7, 1e-9, GMIN_DEFAULT):
-        x, its = _newton_solve(system, x, t, gmin, cap_companion)
-        total += its
-    return x, total
+    for gmin in _GMIN_LADDER:
+        try:
+            x, its = _newton_solve(system, x, t, gmin, cap_companion,
+                                   tracker=tracker)
+            total += its
+        except SolverBudgetError:
+            raise
+        except ConvergenceError as exc:
+            gmin_failure = ConvergenceError(
+                f"gmin ladder failed at gmin={gmin} (t={t}, "
+                f"ladder={_GMIN_LADDER})"
+            )
+            gmin_failure.__cause__ = exc
+            break
+    else:
+        return x, total
+
+    try:
+        return _solve_with_source_stepping(system, x0, t, cap_companion,
+                                           tracker)
+    except SolverBudgetError:
+        raise
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"no convergence at t={t}: plain NR failed, {gmin_failure}, "
+            f"and source stepping failed ({exc})"
+        ) from gmin_failure
 
 
-def dc_operating_point(circuit: Circuit, t: float = 0.0) -> OperatingPoint:
+def dc_operating_point(
+    circuit: Circuit, t: float = 0.0, budget: SolverBudget | None = None
+) -> OperatingPoint:
     """Solve the DC operating point with sources evaluated at time ``t``."""
     system = MNASystem(circuit)
     x0 = np.zeros(system.dim)
-    x, iterations = _solve_with_gmin_stepping(system, x0, t, None)
+    tracker = budget.tracker() if budget is not None else None
+    x, iterations = _solve_with_gmin_stepping(system, x0, t, None, tracker)
     voltages = {n: float(x[i]) for n, i in zip(system.nodes, range(system.n_nodes))}
     currents = {
         src.name: float(x[system.n_nodes + k])
@@ -144,6 +266,7 @@ def transient(
     dt: float,
     record: list[str] | None = None,
     method: str = "be",
+    budget: SolverBudget | None = None,
 ) -> TransientResult:
     """Fixed-step transient from a DC solution at ``t = 0``.
 
@@ -152,9 +275,13 @@ def transient(
     circuit:
         The circuit; its ``temperature_k`` selects the model corner.
     t_stop:
-        End time in s.
+        End time in s.  Always simulated exactly: when ``t_stop`` is not
+        an integer multiple of ``dt``, the step is snapped *down* to the
+        nearest divisor (never up, so accuracy cannot silently degrade);
+        the step actually used is reported as
+        :attr:`TransientResult.dt_effective`.
     dt:
-        Fixed timestep in s.
+        Requested fixed timestep in s.
     record:
         Node names to record; ``None`` records every node.
     method:
@@ -162,6 +289,8 @@ def transient(
         (trapezoidal, second-order accurate; the usual SPICE default).
         Trapezoidal needs the capacitor branch-current history, which the
         integrator reconstructs from the companion at each step.
+    budget:
+        Optional :class:`SolverBudget` bounding the whole run.
     """
     if dt <= 0 or t_stop <= 0:
         raise ValueError("t_stop and dt must be positive")
@@ -172,15 +301,21 @@ def transient(
     for node in record:
         system.index(node)  # validate early
 
-    n_steps = int(round(t_stop / dt))
-    time = np.linspace(0.0, n_steps * dt, n_steps + 1)
+    # Snap dt down so the grid lands exactly on t_stop (the old
+    # int(round(...)) silently simulated a window up to dt/2 short or
+    # long of the request).  The 1e-9 slack absorbs representation error
+    # when t_stop/dt is an exact integer in real arithmetic.
+    n_steps = max(1, int(np.ceil(t_stop / dt - 1e-9)))
+    dt_eff = t_stop / n_steps
+    time = np.linspace(0.0, t_stop, n_steps + 1)
+    tracker = budget.tracker() if budget is not None else None
 
     x0 = np.zeros(system.dim)
-    x, _ = _solve_with_gmin_stepping(system, x0, 0.0, None)
+    x, _ = _solve_with_gmin_stepping(system, x0, 0.0, None, tracker)
 
     caps = circuit.capacitors
     scale = 1.0 if method == "be" else 2.0
-    geq = np.array([scale * c.capacitance / dt for c in caps])
+    geq = np.array([scale * c.capacitance / dt_eff for c in caps])
 
     def cap_voltages(xv: np.ndarray) -> np.ndarray:
         out = np.empty(len(caps))
@@ -212,7 +347,7 @@ def transient(
         else:
             # Trapezoidal: i = 2C/dt * (v - v_prev) - i_prev.
             ieq = -geq * v_cap_prev - i_cap_prev
-        x, _ = _solve_with_gmin_stepping(system, x, t, (geq, ieq))
+        x, _ = _solve_with_gmin_stepping(system, x, t, (geq, ieq), tracker)
         v_cap_new = cap_voltages(x)
         if method == "trap":
             i_cap_prev = geq * (v_cap_new - v_cap_prev) - i_cap_prev
@@ -224,4 +359,5 @@ def transient(
         voltages=volts,
         source_currents=src_currents,
         circuit_title=circuit.title,
+        dt_effective=dt_eff,
     )

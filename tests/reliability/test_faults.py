@@ -1,0 +1,126 @@
+"""Fault models and injector: determinism, masking rules, cache SEUs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import ALL_STRUCTURES, BitFlip, FaultPlanner, inject
+from repro.soc import CPU
+from repro.soc.cache import Cache
+from repro.soc.memory import Memory
+
+
+class TestFaultPlanner:
+    def test_same_seed_same_plan(self):
+        regions = [(0x1000, 256), (0x8000, 64)]
+        a = FaultPlanner(42).plan(50, 10_000, regions)
+        b = FaultPlanner(42).plan(50, 10_000, regions)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        regions = [(0x1000, 256)]
+        a = FaultPlanner(1).plan(50, 10_000, regions)
+        b = FaultPlanner(2).plan(50, 10_000, regions)
+        assert a != b
+
+    def test_round_robin_structure_balance(self):
+        plan = FaultPlanner(7).plan(10, 1000, [(0, 64)],
+                                    structures=("regfile", "dmem"))
+        per = {s: sum(f.structure == s for f in plan)
+               for s in ("regfile", "dmem")}
+        assert per == {"regfile": 5, "dmem": 5}
+
+    def test_cycles_and_addresses_in_bounds(self):
+        regions = [(0x1000, 100), (0x9000, 50)]
+        plan = FaultPlanner(3).plan(200, 777, regions)
+        for f in plan:
+            assert 0 <= f.cycle < 777
+            if f.structure == "dmem":
+                assert (0x1000 <= f.index < 0x1000 + 100
+                        or 0x9000 <= f.index < 0x9000 + 50)
+            if f.structure == "regfile":
+                assert 0 <= f.index < 32 and 0 <= f.bit < 64
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlip(structure="pc", cycle=0, index=0, bit=0)
+        with pytest.raises(ValueError):
+            FaultPlanner(0).plan(0, 100, [])
+
+
+class TestInjector:
+    def test_register_flip_is_involutive(self):
+        cpu = CPU()
+        cpu.x[5] = -12345
+        fault = BitFlip("regfile", cycle=0, index=5, bit=17)
+        assert inject(cpu, fault)
+        assert cpu.x[5] != -12345
+        assert inject(cpu, fault)
+        assert cpu.x[5] == -12345
+
+    def test_register_flip_keeps_signed_representation(self):
+        cpu = CPU()
+        cpu.x[3] = 0
+        inject(cpu, BitFlip("regfile", cycle=0, index=3, bit=63))
+        # Bit 63 set means negative in two's complement.
+        assert cpu.x[3] == -(1 << 63)
+
+    def test_x0_strike_is_masked(self):
+        cpu = CPU()
+        assert not inject(cpu, BitFlip("regfile", cycle=0, index=0, bit=5))
+        assert cpu.x[0] == 0
+
+    def test_dmem_flip(self):
+        cpu = CPU()
+        cpu.memory.store_u(0x2000, 1, 0b1000)
+        assert inject(cpu, BitFlip("dmem", cycle=0, index=0x2000, bit=3))
+        assert cpu.memory.load_u(0x2000, 1) == 0
+
+    def test_cache_strike_on_empty_cache_is_masked(self):
+        cpu = CPU()
+        assert not inject(cpu, BitFlip("l1d_data", 0, index=9, bit=1))
+        assert not inject(cpu, BitFlip("l1d_tag", 0, index=9, bit=1))
+
+    def test_l1d_data_flip_hits_resident_line(self):
+        cpu = CPU()
+        cpu.memory.store_u(0x3000, 1, 0)
+        cpu.caches.l1d.access(0x3000)
+        assert inject(cpu, BitFlip("l1d_data", 0, index=0, bit=0, offset=0))
+        # The resident line's base byte flipped from 0 to 1.
+        assert cpu.memory.load_u(0x3000, 1) == 1
+
+    def test_l1d_tag_flip_evicts_line(self):
+        cpu = CPU()
+        cpu.caches.l1d.access(0x3000)
+        assert cpu.caches.l1d.resident(0x3000)
+        assert inject(cpu, BitFlip("l1d_tag", 0, index=0, bit=0))
+        assert not cpu.caches.l1d.resident(0x3000)
+
+
+class TestMemoryAndCacheHooks:
+    def test_flip_bit_on_untouched_page(self):
+        mem = Memory()
+        mem.flip_bit(0x5000, 7)
+        assert mem.load_u(0x5000, 1) == 0x80
+
+    def test_flip_bit_validates_bit_index(self):
+        with pytest.raises(ValueError):
+            Memory().flip_bit(0, 8)
+
+    def test_cache_lines_snapshot_and_corrupt_tag(self):
+        cache = Cache("t", 1024, 64, 2)
+        cache.access(0)
+        cache.access(64, write=True)
+        lines = cache.lines()
+        assert len(lines) == 2
+        set_idx, tag, dirty = lines[1]
+        assert dirty
+        assert cache.corrupt_tag(set_idx, tag)
+        assert not cache.corrupt_tag(set_idx, tag)  # already gone
+        assert len(cache.lines()) == 1
+
+    def test_all_structures_constant_covers_injector(self):
+        cpu = CPU()
+        cpu.caches.l1d.access(0)
+        for s in ALL_STRUCTURES:
+            inject(cpu, BitFlip(s, cycle=0, index=1, bit=1))
