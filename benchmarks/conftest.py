@@ -10,9 +10,56 @@ reproduces the paper's full evaluation section.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.core import CryoStudy, StudyConfig
+from repro.telemetry import MetricsRegistry
+
+#: Bench wall times go through the telemetry registry machinery, but a
+#: private instance: benches may reset() the global one mid-session.
+_BENCH_REGISTRY = MetricsRegistry()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-summary",
+        default=os.environ.get("BENCH_SUMMARY"),
+        metavar="FILE",
+        help="write per-bench wall times (from the telemetry registry) "
+             "to FILE as JSON",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record each bench's wall time in the telemetry registry.
+
+    Instruments work regardless of the global enabled flag (only the
+    facade helpers check it), so the summary needs no telemetry state.
+    """
+    t0 = time.perf_counter()
+    yield
+    _BENCH_REGISTRY.histogram(f"bench.{item.name}").observe(
+        time.perf_counter() - t0
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-summary", default=None)
+    if not path:
+        return
+    summary = {
+        name: stats
+        for name, stats in _BENCH_REGISTRY.summary().items()
+        if name.startswith("bench.")
+    }
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+    print(f"\nwrote bench summary ({len(summary)} benches) to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -21,4 +21,10 @@ Layers (bottom-up):
 * :mod:`repro.core`     -- the end-to-end plausibility study (Fig. 7).
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library etiquette: the package logs but never configures handlers --
+# the CLI (or the embedding application) decides where records go.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())

@@ -8,22 +8,78 @@
     python -m repro ablations       # ABL-1..4
     python -m repro extensions      # EXT-THERMAL/FPGA/QEC/VDD/VQE/MISMATCH
     python -m repro ext_seu         # EXT-SEU fault-injection campaign
-    python -m repro all             # everything above
+    python -m repro stats           # flow stage-timing tree (telemetry)
+    python -m repro all             # every artifact above
 
 ``--calibrated`` runs the honest flow (staged calibration first) instead
 of the fast golden-parameter flow; ``--shots N`` controls the ISS
 workload size.
+
+Observability flags (global):
+
+* ``-v`` / ``--quiet`` raise/suppress diagnostic logging (the package
+  logs through the stdlib ``repro`` logger hierarchy);
+* ``--trace`` enables span tracing and prints the timing tree at exit;
+  ``--trace FILE`` writes the full trace as JSONL instead;
+* ``--metrics`` prints the flat metrics-registry summary at exit.
+
+Reports go through :func:`_report` (a thin ``logging`` wrapper), so
+``--quiet`` silences everything below WARNING with no print() to chase.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+
+from repro import telemetry
 
 COMMANDS = (
     "fig2", "fig3", "fig5", "table1", "fig6", "table2", "fig7",
-    "ablations", "extensions", "ext_seu", "all",
+    "ablations", "extensions", "ext_seu", "stats", "all",
 )
+
+#: Commands ``repro all`` expands to (``stats`` is a diagnostic, not an
+#: artifact, so it is not part of ``all``).
+_ALL_COMMANDS = tuple(c for c in COMMANDS if c not in ("stats", "all"))
+
+_LOG = logging.getLogger("repro.cli")
+
+
+class _CLIFormatter(logging.Formatter):
+    """Bare text for CLI reports; ``level name: message`` for the rest."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        if record.name == _LOG.name and record.levelno == logging.INFO:
+            return record.getMessage()
+        return (f"{record.levelname.lower()}: {record.name}: "
+                f"{record.getMessage()}")
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Route the ``repro`` logger hierarchy to stdout for this process."""
+    root = logging.getLogger("repro")
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(_CLIFormatter())
+    if quiet:
+        handler.setLevel(logging.WARNING)
+    elif verbose:
+        handler.setLevel(logging.DEBUG)
+    else:
+        handler.setLevel(logging.INFO)
+    # Re-running main() in one process (tests) must not stack handlers.
+    for old in [h for h in root.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)]:
+        root.removeHandler(old)
+    root.addHandler(handler)
+
+
+def _report(text: str = "") -> None:
+    """Emit one artifact/report block to the user."""
+    _LOG.info("%s", text)
 
 
 def _build_study(args):
@@ -32,6 +88,85 @@ def _build_study(args):
     return CryoStudy(
         StudyConfig(fast=not args.calibrated, shots=args.shots)
     )
+
+
+# ---------------------------------------------------------------------- #
+# repro stats: run a representative slice of every instrumented layer
+# and print the stage-timing tree.
+# ---------------------------------------------------------------------- #
+def _spice_probe(study) -> None:
+    """One transistor-level inverter transient + DC solve.
+
+    The fast flow characterizes with the analytic engine, so without
+    this probe a ``repro stats`` trace would show no solver spans; the
+    probe runs the same netlist the SPICE engine uses for one
+    representative point.
+    """
+    from repro.cells import CellCharacterizer, CharacterizationConfig
+    from repro.cells.catalog import full_catalog
+    from repro.spice import dc_operating_point, ramp, transient
+
+    config = CharacterizationConfig(engine="spice")
+    char = CellCharacterizer(study.models, config)
+    inv = next(c for c in full_catalog() if c.name == "INV_X1")
+    wave = ramp(5e-12, 10e-12, 0.0, config.vdd)
+    circuit = char.build_cell_circuit(inv, 2e-15, {"A": wave})
+    transient(circuit, 60e-12, 0.25e-12, record=["A", inv.output])
+    dc_operating_point(circuit)
+
+
+def _reliability_probe() -> None:
+    """A miniature SEU campaign so the trace covers the campaign layer."""
+    import numpy as np
+
+    from repro.reliability import CampaignConfig, qec_workload, run_campaign
+
+    rng = np.random.default_rng(7)
+    bits = rng.integers(0, 2, 45)
+    run_campaign(
+        qec_workload(bits, distance=3),
+        CampaignConfig(n_injections=12, seed=7),
+    )
+
+
+def _run_stats(args) -> None:
+    """The ``repro stats`` command: trace one pass through the stack."""
+    study = _build_study(args)
+    with telemetry.span("repro.stats", fast=not args.calibrated):
+        # Flow stages trace themselves (flow.libraries, flow.soc_model,
+        # flow.timing...); accessing timing forces the chain.
+        study.timing
+        study.knn_cycles(20)
+        with telemetry.span("stats.spice_probe"):
+            _spice_probe(study)
+        with telemetry.span("stats.reliability_probe"):
+            _reliability_probe()
+    _report("Flow stage timings (fast mode)"
+            if not args.calibrated else "Flow stage timings (calibrated)")
+    # Depth 3 keeps the per-corner library builds visible while folding
+    # the ~200 per-cell spans into their parents (the JSONL export via
+    # --trace FILE keeps everything).
+    _report(telemetry.render_tree(min_duration_s=1e-4, max_depth=3))
+    cache = study.stage_cache_stats()
+    _report()
+    _report("stage cache accounting: "
+            + "  ".join(f"{name}={ev['hits']}h/{ev['misses']}m"
+                        for name, ev in cache.items()))
+
+
+# ---------------------------------------------------------------------- #
+def _emit_telemetry(args) -> None:
+    """Flush --trace/--metrics output after the commands ran."""
+    if args.trace is not None and args.trace != "-":
+        n = telemetry.export_jsonl(args.trace)
+        _report(f"wrote {n} spans to {args.trace}")
+    elif args.trace == "-" and args.command != "stats":
+        # stats already printed its tree.
+        _report(telemetry.render_tree(min_duration_s=1e-4, max_depth=3))
+    if args.metrics:
+        _report()
+        _report("metrics summary")
+        _report(telemetry.metrics_lines(telemetry.metrics_summary()))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,46 +181,66 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--shots", type=int, default=15,
                         help="shots per qubit for ISS workloads")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="show debug-level diagnostics")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress reports; warnings only")
+    parser.add_argument(
+        "--trace", nargs="?", const="-", default=None, metavar="FILE",
+        help="enable span tracing; print the timing tree at exit, or "
+             "write the trace as JSONL to FILE",
+    )
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable metrics; print the registry summary "
+                             "at exit")
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
+
+    if args.trace is not None or args.metrics or args.command == "stats":
+        telemetry.reset()
+        telemetry.enable()
 
     from repro import experiments as exp
 
-    wanted = COMMANDS[:-1] if args.command == "all" else (args.command,)
+    wanted = _ALL_COMMANDS if args.command == "all" else (args.command,)
     study = None
     for command in wanted:
         if command == "fig2":
-            print(exp.fig2_readout.report())
+            _report(exp.fig2_readout.report())
         elif command == "fig3":
-            print(exp.fig3_calibration.report())
+            _report(exp.fig3_calibration.report())
         elif command == "ext_seu":
-            print(exp.ext_seu.report())
+            _report(exp.ext_seu.report())
+        elif command == "stats":
+            _run_stats(args)
         else:
             study = study or _build_study(args)
             if command == "fig5":
-                print(exp.fig5_delays.report(exp.fig5_delays.run(study)))
+                _report(exp.fig5_delays.report(exp.fig5_delays.run(study)))
             elif command == "table1":
-                print(exp.table1_timing.report(exp.table1_timing.run(study)))
+                _report(exp.table1_timing.report(exp.table1_timing.run(study)))
             elif command == "fig6":
-                print(exp.fig6_power.report(exp.fig6_power.run(study)))
+                _report(exp.fig6_power.report(exp.fig6_power.run(study)))
             elif command == "table2":
-                print(exp.table2_cycles.report(exp.table2_cycles.run(study)))
+                _report(exp.table2_cycles.report(exp.table2_cycles.run(study)))
             elif command == "fig7":
-                print(exp.fig7_scaling.report(exp.fig7_scaling.run(study)))
+                _report(exp.fig7_scaling.report(exp.fig7_scaling.run(study)))
             elif command == "ablations":
-                print(exp.ablations.report_all(study))
+                _report(exp.ablations.report_all(study))
             elif command == "extensions":
-                print(exp.ext_thermal.report())
-                print()
-                print(exp.ext_fpga.report(exp.ext_fpga.run(study)))
-                print()
-                print(exp.ext_qec.report(exp.ext_qec.run(study)))
-                print()
-                print(exp.ext_vdd.report(exp.ext_vdd.run(study)))
-                print()
-                print(exp.ext_vqe.report(exp.ext_vqe.run(study)))
-                print()
-                print(exp.ext_mismatch.report())
-        print()
+                _report(exp.ext_thermal.report())
+                _report()
+                _report(exp.ext_fpga.report(exp.ext_fpga.run(study)))
+                _report()
+                _report(exp.ext_qec.report(exp.ext_qec.run(study)))
+                _report()
+                _report(exp.ext_vdd.report(exp.ext_vdd.run(study)))
+                _report()
+                _report(exp.ext_vqe.report(exp.ext_vqe.run(study)))
+                _report()
+                _report(exp.ext_mismatch.report())
+        _report()
+    _emit_telemetry(args)
     return 0
 
 

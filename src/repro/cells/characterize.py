@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.cells.cell import SequentialCell, Stage, StandardCell
 from repro.cells.nldm import (
     DEFAULT_LOAD_INDEX,
@@ -395,6 +396,7 @@ class CellCharacterizer:
             )
         except SolverError as exc:
             first = f"{type(exc).__name__}: {exc}"
+        telemetry.count("cells.spice_retries")
         try:
             result = transient(
                 circuit, t_stop, dt / 2.0, record=record,
@@ -409,6 +411,7 @@ class CellCharacterizer:
                 f"arc {pin}: analytic fallback ({first}; retry "
                 f"{type(exc).__name__}: {exc})"
             )
+            telemetry.count("cells.point_fallbacks")
             return None
 
     def _characterize_arc_spice(

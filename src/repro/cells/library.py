@@ -7,10 +7,13 @@ produces (Fig. 4 outputs, one per temperature corner).
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.cells.catalog import full_catalog
 from repro.cells.cell import SequentialCell, StandardCell
 from repro.cells.characterize import (
@@ -23,6 +26,8 @@ from repro.errors import CharacterizationError
 from repro.reliability.coverage import CoverageReport
 
 __all__ = ["CellLibrary", "build_library"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass
@@ -139,41 +144,71 @@ def build_library(
     report = CoverageReport(library=name, total=len(catalog))
     characterizer = CellCharacterizer(models, config)
     analytic: CellCharacterizer | None = None
-    for cell in catalog:
-        try:
-            characterized = characterizer.characterize(cell)
-        except Exception as exc:  # noqa: BLE001 - quarantine anything
-            if strict:
-                raise CharacterizationError(
-                    f"cell {cell.name!r}: {type(exc).__name__}: {exc}",
-                    cell=cell.name,
-                ) from exc
-            failure = f"{type(exc).__name__}: {exc}"
-            if config.engine == "spice":
-                # Last rung of the ladder: the whole cell falls back to
-                # the analytic engine.
-                if analytic is None:
-                    analytic = CellCharacterizer(
-                        models, replace(config, engine="analytic")
-                    )
+    build_span = telemetry.span(
+        "cells.build_library", library=name,
+        temperature_k=config.temperature_k, engine=config.engine,
+        cells=len(catalog),
+    )
+    t_build = time.perf_counter()
+    with build_span:
+        for cell in catalog:
+            t_cell = time.perf_counter()
+            with telemetry.span("cells.characterize", cell=cell.name):
                 try:
-                    characterized = analytic.characterize(cell)
-                except Exception as exc2:  # noqa: BLE001
-                    report.quarantined[cell.name] = (
-                        f"spice: {failure}; analytic: "
-                        f"{type(exc2).__name__}: {exc2}"
-                    )
-                    continue
-                characterized.notes.append(
-                    f"analytic-engine fallback after {failure}"
-                )
-            else:
-                report.quarantined[cell.name] = failure
+                    characterized = characterizer.characterize(cell)
+                except Exception as exc:  # noqa: BLE001 - quarantine anything
+                    if strict:
+                        raise CharacterizationError(
+                            f"cell {cell.name!r}: {type(exc).__name__}: {exc}",
+                            cell=cell.name,
+                        ) from exc
+                    failure = f"{type(exc).__name__}: {exc}"
+                    if config.engine == "spice":
+                        # Last rung of the ladder: the whole cell falls
+                        # back to the analytic engine.
+                        if analytic is None:
+                            analytic = CellCharacterizer(
+                                models, replace(config, engine="analytic")
+                            )
+                        try:
+                            characterized = analytic.characterize(cell)
+                        except Exception as exc2:  # noqa: BLE001
+                            characterized = None
+                            failure = (
+                                f"spice: {failure}; analytic: "
+                                f"{type(exc2).__name__}: {exc2}"
+                            )
+                        else:
+                            characterized.notes.append(
+                                f"analytic-engine fallback after {failure}"
+                            )
+                            telemetry.count("cells.engine_fallbacks")
+                    else:
+                        characterized = None
+                    if characterized is None:
+                        report.quarantined[cell.name] = failure
+                        telemetry.count("cells.quarantined")
+                        _LOG.warning("library %s: quarantined cell %s (%s)",
+                                     name, cell.name, failure)
+            elapsed = time.perf_counter() - t_cell
+            report.build_seconds[cell.name] = elapsed
+            telemetry.observe("cells.build_seconds", elapsed)
+            if characterized is None:
                 continue
-        if characterized.notes:
-            report.degraded[cell.name] = "; ".join(characterized.notes)
-        else:
-            report.clean.append(cell.name)
-        library.add(characterized)
+            if characterized.notes:
+                report.degraded[cell.name] = "; ".join(characterized.notes)
+                telemetry.count("cells.degraded")
+                _LOG.debug("library %s: degraded cell %s (%s)",
+                           name, cell.name, report.degraded[cell.name])
+            else:
+                report.clean.append(cell.name)
+            library.add(characterized)
+            telemetry.count("cells.characterized")
+        report.total_seconds = time.perf_counter() - t_build
+        build_span.set(clean=len(report.clean), degraded=len(report.degraded),
+                       quarantined=len(report.quarantined),
+                       seconds=round(report.total_seconds, 3))
+    _LOG.debug("library %s: %d/%d cells in %.2f s", name,
+               report.characterized, report.total, report.total_seconds)
     library.coverage = report
     return library

@@ -17,10 +17,10 @@ libraries are built from *calibrated* -- not oracle -- parameters).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import cached_property
 
 import numpy as np
 
+from repro import telemetry
 from repro.cells import (
     CharacterizationConfig,
     CellLibrary,
@@ -51,10 +51,56 @@ from repro.synth import place, upsize_for_load
 from repro.synth.opt import buffer_high_fanout
 from repro.synth.soc_builder import SoCConfig, build_soc
 
-__all__ = ["CryoStudy", "StudyConfig"]
+__all__ = ["CryoStudy", "StudyConfig", "flow_stage"]
 
 T_ROOM = 300.0
 T_CRYO = 10.0
+
+
+class flow_stage:  # noqa: N801 - decorator, lowercase like cached_property
+    """``cached_property`` with per-stage telemetry.
+
+    Semantically identical to :func:`functools.cached_property` (compute
+    once per instance, cache forever), but implemented as a *data*
+    descriptor so every attribute access runs ``__get__`` -- which is
+    what lets it count cache hits as well as misses.  Each stage access
+    is recorded two ways:
+
+    * always-on: the owning instance's ``stage_cache_stats()`` ledger;
+    * when telemetry is enabled: a ``flow.<stage>`` span around the
+      compute plus ``flow.cache_hit/<stage>`` counters, so a traced run
+      shows exactly which stages were built, in what order, and which
+      were served from cache.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.__doc__ = func.__doc__
+        self.name = func.__name__
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        cache = obj.__dict__.setdefault("_stage_cache", {})
+        events = obj.__dict__.setdefault("_stage_events", {})
+        ev = events.setdefault(self.name, [0, 0])  # [hits, misses]
+        if self.name in cache:
+            ev[0] += 1
+            telemetry.count(f"flow.cache_hit.{self.name}")
+            return cache[self.name]
+        ev[1] += 1
+        telemetry.count(f"flow.cache_miss.{self.name}")
+        with telemetry.span(f"flow.{self.name}"):
+            value = self.func(obj)
+        cache[self.name] = value
+        return value
+
+    def __set__(self, obj, value):
+        # Keep cached_property's injectability (tests pre-seed stages).
+        obj.__dict__.setdefault("_stage_cache", {})[self.name] = value
 
 
 @dataclass(frozen=True)
@@ -79,15 +125,27 @@ class CryoStudy:
     def __init__(self, config: StudyConfig | None = None):
         self.config = config or StudyConfig()
 
+    def stage_cache_stats(self) -> dict[str, dict[str, int]]:
+        """Per-stage cache accounting: ``{stage: {hits, misses}}``.
+
+        Always on (no telemetry needed); a stage that was never touched
+        does not appear.
+        """
+        events = self.__dict__.get("_stage_events", {})
+        return {
+            name: {"hits": ev[0], "misses": ev[1]}
+            for name, ev in events.items()
+        }
+
     # ------------------------------------------------------------------ #
     # Stage 1-2: measurements and compact-model calibration
     # ------------------------------------------------------------------ #
-    @cached_property
+    @flow_stage
     def iv_datasets(self):
         """Synthetic probe-station campaign (Section III inputs)."""
         return MeasurementCampaign(seed=self.config.seed).run(n_points=61)
 
-    @cached_property
+    @flow_stage
     def calibration(self):
         """Staged calibration of both polarities (Section III-A)."""
         return {
@@ -95,7 +153,7 @@ class CryoStudy:
             "p": Calibrator(self.iv_datasets["p"], default_pfet()).calibrate(),
         }
 
-    @cached_property
+    @flow_stage
     def models(self) -> TechModels:
         """The device models the libraries characterize against."""
         if self.config.fast:
@@ -106,7 +164,7 @@ class CryoStudy:
     # ------------------------------------------------------------------ #
     # Stage 3: standard-cell libraries (Section IV)
     # ------------------------------------------------------------------ #
-    @cached_property
+    @flow_stage
     def libraries(self) -> dict[float, CellLibrary]:
         # The SoC netlist needs the full catalog's drive variants; fast
         # mode saves time by skipping calibration, not the catalog.
@@ -120,7 +178,7 @@ class CryoStudy:
             for t in (T_ROOM, T_CRYO)
         }
 
-    @cached_property
+    @flow_stage
     def coverage_reports(self):
         """Per-corner characterization coverage (reliability surfacing).
 
@@ -148,7 +206,7 @@ class CryoStudy:
     # ------------------------------------------------------------------ #
     # Stage 4: SoC synthesis, placement, timing (Section V-A, Table 1)
     # ------------------------------------------------------------------ #
-    @cached_property
+    @flow_stage
     def soc_model(self):
         """Synthesized + optimized + placed SoC (built at 300 K, like the
         paper's baseline flow)."""
@@ -158,7 +216,7 @@ class CryoStudy:
         upsize_for_load(model.netlist, lib)
         return model
 
-    @cached_property
+    @flow_stage
     def placement(self):
         return place(self.soc_model.netlist, self.libraries[T_ROOM])
 
@@ -173,7 +231,7 @@ class CryoStudy:
         )
         return base / now
 
-    @cached_property
+    @flow_stage
     def timing(self):
         """Table 1: STA at both corners on the same physical design."""
         return {
@@ -243,7 +301,7 @@ class CryoStudy:
         )
         return cycles_per_classification(result, len(pts)), result
 
-    @cached_property
+    @flow_stage
     def table2(self) -> dict[str, dict[int, float]]:
         """Average cycles per classification (paper Table 2)."""
         out: dict[str, dict[int, float]] = {"knn": {}, "hdc": {}}
@@ -276,7 +334,7 @@ class CryoStudy:
             uncore=UncoreModel(),
         )
 
-    @cached_property
+    @flow_stage
     def fig6(self):
         """Fig. 6: kNN power at both corners + feasibility verdicts."""
         reports = {t: self.power_report(t, "knn") for t in (T_ROOM, T_CRYO)}

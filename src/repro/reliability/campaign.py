@@ -34,11 +34,13 @@ and moves to ``masked``; crashes and hangs remain visible (they are
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import HangError, ReproError
 from repro.reliability.faults import ALL_STRUCTURES, BitFlip, FaultPlanner
 from repro.reliability.injector import run_with_faults
@@ -108,6 +110,15 @@ class CampaignResult:
     golden_cycles: int
     golden_output: np.ndarray
     records: list[InjectionRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    """Wall time of the whole campaign (golden run + injections)."""
+
+    @property
+    def injections_per_second(self) -> float:
+        """Campaign throughput; 0.0 until the campaign has run."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.records) / self.wall_seconds
 
     # -------------------------------------------------------------- #
     def counts(self, structure: str | None = None) -> dict[str, int]:
@@ -231,28 +242,44 @@ def run_campaign(
 ) -> CampaignResult:
     """Run a full campaign; deterministic given (spec data, config)."""
     config = config or CampaignConfig()
-    golden_cpu = spec.prepare()
-    golden_stats = golden_cpu.run(max_instructions=config.max_instructions)
-    golden = spec.read_output(golden_cpu)
-    max_cycles = int(golden_stats.cycles * config.watchdog_factor) + 1000
+    t0 = time.perf_counter()
+    with telemetry.span("reliability.campaign", workload=spec.name,
+                        n_injections=config.n_injections,
+                        tmr=config.tmr) as sp:
+        with telemetry.span("reliability.golden_run"):
+            golden_cpu = spec.prepare()
+            golden_stats = golden_cpu.run(
+                max_instructions=config.max_instructions
+            )
+            golden = spec.read_output(golden_cpu)
+        max_cycles = int(golden_stats.cycles * config.watchdog_factor) + 1000
 
-    planner = FaultPlanner(config.seed)
-    faults = planner.plan(
-        config.n_injections,
-        cycle_max=golden_stats.cycles,
-        data_regions=spec.data_regions,
-        structures=config.structures,
-    )
-    result = CampaignResult(
-        workload=spec.name,
-        config=config,
-        golden_cycles=golden_stats.cycles,
-        golden_output=golden,
-    )
-    for fault in faults:
-        result.records.append(
-            _classify(spec, fault, golden, max_cycles, config)
+        planner = FaultPlanner(config.seed)
+        faults = planner.plan(
+            config.n_injections,
+            cycle_max=golden_stats.cycles,
+            data_regions=spec.data_regions,
+            structures=config.structures,
         )
+        result = CampaignResult(
+            workload=spec.name,
+            config=config,
+            golden_cycles=golden_stats.cycles,
+            golden_output=golden,
+        )
+        with telemetry.span("reliability.injections", n=len(faults)):
+            for fault in faults:
+                record = _classify(spec, fault, golden, max_cycles, config)
+                result.records.append(record)
+                telemetry.count("reliability.injections")
+                telemetry.count(f"reliability.outcome.{record.outcome}")
+        result.wall_seconds = time.perf_counter() - t0
+        if telemetry.enabled():
+            telemetry.gauge("reliability.injections_per_sec",
+                            result.injections_per_second)
+            sp.set(golden_cycles=result.golden_cycles,
+                   injections_per_sec=round(result.injections_per_second, 2),
+                   **result.counts())
     return result
 
 

@@ -27,6 +27,11 @@ class CoverageReport:
     """Cells that needed the retry ladder: name -> how they recovered."""
     quarantined: dict[str, str] = field(default_factory=dict)
     """Cells the build gave up on: name -> final failure."""
+    build_seconds: dict[str, float] = field(default_factory=dict)
+    """Per-cell characterization wall time: name -> seconds (includes
+    quarantined cells -- the time was spent either way)."""
+    total_seconds: float = 0.0
+    """Wall time of the whole library build."""
 
     # -------------------------------------------------------------- #
     @property
@@ -59,6 +64,11 @@ class CoverageReport:
                 f"quarantined: {worst}"
             )
 
+    def slowest_cells(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` most expensive cells of the build, slowest first."""
+        ranked = sorted(self.build_seconds.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
     def summary(self) -> str:
         lines = [
             f"coverage report: {self.library}",
@@ -67,6 +77,8 @@ class CoverageReport:
             f"quarantined {len(self.quarantined)} "
             f"({self.coverage:.1%} coverage)",
         ]
+        if self.total_seconds:
+            lines.append(f"  build time {self.total_seconds:.2f} s")
         for name, how in self.degraded.items():
             lines.append(f"  degraded    {name}: {how}")
         for name, reason in self.quarantined.items():

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.soc.assembler import assemble
 from repro.soc.cache import CacheHierarchy
 from repro.soc.cpu import CPU, ExecutionStats
@@ -52,6 +53,32 @@ class WorkloadResult:
 
     def cycles_per_item(self, n_items: int) -> float:
         return self.stats.cycles / n_items if n_items else 0.0
+
+
+def _traced_run(name: str, cpu: CPU, **run_kwargs):
+    """Run a loaded CPU inside a telemetry span.
+
+    Records the architectural effort of the run -- instructions retired,
+    cycles, CPI and the cache hit rates the paper's Table 2 discussion
+    hinges on -- as span attributes and registry counters.  One enabled
+    check per *workload* run, nothing per instruction.
+    """
+    with telemetry.span("soc.workload", workload=name) as sp:
+        stats = cpu.run(**run_kwargs)
+        if telemetry.enabled():
+            caches = cpu.caches
+            sp.set(
+                instructions=stats.instructions,
+                cycles=stats.cycles,
+                cpi=round(stats.cpi, 3),
+                l1i_hit_rate=round(1.0 - caches.l1i.stats.miss_rate, 4),
+                l1d_hit_rate=round(1.0 - caches.l1d.stats.miss_rate, 4),
+                l2_hit_rate=round(1.0 - caches.l2.stats.miss_rate, 4),
+            )
+            telemetry.count("soc.workload_runs")
+            telemetry.count("soc.instructions", stats.instructions)
+            telemetry.count("soc.cycles", stats.cycles)
+    return stats
 
 
 class RocketSoC:
@@ -156,12 +183,11 @@ class RocketSoC:
         prepare, read_output, _ = self.setup_knn(
             centers, measurements, n_qubits, with_sqrt=with_sqrt
         )
+        name = "knn_sqrt" if with_sqrt else "knn"
         cpu = prepare()
-        stats = cpu.run()
-        return WorkloadResult(
-            name="knn_sqrt" if with_sqrt else "knn", stats=stats,
-            labels=read_output(cpu),
-        )
+        stats = _traced_run(name, cpu)
+        return WorkloadResult(name=name, stats=stats,
+                              labels=read_output(cpu))
 
     def setup_hdc(
         self,
@@ -222,7 +248,7 @@ class RocketSoC:
             precomputed_xor=precomputed_xor,
         )
         cpu = prepare()
-        stats = cpu.run()
+        stats = _traced_run("hdc", cpu)
         return WorkloadResult(name="hdc", stats=stats,
                               labels=read_output(cpu))
 
@@ -262,7 +288,7 @@ class RocketSoC:
         """
         prepare, read_output, _ = self.setup_qec_decode(bits, distance)
         cpu = prepare()
-        stats = cpu.run()
+        stats = _traced_run("qec_decode", cpu)
         return WorkloadResult(name="qec_decode", stats=stats,
                               labels=read_output(cpu))
 
@@ -292,7 +318,7 @@ class RocketSoC:
         )
         self._warm(cpu, MEAS_BASE, bits.size)
         self._warm(cpu, TABLES_BASE, 9 * params.size)
-        stats = cpu.run()
+        stats = _traced_run("vqe_update", cpu)
         updated = np.frombuffer(
             cpu.memory.load_bytes(OUT_BASE, 8 * params.size), dtype="<i8"
         ).astype(np.int64)
@@ -307,7 +333,7 @@ class RocketSoC:
         cpu.memory.store_bytes(
             MEAS_BASE, bytes(range(1, 33)) + bytes(224)
         )
-        stats = cpu.run()
+        stats = _traced_run("dhrystone", cpu)
         return WorkloadResult(name="dhrystone", stats=stats)
 
 

@@ -14,9 +14,11 @@ from repro.spice.netlist import (
     VoltageSource,
 )
 from repro.spice.solver import (
+    BudgetConsumption,
     ConvergenceError,
     OperatingPoint,
     SolverBudget,
+    SolverStats,
     TransientResult,
     dc_operating_point,
     transient,
@@ -25,6 +27,7 @@ from repro.spice.sources import DC, PWL, Pulse, ramp
 from repro.spice.waveform import Waveform, propagation_delay
 
 __all__ = [
+    "BudgetConsumption",
     "Capacitor",
     "Circuit",
     "ConvergenceError",
@@ -35,6 +38,7 @@ __all__ = [
     "Pulse",
     "Resistor",
     "SolverBudget",
+    "SolverStats",
     "TransientResult",
     "VoltageSource",
     "Waveform",

@@ -23,17 +23,19 @@ history (plain NR -> gmin ladder -> source stepping).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import SolverBudgetError, SolverError
 from repro.spice.mna import GMIN_DEFAULT, MNASystem
 from repro.spice.netlist import Circuit
 from repro.spice.waveform import Waveform
 
-__all__ = ["ConvergenceError", "OperatingPoint", "SolverBudget",
-           "TransientResult", "dc_operating_point", "transient"]
+__all__ = ["BudgetConsumption", "ConvergenceError", "OperatingPoint",
+           "SolverBudget", "SolverStats", "TransientResult",
+           "dc_operating_point", "transient"]
 
 #: Newton-Raphson voltage update clamp (V) -- classic damping for FETs.
 _STEP_CLAMP = 0.25
@@ -52,6 +54,53 @@ class ConvergenceError(SolverError):
     """Raised when Newton-Raphson fails at every escalation level."""
 
 
+@dataclass
+class SolverStats:
+    """Convergence-effort accounting for one solver entry point.
+
+    Carried on :attr:`OperatingPoint.stats` and
+    :attr:`TransientResult.stats` so callers can see what a solve cost
+    without enabling telemetry (the counters are accumulated at
+    escalation boundaries, not in the Newton inner loop, so keeping
+    them always-on is free at hot-path granularity).
+    """
+
+    newton_iterations: int = 0
+    """Total NR iterations, summed over timesteps and ladders."""
+    gmin_steps: int = 0
+    """gmin-ladder rungs attempted (0 when plain NR converged)."""
+    source_steps: int = 0
+    """Source-stepping rungs attempted (0 unless the ladder escalated)."""
+    timesteps: int = 0
+    """Transient steps solved (0 for a DC solve)."""
+    budget_charges: int = 0
+    """Times the :class:`SolverBudget` tracker was consulted."""
+    dt_effective: float = 0.0
+    """The timestep actually used (transient only)."""
+
+
+@dataclass(frozen=True)
+class BudgetConsumption:
+    """Snapshot of what a solve has drawn against a :class:`SolverBudget`."""
+
+    iterations: int
+    seconds: float
+    max_iterations: int | None = None
+    max_seconds: float | None = None
+
+    @property
+    def iterations_remaining(self) -> int | None:
+        if self.max_iterations is None:
+            return None
+        return max(0, self.max_iterations - self.iterations)
+
+    @property
+    def seconds_remaining(self) -> float | None:
+        if self.max_seconds is None:
+            return None
+        return max(0.0, self.max_seconds - self.seconds)
+
+
 @dataclass(frozen=True)
 class SolverBudget:
     """Per-solve resource bounds.
@@ -60,13 +109,39 @@ class SolverBudget:
     ``dc_operating_point``/``transient`` call (summed over timesteps and
     continuation ladders); ``max_seconds`` caps its wall-clock time.
     ``None`` disables a bound.
+
+    A budget is observable mid-run: :meth:`consumed` reports what the
+    most recent solve using this budget has drawn so far, so a caller
+    can watch the remaining headroom instead of waiting for
+    :class:`~repro.errors.SolverBudgetError` to fire.
     """
 
     max_iterations: int | None = None
     max_seconds: float | None = None
+    _last_tracker: "_BudgetTracker | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def tracker(self) -> "_BudgetTracker":
-        return _BudgetTracker(self)
+        t = _BudgetTracker(self)
+        # Frozen dataclass: the tracker backref is bookkeeping, not
+        # identity, hence the direct __setattr__.
+        object.__setattr__(self, "_last_tracker", t)
+        return t
+
+    def consumed(self) -> BudgetConsumption:
+        """Iterations/wall-clock drawn by the most recent solve.
+
+        Wall-clock advances in real time (not only at charge points),
+        so polling mid-run sees the true elapsed cost even while the
+        solver is grinding inside one Newton ladder.
+        """
+        t = self._last_tracker
+        if t is None:
+            return BudgetConsumption(0, 0.0, self.max_iterations,
+                                     self.max_seconds)
+        return BudgetConsumption(t.iterations, t.elapsed(),
+                                 self.max_iterations, self.max_seconds)
 
 
 class _BudgetTracker:
@@ -75,10 +150,15 @@ class _BudgetTracker:
     def __init__(self, budget: SolverBudget):
         self.budget = budget
         self.iterations = 0
+        self.charges = 0
         self.t0 = _time.monotonic()
+
+    def elapsed(self) -> float:
+        return _time.monotonic() - self.t0
 
     def charge(self, iterations: int) -> None:
         self.iterations += iterations
+        self.charges += 1
         b = self.budget
         if b.max_iterations is not None and self.iterations > b.max_iterations:
             raise SolverBudgetError(
@@ -101,6 +181,8 @@ class OperatingPoint:
     voltages: dict[str, float]
     source_currents: dict[str, float]
     iterations: int
+    stats: SolverStats = field(default_factory=SolverStats)
+    """Convergence effort of this solve (always populated)."""
 
     def __getitem__(self, node: str) -> float:
         return self.voltages[node]
@@ -115,6 +197,8 @@ class TransientResult:
     source_currents: dict[str, np.ndarray]
     circuit_title: str = ""
     dt_effective: float = 0.0
+    stats: SolverStats = field(default_factory=SolverStats)
+    """Convergence effort of this run (always populated)."""
 
     def waveform(self, node: str) -> Waveform:
         """Return the node voltage as a measurable waveform."""
@@ -175,6 +259,7 @@ def _solve_with_source_stepping(
     t: float,
     cap_companion: tuple[np.ndarray, np.ndarray] | None,
     tracker: _BudgetTracker | None,
+    stats: SolverStats | None = None,
 ) -> tuple[np.ndarray, int]:
     """Continuation in the source amplitude: ramp 0 -> 1, tracking the
     solution branch.  The near-zero-bias circuit is almost linear, so the
@@ -183,6 +268,8 @@ def _solve_with_source_stepping(
     x = x0.copy()
     total = 0
     for scale in _SOURCE_LADDER:
+        if stats is not None:
+            stats.source_steps += 1
         try:
             x, its = _newton_solve(system, x, t, GMIN_DEFAULT, cap_companion,
                                    source_scale=scale, tracker=tracker)
@@ -200,6 +287,7 @@ def _solve_with_gmin_stepping(
     t: float,
     cap_companion: tuple[np.ndarray, np.ndarray] | None,
     tracker: _BudgetTracker | None = None,
+    stats: SolverStats | None = None,
 ) -> tuple[np.ndarray, int]:
     """Try plain NR; on failure walk gmin large to small; on a mid-ladder
     failure fall through to source stepping before giving up."""
@@ -215,6 +303,8 @@ def _solve_with_gmin_stepping(
     x = x0.copy()
     total = 0
     for gmin in _GMIN_LADDER:
+        if stats is not None:
+            stats.gmin_steps += 1
         try:
             x, its = _newton_solve(system, x, t, gmin, cap_companion,
                                    tracker=tracker)
@@ -233,7 +323,7 @@ def _solve_with_gmin_stepping(
 
     try:
         return _solve_with_source_stepping(system, x0, t, cap_companion,
-                                           tracker)
+                                           tracker, stats)
     except SolverBudgetError:
         raise
     except ConvergenceError as exc:
@@ -243,6 +333,18 @@ def _solve_with_gmin_stepping(
         ) from gmin_failure
 
 
+def _record_solver_metrics(kind: str, stats: SolverStats) -> None:
+    """Fold one solve's effort into the telemetry registry (enabled only)."""
+    telemetry.count(f"solver.{kind}_solves")
+    telemetry.count("solver.newton_iterations", stats.newton_iterations)
+    if stats.gmin_steps:
+        telemetry.count("solver.gmin_steps", stats.gmin_steps)
+    if stats.source_steps:
+        telemetry.count("solver.source_steps", stats.source_steps)
+    if stats.budget_charges:
+        telemetry.count("solver.budget_charges", stats.budget_charges)
+
+
 def dc_operating_point(
     circuit: Circuit, t: float = 0.0, budget: SolverBudget | None = None
 ) -> OperatingPoint:
@@ -250,14 +352,25 @@ def dc_operating_point(
     system = MNASystem(circuit)
     x0 = np.zeros(system.dim)
     tracker = budget.tracker() if budget is not None else None
-    x, iterations = _solve_with_gmin_stepping(system, x0, t, None, tracker)
+    stats = SolverStats()
+    with telemetry.span("spice.dc_operating_point",
+                        circuit=circuit.title) as sp:
+        x, iterations = _solve_with_gmin_stepping(system, x0, t, None,
+                                                  tracker, stats)
+        stats.newton_iterations = iterations
+        if tracker is not None:
+            stats.budget_charges = tracker.charges
+        sp.set(newton_iterations=stats.newton_iterations,
+               gmin_steps=stats.gmin_steps,
+               source_steps=stats.source_steps)
+        _record_solver_metrics("dc", stats)
     voltages = {n: float(x[i]) for n, i in zip(system.nodes, range(system.n_nodes))}
     currents = {
         src.name: float(x[system.n_nodes + k])
         for k, src in enumerate(circuit.sources)
     }
     return OperatingPoint(voltages=voltages, source_currents=currents,
-                          iterations=iterations)
+                          iterations=iterations, stats=stats)
 
 
 def transient(
@@ -309,9 +422,12 @@ def transient(
     dt_eff = t_stop / n_steps
     time = np.linspace(0.0, t_stop, n_steps + 1)
     tracker = budget.tracker() if budget is not None else None
+    stats = SolverStats(timesteps=n_steps, dt_effective=dt_eff)
 
     x0 = np.zeros(system.dim)
-    x, _ = _solve_with_gmin_stepping(system, x0, 0.0, None, tracker)
+    x, dc_its = _solve_with_gmin_stepping(system, x0, 0.0, None, tracker,
+                                          stats)
+    stats.newton_iterations += dc_its
 
     caps = circuit.capacitors
     scale = 1.0 if method == "be" else 2.0
@@ -339,20 +455,34 @@ def transient(
     store(0, x)
     v_cap_prev = cap_voltages(x)
     i_cap_prev = np.zeros(len(caps))  # branch currents start from DC (0)
-    for step in range(1, n_steps + 1):
-        t = time[step]
-        if method == "be":
-            # i_C = C/dt * (v - v_prev): geq = C/dt, ieq = -C/dt * v_prev.
-            ieq = -geq * v_cap_prev
-        else:
-            # Trapezoidal: i = 2C/dt * (v - v_prev) - i_prev.
-            ieq = -geq * v_cap_prev - i_cap_prev
-        x, _ = _solve_with_gmin_stepping(system, x, t, (geq, ieq), tracker)
-        v_cap_new = cap_voltages(x)
-        if method == "trap":
-            i_cap_prev = geq * (v_cap_new - v_cap_prev) - i_cap_prev
-        v_cap_prev = v_cap_new
-        store(step, x)
+    with telemetry.span("spice.transient", circuit=circuit.title,
+                        t_stop=t_stop, steps=n_steps) as sp:
+        total_its = 0
+        for step in range(1, n_steps + 1):
+            t = time[step]
+            if method == "be":
+                # i_C = C/dt * (v - v_prev): geq = C/dt, ieq = -C/dt * v_prev.
+                ieq = -geq * v_cap_prev
+            else:
+                # Trapezoidal: i = 2C/dt * (v - v_prev) - i_prev.
+                ieq = -geq * v_cap_prev - i_cap_prev
+            x, its = _solve_with_gmin_stepping(system, x, t, (geq, ieq),
+                                               tracker, stats)
+            total_its += its
+            v_cap_new = cap_voltages(x)
+            if method == "trap":
+                i_cap_prev = geq * (v_cap_new - v_cap_prev) - i_cap_prev
+            v_cap_prev = v_cap_new
+            store(step, x)
+        stats.newton_iterations += total_its
+        if tracker is not None:
+            stats.budget_charges = tracker.charges
+        if telemetry.enabled():
+            sp.set(newton_iterations=stats.newton_iterations,
+                   gmin_steps=stats.gmin_steps,
+                   source_steps=stats.source_steps,
+                   dt_effective=dt_eff)
+            _record_solver_metrics("transient", stats)
 
     return TransientResult(
         time=time,
@@ -360,4 +490,5 @@ def transient(
         source_currents=src_currents,
         circuit_title=circuit.title,
         dt_effective=dt_eff,
+        stats=stats,
     )

@@ -1,0 +1,140 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+The registry is a plain dict of named instruments.  Instrumented code
+normally goes through the façade helpers (:func:`repro.telemetry.count`
+and friends) which are no-ops while telemetry is disabled; the registry
+itself is always functional, so infrastructure that *owns* its
+bookkeeping (e.g. the benchmark harness) can write to it directly
+regardless of the global flag.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A stream of observations with summary statistics.
+
+    Keeps every observation (runs here are bounded: per-cell build
+    times, per-bench wall times), so percentiles are exact.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile by nearest-rank; 0.0 on an empty histogram."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        k = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[k]
+
+    def summary(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "mean": self.total / len(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    # ------------------------------------------------------------------ #
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def summary(self) -> dict[str, object]:
+        """One flat dict over every instrument, sorted by name.
+
+        Counters and gauges map to their value; histograms map to their
+        summary dict.
+        """
+        out: dict[str, object] = {}
+        for name in sorted(self.counters):
+            out[name] = self.counters[name].value
+        for name in sorted(self.gauges):
+            out[name] = self.gauges[name].value
+        for name in sorted(self.histograms):
+            out[name] = self.histograms[name].summary()
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

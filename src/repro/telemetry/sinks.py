@@ -1,0 +1,148 @@
+"""Trace and metrics sinks: tree rendering and JSONL export/import.
+
+Three consumers of a finished run:
+
+* :func:`format_tree` -- the human-readable nested stage-timing view
+  (what ``repro stats`` and ``--trace`` without a file print);
+* :func:`write_jsonl` / :func:`read_jsonl` -- a lossless flat-file
+  encoding (one span per line with a parent pointer) that round-trips
+  back into the same tree, for offline analysis across runs;
+* :func:`metrics_lines` -- the registry summary as aligned text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.telemetry.spans import Span
+
+__all__ = ["format_tree", "metrics_lines", "read_jsonl", "write_jsonl"]
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def _fmt_attr(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_tree(
+    roots: Iterable[Span],
+    min_duration_s: float = 0.0,
+    max_depth: int | None = None,
+) -> str:
+    """Render trace trees as an indented timing table.
+
+    ``min_duration_s`` prunes sub-spans shorter than the floor and
+    ``max_depth`` prunes deep nesting (e.g. the per-cell spans of a
+    library build); pruned time still shows up inside the parent.
+    """
+    lines: list[str] = []
+    for root in roots:
+        for depth, span in root.walk():
+            if depth and span.duration_s < min_duration_s:
+                continue
+            if max_depth is not None and depth > max_depth:
+                continue
+            attrs = "  ".join(
+                f"{k}={_fmt_attr(v)}" for k, v in span.attrs.items()
+            )
+            pad = "  " * depth
+            head = f"{pad}{span.name}"
+            lines.append(
+                f"{head:<44} {_fmt_duration(span.duration_s):>10}"
+                + (f"   {attrs}" if attrs else "")
+            )
+    return "\n".join(lines)
+
+
+def metrics_lines(summary: dict[str, object]) -> str:
+    """Render a :meth:`MetricsRegistry.summary` dict as aligned text."""
+    width = max((len(k) for k in summary), default=0)
+    lines = []
+    for name, value in summary.items():
+        if isinstance(value, dict):
+            body = "  ".join(f"{k}={_fmt_attr(v)}" for k, v in value.items())
+        else:
+            body = _fmt_attr(value)
+        lines.append(f"{name:<{width}}  {body}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# JSONL export / import
+# ---------------------------------------------------------------------- #
+def _flatten(roots: Iterable[Span]):
+    """Yield (id, parent_id, span) with ids assigned in pre-order."""
+    next_id = 0
+    for root in roots:
+        stack: list[tuple[Span, int | None]] = [(root, None)]
+        while stack:
+            span, parent = stack.pop()
+            sid = next_id
+            next_id += 1
+            yield sid, parent, span
+            for child in reversed(span.children):
+                stack.append((child, sid))
+
+
+def write_jsonl(roots: Iterable[Span], file: str | IO[str]) -> int:
+    """Write one JSON object per span; returns the span count.
+
+    ``file`` is a path or an open text handle.  Each record carries
+    ``id``/``parent`` so :func:`read_jsonl` can rebuild the tree.
+    """
+    own = isinstance(file, str)
+    fh: IO[str] = open(file, "w") if own else file  # noqa: SIM115
+    count = 0
+    try:
+        for sid, parent, span in _flatten(roots):
+            record = {
+                "id": sid,
+                "parent": parent,
+                "name": span.name,
+                "start_wall": span.start_wall,
+                "duration_s": span.duration_s,
+                "attrs": span.attrs,
+            }
+            fh.write(json.dumps(record, default=str) + "\n")
+            count += 1
+    finally:
+        if own:
+            fh.close()
+    return count
+
+
+def read_jsonl(file: str | IO[str]) -> list[Span]:
+    """Rebuild the trace trees written by :func:`write_jsonl`."""
+    own = isinstance(file, str)
+    fh: IO[str] = open(file) if own else file  # noqa: SIM115
+    try:
+        by_id: dict[int, Span] = {}
+        roots: list[Span] = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            span = Span(record["name"], record.get("attrs"), tracer=None)
+            span.start_wall = record.get("start_wall", 0.0)
+            span.duration_s = record.get("duration_s", 0.0)
+            by_id[record["id"]] = span
+            parent = record.get("parent")
+            if parent is None:
+                roots.append(span)
+            else:
+                by_id[parent].children.append(span)
+        return roots
+    finally:
+        if own:
+            fh.close()

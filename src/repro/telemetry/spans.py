@@ -1,0 +1,146 @@
+"""Span primitives: nested timed regions collected into a trace tree.
+
+A :class:`Span` is a context manager recording wall-clock start time,
+monotonic duration and arbitrary attributes.  Spans nest: the
+:class:`Tracer` keeps a stack of open spans, so a span opened while
+another is active becomes its child and finished root spans accumulate
+in :attr:`Tracer.roots` -- the per-run trace tree the sinks render.
+
+When telemetry is disabled the façade hands out the :data:`NOOP_SPAN`
+singleton instead, whose every method is a no-op, so instrumented code
+pays one branch and zero allocations (see
+:mod:`repro.telemetry.__init__`).
+
+The tracer is process-local and deliberately not thread-safe: the flow
+is single-threaded, and keeping the hot path free of locks is part of
+the near-zero-overhead contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NOOP_SPAN", "Span", "Tracer"]
+
+
+class Span:
+    """One timed region of the trace tree."""
+
+    __slots__ = ("name", "attrs", "start_wall", "duration_s", "children",
+                 "_t0", "_tracer")
+
+    def __init__(self, name: str, attrs: dict | None, tracer: "Tracer | None"):
+        self.name = name
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.start_wall: float = 0.0
+        self.duration_s: float = 0.0
+        self.children: list[Span] = []
+        self._t0: float = 0.0
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------ #
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_wall = time.time()
+        self._t0 = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    # ------------------------------------------------------------------ #
+    def walk(self):
+        """Yield (depth, span) over the subtree, pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class _NoopSpan:
+    """The disabled-path stand-in: every operation is a no-op.
+
+    A single module-level instance is shared by every ``span()`` call
+    made while telemetry is off, so the disabled path never allocates.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans into per-run trace trees."""
+
+    __slots__ = ("roots", "_stack")
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def start(self, name: str, attrs: dict | None = None) -> Span:
+        """Create an *unopened* span bound to this tracer.
+
+        The caller enters it with ``with``; parenting happens at entry
+        time so construction order does not matter.
+        """
+        return Span(name, attrs, self)
+
+    # ------------------------------------------------------------------ #
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (e.g. a generator finalized late):
+        # unwind to the span being closed rather than corrupting the tree.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def all_spans(self):
+        """Yield every finished span, pre-order across all roots."""
+        for root in self.roots:
+            for _, span in root.walk():
+                yield span

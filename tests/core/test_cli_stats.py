@@ -1,0 +1,58 @@
+"""The ``repro stats`` command and the global observability flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestStatsCommand:
+    def test_stats_tree_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["stats", "--shots", "5",
+                     "--trace", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+
+        # Nested stage-timing tree on stdout.
+        assert "repro.stats" in out
+        assert "flow.timing" in out
+        assert "stage cache accounting:" in out
+        assert "metrics summary" in out
+        assert "solver.newton_iterations" in out
+
+        # The JSONL trace covers every instrumented layer.
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        layers = {r["name"].split(".")[0] for r in records}
+        assert {"spice", "cells", "flow", "soc", "reliability"} <= layers
+        # Parent pointers resolve within the file.
+        ids = {r["id"] for r in records}
+        assert all(r["parent"] in ids
+                   for r in records if r["parent"] is not None)
+
+
+class TestObservabilityFlags:
+    def test_quiet_suppresses_reports(self, capsys):
+        assert main(["fig2", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_trace_flag_prints_tree_without_file(self, capsys):
+        assert main(["fig2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2(a)" in out
+
+    def test_telemetry_off_by_default(self, capsys):
+        assert main(["fig2"]) == 0
+        assert not telemetry.enabled()
+        assert telemetry.trace_roots() == []

@@ -1,0 +1,95 @@
+"""The flow_stage descriptor: caching, hit/miss accounting, injection."""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.core.flow import flow_stage
+
+
+class Pipeline:
+    def __init__(self):
+        self.computed = 0
+
+    @flow_stage
+    def expensive(self):
+        self.computed += 1
+        return {"value": self.computed}
+
+    @flow_stage
+    def untouched(self):  # pragma: no cover - never accessed in tests
+        raise AssertionError("should not run")
+
+    def stage_cache_stats(self):
+        events = self.__dict__.get("_stage_events", {})
+        return {
+            name: {"hits": h, "misses": m}
+            for name, (h, m) in sorted(events.items())
+        }
+
+
+class TestCaching:
+    def test_computed_once_and_cached(self):
+        p = Pipeline()
+        first = p.expensive
+        second = p.expensive
+        assert first is second
+        assert p.computed == 1
+
+    def test_instances_do_not_share_cache(self):
+        a, b = Pipeline(), Pipeline()
+        assert a.expensive is not b.expensive
+        assert a.computed == b.computed == 1
+
+    def test_class_access_returns_descriptor(self):
+        assert isinstance(Pipeline.expensive, flow_stage)
+
+
+class TestHitMissLedger:
+    def test_miss_then_hits(self):
+        p = Pipeline()
+        p.expensive
+        p.expensive
+        p.expensive
+        assert p.stage_cache_stats() == {
+            "expensive": {"hits": 2, "misses": 1}
+        }
+
+    def test_untouched_stage_absent_from_ledger(self):
+        p = Pipeline()
+        p.expensive
+        assert "untouched" not in p.stage_cache_stats()
+
+
+class TestInjection:
+    def test_assignment_bypasses_compute(self):
+        p = Pipeline()
+        p.expensive = {"value": -1}
+        assert p.expensive == {"value": -1}
+        assert p.computed == 0
+
+
+class TestTelemetry:
+    def test_counters_and_span_when_enabled(self):
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            p = Pipeline()
+            p.expensive
+            p.expensive
+            summary = telemetry.metrics_summary()
+            assert summary["flow.cache_miss.expensive"] == 1
+            assert summary["flow.cache_hit.expensive"] == 1
+            names = [s.name for s in telemetry.tracer.all_spans()]
+            # The compute (miss) runs inside a span; the hit does not.
+            assert names.count("flow.expensive") == 1
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+    def test_silent_when_disabled(self):
+        p = Pipeline()
+        p.expensive
+        p.expensive
+        assert telemetry.registry.empty
+        # The always-on ledger still counts.
+        assert p.stage_cache_stats()["expensive"] == {"hits": 1, "misses": 1}

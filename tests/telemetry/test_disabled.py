@@ -1,0 +1,70 @@
+"""The disabled fast path: no-op spans, no allocations in the registry."""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.telemetry import NOOP_SPAN
+
+
+class TestDisabledSpans:
+    def test_span_returns_shared_noop_singleton(self):
+        # No allocation: every disabled call yields the same object.
+        s1 = telemetry.span("a", big="attribute")
+        s2 = telemetry.span("b")
+        assert s1 is NOOP_SPAN
+        assert s2 is NOOP_SPAN
+
+    def test_noop_span_is_inert_context_manager(self):
+        with telemetry.span("a") as sp:
+            assert sp is NOOP_SPAN
+            assert sp.set(anything=1) is sp
+        assert telemetry.trace_roots() == []
+
+    def test_noop_span_swallows_nothing(self):
+        # Exceptions must still propagate through the no-op span.
+        try:
+            with telemetry.span("a"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception was swallowed")
+
+    def test_tracer_untouched_while_disabled(self):
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+        assert telemetry.tracer.roots == []
+        assert telemetry.tracer.active is None
+
+
+class TestDisabledMetrics:
+    def test_count_allocates_nothing(self):
+        telemetry.count("solver.newton_iterations", 42)
+        telemetry.gauge("x", 1.0)
+        telemetry.observe("y", 0.5)
+        assert telemetry.registry.empty
+        assert telemetry.metrics_summary() == {}
+
+    def test_enable_disable_roundtrip(self):
+        telemetry.enable()
+        telemetry.count("a")
+        telemetry.disable()
+        telemetry.count("a")  # ignored
+        assert telemetry.registry.counter("a").value == 1
+
+
+class TestInstrumentedCodeDisabled:
+    def test_transient_records_nothing_when_disabled(self):
+        from repro.spice import Circuit, DC, transient
+
+        c = Circuit("rc", temperature_k=300.0)
+        c.add_vsource("v1", "in", "0", DC(0.7))
+        c.add_resistor("r1", "in", "out", 1e3)
+        c.add_capacitor("c1", "out", "0", 1e-15)
+        result = transient(c, 1e-11, 1e-12)
+        assert telemetry.trace_roots() == []
+        assert telemetry.registry.empty
+        # ... but the always-on result stats are still populated.
+        assert result.stats.newton_iterations > 0
+        assert result.stats.timesteps == 10

@@ -1,0 +1,66 @@
+"""Counters, gauges, histograms and the registry summary."""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        telemetry.enable()
+        telemetry.count("hits")
+        telemetry.count("hits", 4)
+        assert telemetry.registry.counter("hits").value == 5
+
+    def test_gauge_last_value_wins(self):
+        telemetry.enable()
+        telemetry.gauge("speed", 10.0)
+        telemetry.gauge("speed", 3.5)
+        assert telemetry.registry.gauge("speed").value == 3.5
+
+    def test_histogram_summary(self):
+        telemetry.enable()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            telemetry.observe("lat", v)
+        h = telemetry.registry.histogram("lat")
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["total"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] in (2.0, 3.0)
+
+    def test_empty_histogram_percentile(self):
+        r = MetricsRegistry()
+        assert r.histogram("x").percentile(95) == 0.0
+        assert r.histogram("x").summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        r = MetricsRegistry()
+        assert r.empty
+        r.counter("a").inc()
+        r.gauge("b").set(1.0)
+        r.histogram("c").observe(2.0)
+        assert not r.empty
+        assert set(r.counters) == {"a"}
+
+    def test_summary_is_flat_and_sorted(self):
+        r = MetricsRegistry()
+        r.counter("z.count").inc(2)
+        r.counter("a.count").inc(1)
+        r.gauge("m.gauge").set(0.5)
+        r.histogram("h.hist").observe(1.0)
+        s = r.summary()
+        assert list(s)[:2] == ["a.count", "z.count"]
+        assert s["z.count"] == 2
+        assert s["m.gauge"] == 0.5
+        assert s["h.hist"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.reset()
+        assert r.empty

@@ -1,0 +1,96 @@
+"""Tree rendering and JSONL export round-trip."""
+
+from __future__ import annotations
+
+import io
+
+from repro import telemetry
+from repro.telemetry import format_tree, metrics_lines, read_jsonl, write_jsonl
+
+
+def _make_trace():
+    telemetry.enable()
+    with telemetry.span("flow.study", fast=True):
+        with telemetry.span("flow.libraries", corners=2):
+            with telemetry.span("cells.build_library", corner="300K"):
+                pass
+        with telemetry.span("soc.workload", workload="knn", cycles=1234):
+            pass
+    return telemetry.trace_roots()
+
+
+class TestFormatTree:
+    def test_tree_shows_nesting_and_attrs(self):
+        roots = _make_trace()
+        text = format_tree(roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("flow.study")
+        assert any(line.startswith("  flow.libraries") for line in lines)
+        assert any(line.startswith("    cells.build_library") for line in lines)
+        assert "workload=knn" in text
+        assert "cycles=1234" in text
+
+    def test_max_depth_prunes(self):
+        roots = _make_trace()
+        text = format_tree(roots, max_depth=1)
+        assert "flow.libraries" in text
+        assert "cells.build_library" not in text
+
+    def test_min_duration_prunes_fast_children(self):
+        roots = _make_trace()
+        # Synthetic durations: only the root survives a 1 s floor.
+        for _, span in roots[0].walk():
+            span.duration_s = 0.001
+        roots[0].duration_s = 2.0
+        text = format_tree(roots, min_duration_s=1.0)
+        assert text.splitlines() == [line for line in text.splitlines()
+                                     if "flow.study" in line]
+
+
+class TestJsonlRoundTrip:
+    def test_roundtrip_preserves_tree_and_attrs(self):
+        roots = _make_trace()
+        buf = io.StringIO()
+        n = write_jsonl(roots, buf)
+        assert n == 4
+        buf.seek(0)
+        back = read_jsonl(buf)
+        assert len(back) == 1
+        orig = [(d, s.name, s.attrs, round(s.duration_s, 9))
+                for d, s in roots[0].walk()]
+        redo = [(d, s.name, s.attrs, round(s.duration_s, 9))
+                for d, s in back[0].walk()]
+        assert orig == redo
+
+    def test_roundtrip_via_file(self, tmp_path):
+        roots = _make_trace()
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(roots, str(path))
+        assert n == len(path.read_text().splitlines())
+        back = read_jsonl(str(path))
+        assert [r.name for r in back] == ["flow.study"]
+
+    def test_multiple_roots_roundtrip(self):
+        telemetry.enable()
+        with telemetry.span("one"):
+            pass
+        with telemetry.span("two"):
+            pass
+        buf = io.StringIO()
+        write_jsonl(telemetry.trace_roots(), buf)
+        buf.seek(0)
+        assert [r.name for r in read_jsonl(buf)] == ["one", "two"]
+
+    def test_export_helper_uses_global_tracer(self, tmp_path):
+        _make_trace()
+        path = tmp_path / "t.jsonl"
+        assert telemetry.export_jsonl(str(path)) == 4
+
+
+class TestMetricsLines:
+    def test_lines_are_aligned_and_complete(self):
+        text = metrics_lines({"a.counter": 3, "b.hist": {"count": 2, "mean": 0.5}})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a.counter")
+        assert "count=2" in lines[1] and "mean=0.5" in lines[1]

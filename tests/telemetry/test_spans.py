@@ -1,0 +1,101 @@
+"""Span nesting, attribute capture and tracer bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+class TestSpanNesting:
+    def test_single_span_becomes_root(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            pass
+        roots = telemetry.trace_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].children == []
+
+    def test_nested_spans_build_a_tree(self):
+        telemetry.enable()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                with telemetry.span("c"):
+                    pass
+            with telemetry.span("d"):
+                pass
+        (a,) = telemetry.trace_roots()
+        assert [c.name for c in a.children] == ["b", "d"]
+        assert [c.name for c in a.children[0].children] == ["c"]
+
+    def test_sequential_roots_accumulate(self):
+        telemetry.enable()
+        with telemetry.span("first"):
+            pass
+        with telemetry.span("second"):
+            pass
+        assert [r.name for r in telemetry.trace_roots()] == ["first", "second"]
+
+    def test_durations_are_positive_and_nested_leq_parent(self):
+        telemetry.enable()
+        with telemetry.span("parent"):
+            with telemetry.span("child"):
+                sum(range(1000))
+        (parent,) = telemetry.trace_roots()
+        child = parent.children[0]
+        assert parent.duration_s > 0.0
+        assert 0.0 < child.duration_s <= parent.duration_s
+
+    def test_walk_is_preorder(self):
+        telemetry.enable()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+            with telemetry.span("c"):
+                with telemetry.span("d"):
+                    pass
+        (a,) = telemetry.trace_roots()
+        order = [(depth, s.name) for depth, s in a.walk()]
+        assert order == [(0, "a"), (1, "b"), (1, "c"), (2, "d")]
+
+
+class TestSpanAttributes:
+    def test_constructor_attributes_captured(self):
+        telemetry.enable()
+        with telemetry.span("s", corner="10K", cells=203):
+            pass
+        (s,) = telemetry.trace_roots()
+        assert s.attrs == {"corner": "10K", "cells": 203}
+
+    def test_set_merges_and_chains(self):
+        telemetry.enable()
+        with telemetry.span("s", a=1) as sp:
+            assert sp.set(b=2) is sp
+        (s,) = telemetry.trace_roots()
+        assert s.attrs == {"a": 1, "b": 2}
+
+    def test_exception_tagged_and_propagated(self):
+        telemetry.enable()
+        with pytest.raises(ValueError):
+            with telemetry.span("boom"):
+                raise ValueError("no")
+        (s,) = telemetry.trace_roots()
+        assert s.attrs["error"] == "ValueError"
+        assert s.duration_s >= 0.0
+
+    def test_active_span_visible(self):
+        telemetry.enable()
+        assert telemetry.tracer.active is None
+        with telemetry.span("s") as sp:
+            assert telemetry.tracer.active is sp
+        assert telemetry.tracer.active is None
+
+
+class TestReset:
+    def test_reset_drops_spans_and_keeps_flag(self):
+        telemetry.enable()
+        with telemetry.span("s"):
+            pass
+        telemetry.reset()
+        assert telemetry.trace_roots() == []
+        assert telemetry.enabled()
