@@ -63,6 +63,21 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 @pytest.fixture(scope="session")
+def bench_record():
+    """Record a named wall time into the bench summary.
+
+    For benches that time *phases* (e.g. serial vs. parallel splits)
+    rather than whole tests: recorded values land in the same
+    ``--bench-summary`` JSON as the per-test wall times.
+    """
+
+    def record(key: str, seconds: float) -> None:
+        _BENCH_REGISTRY.histogram(f"bench.{key}").observe(seconds)
+
+    return record
+
+
+@pytest.fixture(scope="session")
 def study() -> CryoStudy:
     """Fast-mode study (golden device parameters, full cell catalog)."""
     return CryoStudy(StudyConfig(fast=True, shots=15))

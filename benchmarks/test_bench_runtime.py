@@ -1,0 +1,66 @@
+"""Runtime bench: serial vs. parallel wall time for the two hot fan-outs.
+
+Records ``bench.runtime_*`` entries (via the ``bench_record`` fixture)
+alongside the per-test wall times in the bench summary, so CI can track
+the executor's payoff over time.  The speedup *assertion* only arms on
+machines with enough cores to make it physical -- on a 1-2 core runner,
+process-pool overhead legitimately loses to the serial loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.cells import CharacterizationConfig, TechModels, build_library
+from repro.device import golden_nfet, golden_pfet
+from repro.reliability import CampaignConfig, knn_workload, run_campaign
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def models():
+    return TechModels(golden_nfet(), golden_pfet())
+
+
+def test_bench_runtime_build_library(models, bench_record):
+    config = CharacterizationConfig(engine="analytic")
+    serial, t_serial = _timed(build_library, models, config, jobs=1)
+    parallel, t_parallel = _timed(build_library, models, config, jobs=4)
+    bench_record("runtime.build_library_serial_s", t_serial)
+    bench_record("runtime.build_library_jobs4_s", t_parallel)
+    assert sorted(parallel.cells) == sorted(serial.cells)
+    print(f"\nbuild_library: serial {t_serial:.2f} s, "
+          f"jobs=4 {t_parallel:.2f} s")
+
+
+def test_bench_runtime_seu_campaign(bench_record):
+    rng = np.random.default_rng(7)
+    nq = 8
+    centers = rng.normal(0.0, 0.8, (nq, 2, 2))
+    measurements = rng.normal(0.0, 0.8, (10 * nq, 2))
+    spec = knn_workload(centers, measurements, nq)
+    config = CampaignConfig(n_injections=96, seed=11)
+
+    serial, t_serial = _timed(run_campaign, spec, config, jobs=1)
+    parallel, t_parallel = _timed(run_campaign, spec, config, jobs=4)
+    bench_record("runtime.seu_campaign_serial_s", t_serial)
+    bench_record("runtime.seu_campaign_jobs4_s", t_parallel)
+    assert parallel.bucket_signature() == serial.bucket_signature()
+    speedup = t_serial / t_parallel
+    bench_record("runtime.seu_campaign_speedup_x", speedup)
+    print(f"\nSEU campaign (96 injections): serial {t_serial:.2f} s, "
+          f"jobs=4 {t_parallel:.2f} s ({speedup:.2f}x)")
+    if (os.cpu_count() or 1) >= 4:
+        # The acceptance bar: on a real 4-core box the distributed
+        # campaign must at least halve the wall time.
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at jobs=4, got {speedup:.2f}x")

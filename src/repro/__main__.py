@@ -11,16 +11,27 @@
     python -m repro stats           # flow stage-timing tree (telemetry)
     python -m repro all             # every artifact above
 
+The command list is *generated* from the experiment registry
+(:mod:`repro.experiments.registry`): every registered
+:class:`~repro.experiments.registry.ExperimentSpec` is a command,
+umbrella groups (``extensions``) expand to their members, and ``all``
+expands to every spec flagged for it.
+
 ``--calibrated`` runs the honest flow (staged calibration first) instead
 of the fast golden-parameter flow; ``--shots N`` controls the ISS
-workload size.
+workload size; ``--jobs N`` parallelizes the flow's fan-outs (library
+builds, and -- for multi-experiment commands -- the experiments
+themselves) over the :mod:`repro.runtime` executor.  ``REPRO_JOBS`` in
+the environment is the flag's default; ``REPRO_CACHE_DIR`` additionally
+turns on the on-disk result cache so repeat runs skip finished work.
 
 Observability flags (global):
 
 * ``-v`` / ``--quiet`` raise/suppress diagnostic logging (the package
   logs through the stdlib ``repro`` logger hierarchy);
 * ``--trace`` enables span tracing and prints the timing tree at exit;
-  ``--trace FILE`` writes the full trace as JSONL instead;
+  ``--trace FILE`` writes the full trace as JSONL instead -- on
+  parallel runs, worker spans are merged back into one tree;
 * ``--metrics`` prints the flat metrics-registry summary at exit.
 
 Reports go through :func:`_report` (a thin ``logging`` wrapper), so
@@ -32,17 +43,9 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from functools import partial
 
 from repro import telemetry
-
-COMMANDS = (
-    "fig2", "fig3", "fig5", "table1", "fig6", "table2", "fig7",
-    "ablations", "extensions", "ext_seu", "stats", "all",
-)
-
-#: Commands ``repro all`` expands to (``stats`` is a diagnostic, not an
-#: artifact, so it is not part of ``all``).
-_ALL_COMMANDS = tuple(c for c in COMMANDS if c not in ("stats", "all"))
 
 _LOG = logging.getLogger("repro.cli")
 
@@ -86,8 +89,77 @@ def _build_study(args):
     from repro.core import CryoStudy, StudyConfig
 
     return CryoStudy(
-        StudyConfig(fast=not args.calibrated, shots=args.shots)
+        StudyConfig(fast=not args.calibrated, shots=args.shots,
+                    jobs=args.jobs)
     )
+
+
+# ---------------------------------------------------------------------- #
+# Registry-driven command set.
+# ---------------------------------------------------------------------- #
+def _commands() -> list[str]:
+    """Every accepted command: specs, groups, and the builtins."""
+    from repro.experiments import registry
+
+    return (registry.names() + sorted(registry.groups())
+            + ["stats", "all"])
+
+
+def _expand(command: str):
+    """A command -> the ordered experiment specs it runs."""
+    from repro.experiments import registry
+
+    if command == "all":
+        return [s for s in registry.all_specs() if s.in_all]
+    groups = registry.groups()
+    if command in groups:
+        return groups[command]
+    return [registry.get(command)]
+
+
+# ---------------------------------------------------------------------- #
+# Parallel experiment fan-out.  The shared study is prebuilt (through
+# its heavy common stages) *before* the pool starts, so forked workers
+# inherit it copy-on-write instead of rebuilding libraries per process;
+# a worker that finds no inherited study (spawn start method) falls
+# back to rebuilding from the config round-trip.
+# ---------------------------------------------------------------------- #
+_TASK_STUDY = None
+
+
+def _experiment_task(config_data: dict, name: str) -> str:
+    """Run one registered experiment end-to-end; returns its report."""
+    from repro.core import CryoStudy, StudyConfig
+    from repro.experiments import registry
+
+    spec = registry.get(name)
+    config = StudyConfig.from_dict(config_data)
+    study = None
+    if spec.needs_study:
+        study = _TASK_STUDY or CryoStudy(config)
+    with telemetry.span("cli.experiment", experiment=name):
+        return spec.execute(study, config)
+
+
+def _run_parallel(specs, args) -> list[str]:
+    """Fan independent experiments out over the executor."""
+    global _TASK_STUDY
+    from repro.runtime import get_executor
+
+    study = None
+    if any(s.needs_study for s in specs):
+        study = _build_study(args)
+        with telemetry.span("cli.prebuild_shared_stages"):
+            study.timing  # noqa: B018 - forces libraries/soc/placement
+    _TASK_STUDY = study
+    try:
+        executor = get_executor(args.jobs)
+        task = partial(_experiment_task,
+                       study.config.to_dict() if study is not None
+                       else _build_study(args).config.to_dict())
+        return executor.map(task, [s.name for s in specs])
+    finally:
+        _TASK_STUDY = None
 
 
 # ---------------------------------------------------------------------- #
@@ -170,17 +242,24 @@ def _emit_telemetry(args) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.runtime import resolve_jobs
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument("command", choices=_commands())
     parser.add_argument(
         "--calibrated", action="store_true",
         help="run the full flow including compact-model calibration",
     )
     parser.add_argument("--shots", type=int, default=15,
                         help="shots per qubit for ISS workloads")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="parallel workers for the flow's fan-outs (default: "
+             "REPRO_JOBS or serial; 0 = one per CPU)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="show debug-level diagnostics")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -200,48 +279,35 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.reset()
         telemetry.enable()
 
-    from repro import experiments as exp
-
-    wanted = _ALL_COMMANDS if args.command == "all" else (args.command,)
-    study = None
-    for command in wanted:
-        if command == "fig2":
-            _report(exp.fig2_readout.report())
-        elif command == "fig3":
-            _report(exp.fig3_calibration.report())
-        elif command == "ext_seu":
-            _report(exp.ext_seu.report())
-        elif command == "stats":
-            _run_stats(args)
-        else:
-            study = study or _build_study(args)
-            if command == "fig5":
-                _report(exp.fig5_delays.report(exp.fig5_delays.run(study)))
-            elif command == "table1":
-                _report(exp.table1_timing.report(exp.table1_timing.run(study)))
-            elif command == "fig6":
-                _report(exp.fig6_power.report(exp.fig6_power.run(study)))
-            elif command == "table2":
-                _report(exp.table2_cycles.report(exp.table2_cycles.run(study)))
-            elif command == "fig7":
-                _report(exp.fig7_scaling.report(exp.fig7_scaling.run(study)))
-            elif command == "ablations":
-                _report(exp.ablations.report_all(study))
-            elif command == "extensions":
-                _report(exp.ext_thermal.report())
-                _report()
-                _report(exp.ext_fpga.report(exp.ext_fpga.run(study)))
-                _report()
-                _report(exp.ext_qec.report(exp.ext_qec.run(study)))
-                _report()
-                _report(exp.ext_vdd.report(exp.ext_vdd.run(study)))
-                _report()
-                _report(exp.ext_vqe.report(exp.ext_vqe.run(study)))
-                _report()
-                _report(exp.ext_mismatch.report())
+    if args.command == "stats":
+        _run_stats(args)
         _report()
+        _emit_telemetry(args)
+        return 0
+
+    specs = _expand(args.command)
+    if resolve_jobs(args.jobs) > 1 and len(specs) > 1:
+        for text in _run_parallel(specs, args):
+            _report(text)
+            _report()
+    else:
+        study = None
+        for spec in specs:
+            if spec.needs_study and study is None:
+                study = _build_study(args)
+            with telemetry.span("cli.experiment", experiment=spec.name):
+                _report(spec.execute(study, study.config if study is not None
+                                     else _default_config(args)))
+            _report()
     _emit_telemetry(args)
     return 0
+
+
+def _default_config(args):
+    from repro.core import StudyConfig
+
+    return StudyConfig(fast=not args.calibrated, shots=args.shots,
+                       jobs=args.jobs)
 
 
 if __name__ == "__main__":

@@ -78,7 +78,7 @@ class TechModels:
         return FinFET(self.pfet.copy(nfin=nfin))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class CharacterizationConfig:
     """Operating conditions and table axes for one library build."""
 
@@ -91,6 +91,25 @@ class CharacterizationConfig:
     def __post_init__(self) -> None:
         if self.engine not in ("analytic", "spice"):
             raise ValueError(f"unknown engine {self.engine!r}")
+
+    # -- provenance / cache identity ---------------------------------- #
+    def to_dict(self) -> dict:
+        """Plain-data view; round-trips through :meth:`from_dict`."""
+        from repro.runtime.digest import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CharacterizationConfig":
+        from repro.runtime.digest import config_from_dict
+
+        return config_from_dict(cls, data)
+
+    def config_digest(self) -> str:
+        """Stable content hash: the cache key / provenance stamp."""
+        from repro.runtime.digest import stable_digest
+
+        return stable_digest(self)
 
 
 @dataclass

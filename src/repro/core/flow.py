@@ -103,7 +103,7 @@ class flow_stage:  # noqa: N801 - decorator, lowercase like cached_property
         obj.__dict__.setdefault("_stage_cache", {})[self.name] = value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class StudyConfig:
     """Knobs of the end-to-end study."""
 
@@ -117,6 +117,35 @@ class StudyConfig:
     """Shots per qubit for workload simulation."""
 
     cooling_budget_w: float = COOLING_BUDGET_10K
+
+    jobs: int | None = None
+    """Worker count for the flow's parallel fan-outs (library builds);
+    ``None`` defers to ``REPRO_JOBS`` / serial."""
+
+    # -- provenance / cache identity ---------------------------------- #
+    def to_dict(self) -> dict:
+        """Plain-data view; round-trips through :meth:`from_dict`."""
+        from repro.runtime.digest import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyConfig":
+        from repro.runtime.digest import config_from_dict
+
+        return config_from_dict(cls, data, nested={"soc": SoCConfig})
+
+    def config_digest(self) -> str:
+        """Stable content hash: the canonical provenance of a run.
+
+        ``jobs`` is excluded: it is an execution knob, and parallel
+        runs are bit-identical to serial ones by contract.
+        """
+        from repro.runtime.digest import stable_digest
+
+        data = self.to_dict()
+        data.pop("jobs")
+        return stable_digest({"__config__": type(self).__qualname__, **data})
 
 
 class CryoStudy:
@@ -174,6 +203,7 @@ class CryoStudy:
                 self.models,
                 CharacterizationConfig(temperature_k=t),
                 catalog=catalog,
+                jobs=self.config.jobs,
             )
             for t in (T_ROOM, T_CRYO)
         }

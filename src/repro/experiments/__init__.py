@@ -22,6 +22,11 @@ Index (see DESIGN.md section 4):
 * :mod:`~repro.experiments.ext_mismatch`     -- EXT: mismatch + SRAM SNM
 * :mod:`~repro.experiments.ext_soc_sweep`    -- EXT: SoC config sweep
 * :mod:`~repro.experiments.ext_seu`          -- EXT: SEU fault injection
+
+Each module also registers an :class:`~repro.experiments.registry.ExperimentSpec`
+via the :func:`~repro.experiments.registry.experiment` decorator; the
+CLI and ``repro all`` are generated from that registry (see
+:mod:`repro.experiments.registry`).
 """
 
 from repro.experiments import (
@@ -39,6 +44,7 @@ from repro.experiments import (
     fig5_delays,
     fig6_power,
     fig7_scaling,
+    registry,
     table1_timing,
     table2_cycles,
 )
@@ -58,6 +64,7 @@ __all__ = [
     "fig5_delays",
     "fig6_power",
     "fig7_scaling",
+    "registry",
     "table1_timing",
     "table2_cycles",
 ]

@@ -19,6 +19,8 @@ from repro.core.report import format_table
 from repro.power.sram import SRAMPowerModel
 
 __all__ = [
+    "run",
+    "report",
     "run_popcount",
     "run_knn_sqrt",
     "run_hdc_precompute",
@@ -107,12 +109,23 @@ def run_sram_sweep(
             "total_kib": total_kib}
 
 
-def report_all(study=None) -> str:
+def run(study=None) -> dict:
+    """All four ablations as one result bundle (ABL-1..4)."""
     study = study or _default_study()
-    pc = run_popcount(study)
-    sq = run_knn_sqrt(study)
-    hp = run_hdc_precompute(study)
-    sw = run_sram_sweep()
+    return {
+        "popcount": run_popcount(study),
+        "knn_sqrt": run_knn_sqrt(study),
+        "hdc_precompute": run_hdc_precompute(study),
+        "sram_sweep": run_sram_sweep(),
+    }
+
+
+def report(result: dict | None = None) -> str:
+    result = result or run()
+    pc = result["popcount"]
+    sq = result["knn_sqrt"]
+    hp = result["hdc_precompute"]
+    sw = result["sram_sweep"]
 
     sections = [
         format_table(
@@ -166,3 +179,18 @@ def report_all(study=None) -> str:
         )
     )
     return "\n\n".join(sections)
+
+
+def report_all(study=None) -> str:
+    """Back-compat wrapper: run + report in one call."""
+    return report(run(study))
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ablations", "ABL-1..4 -- design-choice ablations",
+            report=report, order=80)
+def _experiment(study, config):
+    return run(study)

@@ -69,3 +69,13 @@ def report(result: dict | None = None) -> str:
         ),
     )
     return table
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_fpga", "EXT -- embedded FPGA classification fabric",
+            report=report, group="extensions", order=100)
+def _experiment(study, config):
+    return run(study)

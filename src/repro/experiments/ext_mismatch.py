@@ -60,3 +60,13 @@ def report(result: dict | None = None) -> str:
             "Monte-Carlo (mismatch grows at cryo; margin holds)"
         ),
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_mismatch", "EXT -- mismatch and SRAM noise margins",
+            report=report, needs_study=False, group="extensions", order=140)
+def _experiment(study, config):
+    return run()

@@ -79,3 +79,13 @@ def report(result: dict | None = None) -> str:
             f"{result['frequency_mhz']:.0f} MHz clock"
         ),
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_qec", "EXT -- repetition-code QEC decoding",
+            report=report, group="extensions", order=110)
+def _experiment(study, config):
+    return run(study)

@@ -96,3 +96,13 @@ def report(result: dict | None = None) -> str:
             f"{result['sdc_rate_tmr']:.1%} with TMR)"
         ),
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_seu", "EXT -- SEU fault-injection campaign",
+            report=report, needs_study=False, order=150)
+def _experiment(study, config):
+    return run()

@@ -72,3 +72,13 @@ def report(result: dict | None = None) -> str:
             f"(calibration working set {result['working_set_kib']:.0f} KiB)"
         ),
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_soc_sweep", "EXT -- off-the-shelf SoC configuration sweep",
+            report=report, needs_study=False, order=160, in_all=False)
+def _experiment(study, config):
+    return run()

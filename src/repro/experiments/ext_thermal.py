@@ -75,3 +75,13 @@ def report(result: dict | None = None) -> str:
         f"{'ADMISSIBLE' if result['classify_admissible'] else 'REJECTED'}"
     )
     return table + "\n" + summary
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_thermal", "EXT -- burst power management at 10 K",
+            report=report, needs_study=False, group="extensions", order=90)
+def _experiment(study, config):
+    return run()

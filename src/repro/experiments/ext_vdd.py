@@ -65,3 +65,13 @@ def report(result: dict | None = None) -> str:
         rows,
         title="EXT-VDD: 10 K supply-voltage scaling on the same design",
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_vdd", "EXT -- supply-voltage scaling at 10 K",
+            report=report, group="extensions", order=120)
+def _experiment(study, config):
+    return run(study)

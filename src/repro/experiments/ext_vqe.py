@@ -123,3 +123,13 @@ def report(result: dict | None = None) -> str:
         f"steps -> {result['local_iterations'] / max(result['remote_iterations'], 1):.1f}x "
         "more optimization steps in the same runtime budget"
     )
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("ext_vqe", "EXT -- hybrid-loop (VQE) latency budget",
+            report=report, group="extensions", order=130)
+def _experiment(study, config):
+    return run(study)

@@ -70,3 +70,13 @@ def report(result: dict | None = None) -> str:
         title=f"Fig. 2(b): decoherence decay, T2 = {result['t2_us']:.0f} us",
     )
     return table + "\n\n" + decay
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("fig2", "Fig. 2 -- Falcon readout scatter and decoherence",
+            report=report, needs_study=False, order=10)
+def _experiment(study, config):
+    return run()

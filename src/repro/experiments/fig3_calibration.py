@@ -69,3 +69,13 @@ def report(result: dict | None = None) -> str:
         title="Extracted figures of merit, 300 K -> 10 K",
     )
     return fit + "\n\n" + metrics
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("fig3", "Fig. 3 -- staged compact-model calibration",
+            report=report, needs_study=False, order=20)
+def _experiment(study, config):
+    return run()

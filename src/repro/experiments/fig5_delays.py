@@ -67,3 +67,13 @@ def report(result: dict | None = None) -> str:
         bins=18, label="10 K delays (s):",
     )
     return summary + "\n\n" + h300 + "\n\n" + h10
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("fig5", "Fig. 5 -- library delay distributions per corner",
+            report=report, order=30)
+def _experiment(study, config):
+    return run(study)

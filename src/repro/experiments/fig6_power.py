@@ -66,3 +66,13 @@ def report(result: dict | None = None) -> str:
         "(paper: 99.76 %)"
     )
     return table + "\n" + summary
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("fig6", "Fig. 6 -- SoC power breakdown per corner",
+            report=report, order=50)
+def _experiment(study, config):
+    return run(study)

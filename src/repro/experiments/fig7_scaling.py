@@ -65,3 +65,13 @@ def report(result: dict | None = None) -> str:
         "(paper: 'too many cycles to be competitive')"
     )
     return table + "\n" + summary
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("fig7", "Fig. 7 -- qubit-count scaling study",
+            report=report, order=70)
+def _experiment(study, config):
+    return run(study)

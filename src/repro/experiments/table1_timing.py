@@ -61,3 +61,13 @@ def report(result: dict | None = None) -> str:
         ),
     )
     return table
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("table1", "Table 1 -- SoC critical path and clock frequency",
+            report=report, order=40)
+def _experiment(study, config):
+    return run(study)

@@ -52,3 +52,13 @@ def report(result: dict | None = None) -> str:
         "(paper: 'it is 3.3x slower')"
     )
     return table + "\n" + summary
+
+
+# ---------------------------------------------------------------------- #
+from repro.experiments.registry import experiment  # noqa: E402
+
+
+@experiment("table2", "Table 2 -- cycles per classification",
+            report=report, order=60)
+def _experiment(study, config):
+    return run(study)

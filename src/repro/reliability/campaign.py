@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -44,6 +45,12 @@ from repro import telemetry
 from repro.errors import HangError, ReproError
 from repro.reliability.faults import ALL_STRUCTURES, BitFlip, FaultPlanner
 from repro.reliability.injector import run_with_faults
+from repro.runtime import (
+    ResultCache,
+    default_enabled,
+    get_executor,
+    stable_digest,
+)
 from repro.soc.cpu import CPU
 from repro.soc.soc import RocketSoC
 
@@ -75,6 +82,11 @@ class WorkloadSpec:
     prepare: Callable[[], CPU]
     read_output: Callable[[CPU], np.ndarray]
     data_regions: list[tuple[int, int]] = field(default_factory=list)
+    factory: tuple | None = None
+    """Picklable recipe ``(builder, payload)`` that rebuilds this spec
+    (see ``_BUILDERS``).  The adapters below set it; a spec without one
+    still works but confines parallel campaigns to in-process backends
+    (closures cannot cross a process boundary)."""
 
 
 @dataclass(frozen=True)
@@ -88,6 +100,23 @@ class CampaignConfig:
     watchdog_factor: float = 4.0
     """Hang threshold as a multiple of the golden cycle count."""
     max_instructions: int = 50_000_000
+
+    # -- provenance / cache identity ---------------------------------- #
+    def to_dict(self) -> dict:
+        """Plain-data view; round-trips through :meth:`from_dict`."""
+        from repro.runtime.digest import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        from repro.runtime.digest import config_from_dict
+
+        return config_from_dict(cls, data)
+
+    def config_digest(self) -> str:
+        """Stable content hash: the cache key / provenance stamp."""
+        return stable_digest(self)
 
 
 @dataclass(frozen=True)
@@ -237,15 +266,70 @@ def _classify(
                            f"{mismatches} output word(s) corrupted")
 
 
+# ------------------------------------------------------------------ #
+# Worker-side plumbing for parallel campaigns.  A worker process gets a
+# picklable *recipe* for the workload (``WorkloadSpec.factory``) rather
+# than the spec itself (whose prepare/read_output are closures); the
+# rebuilt spec is memoized per worker so the setup cost is paid once,
+# not once per injection.
+# ------------------------------------------------------------------ #
+_SPEC_MEMO: dict[str, WorkloadSpec] = {}
+
+
+def _resolve_spec(spec_ref) -> WorkloadSpec:
+    if isinstance(spec_ref, WorkloadSpec):
+        return spec_ref
+    key, builder, payload = spec_ref
+    spec = _SPEC_MEMO.get(key)
+    if spec is None:
+        spec = _BUILDERS[builder](**payload)
+        _SPEC_MEMO[key] = spec
+    return spec
+
+
+def _injection_task(spec_ref, golden, max_cycles, config, fault):
+    """One injection run: the campaign fan-out's unit of work."""
+    spec = _resolve_spec(spec_ref)
+    with telemetry.span("reliability.injection", structure=fault.structure,
+                        cycle=fault.cycle) as sp:
+        record = _classify(spec, fault, golden, max_cycles, config)
+        sp.set(outcome=record.outcome)
+    return record
+
+
 def run_campaign(
-    spec: WorkloadSpec, config: CampaignConfig | None = None
+    spec: WorkloadSpec,
+    config: CampaignConfig | None = None,
+    *,
+    jobs: int | None = None,
+    cache: bool | None = None,
 ) -> CampaignResult:
-    """Run a full campaign; deterministic given (spec data, config)."""
+    """Run a full campaign; deterministic given (spec data, config).
+
+    ``jobs`` distributes injections over the :mod:`repro.runtime`
+    executor (``None`` defers to ``REPRO_JOBS``); the plan is drawn from
+    the campaign seed *before* the fan-out and records merge in plan
+    order, so outcome buckets and AVF are identical at any worker count.
+    ``cache`` memoizes finished campaigns on disk keyed by the workload
+    recipe + config digest (``None``: enabled iff ``REPRO_CACHE_DIR`` is
+    set); specs without a ``factory`` recipe are never disk-cached.
+    """
     config = config or CampaignConfig()
+    use_cache = default_enabled() if cache is None else cache
+    cache_store = cache_key = None
+    if use_cache and spec.factory is not None:
+        cache_store = ResultCache(namespace="campaign")
+        cache_key = stable_digest({"factory": spec.factory,
+                                   "config": config})
+        cached = cache_store.get(cache_key)
+        if cached is not None:
+            return cached
+
     t0 = time.perf_counter()
+    executor = get_executor(jobs)
     with telemetry.span("reliability.campaign", workload=spec.name,
-                        n_injections=config.n_injections,
-                        tmr=config.tmr) as sp:
+                        n_injections=config.n_injections, tmr=config.tmr,
+                        jobs=executor.jobs, backend=executor.backend) as sp:
         with telemetry.span("reliability.golden_run"):
             golden_cpu = spec.prepare()
             golden_stats = golden_cpu.run(
@@ -267,9 +351,14 @@ def run_campaign(
             golden_cycles=golden_stats.cycles,
             golden_output=golden,
         )
+        if executor.jobs > 1 and spec.factory is not None:
+            builder, payload = spec.factory
+            spec_ref = (stable_digest(spec.factory), builder, payload)
+        else:
+            spec_ref = spec
+        task = partial(_injection_task, spec_ref, golden, max_cycles, config)
         with telemetry.span("reliability.injections", n=len(faults)):
-            for fault in faults:
-                record = _classify(spec, fault, golden, max_cycles, config)
+            for record in executor.map(task, faults):
                 result.records.append(record)
                 telemetry.count("reliability.injections")
                 telemetry.count(f"reliability.outcome.{record.outcome}")
@@ -280,6 +369,8 @@ def run_campaign(
             sp.set(golden_cycles=result.golden_cycles,
                    injections_per_sec=round(result.injections_per_second, 2),
                    **result.counts())
+    if cache_store is not None and cache_key is not None:
+        cache_store.put(cache_key, result)
     return result
 
 
@@ -294,11 +385,16 @@ def knn_workload(
     with_sqrt: bool = False,
 ) -> WorkloadSpec:
     """The paper's kNN readout classifier as a campaign target."""
+    factory = None
+    if soc is None:
+        factory = ("knn", {"centers": centers, "measurements": measurements,
+                           "n_qubits": n_qubits, "with_sqrt": with_sqrt})
     soc = soc or RocketSoC()
     prepare, read_output, regions = soc.setup_knn(
         centers, measurements, n_qubits, with_sqrt=with_sqrt
     )
-    return WorkloadSpec("knn", prepare, read_output, regions)
+    return WorkloadSpec("knn", prepare, read_output, regions,
+                        factory=factory)
 
 
 def hdc_workload(
@@ -308,11 +404,16 @@ def hdc_workload(
     soc: RocketSoC | None = None,
 ) -> WorkloadSpec:
     """The HDC readout classifier as a campaign target."""
+    factory = None
+    if soc is None:
+        factory = ("hdc", {"tables": tables, "measurements": measurements,
+                           "n_qubits": n_qubits})
     soc = soc or RocketSoC()
     prepare, read_output, regions = soc.setup_hdc(
         tables, measurements, n_qubits
     )
-    return WorkloadSpec("hdc", prepare, read_output, regions)
+    return WorkloadSpec("hdc", prepare, read_output, regions,
+                        factory=factory)
 
 
 def qec_workload(
@@ -321,6 +422,19 @@ def qec_workload(
     soc: RocketSoC | None = None,
 ) -> WorkloadSpec:
     """Repetition-code majority decoding as a campaign target."""
+    factory = None
+    if soc is None:
+        factory = ("qec", {"bits": bits, "distance": distance})
     soc = soc or RocketSoC()
     prepare, read_output, regions = soc.setup_qec_decode(bits, distance)
-    return WorkloadSpec("qec", prepare, read_output, regions)
+    return WorkloadSpec("qec", prepare, read_output, regions,
+                        factory=factory)
+
+
+#: Registry the worker-side ``_resolve_spec`` rebuilds specs from; the
+#: ``factory`` recipes above name entries here.
+_BUILDERS: dict[str, Callable[..., WorkloadSpec]] = {
+    "knn": knn_workload,
+    "hdc": hdc_workload,
+    "qec": qec_workload,
+}

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result cache.
+
+Repeat runs of the flow redo identical work: every ``repro all``
+rebuilds the same two libraries from the same configs, every seeded
+campaign re-runs the same injections.  This cache closes that loop --
+results are stored under a key that *is* a digest of everything that
+produced them (:func:`repro.runtime.digest.stable_digest` over the
+config dataclasses and companion inputs), so
+
+* a hit is trustworthy by construction: any input change changes the
+  key and misses;
+* no invalidation protocol is needed: stale entries are simply never
+  addressed again (``prune()`` reclaims the disk).
+
+Layout: ``<root>/<namespace>/<key><suffix>``, one pickle per entry,
+written atomically (tmp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a torn entry.  The root defaults to
+``~/.cache/repro`` and is overridden by ``REPRO_CACHE_DIR``; caching is
+*opt-in* -- stages consult :func:`default_enabled`, which is true only
+when ``REPRO_CACHE_DIR`` is set (tests monkeypatch engines, so silently
+serving yesterday's results by default would be a correctness hazard).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from pathlib import Path
+
+from repro import telemetry
+
+__all__ = ["ResultCache", "default_cache_dir", "default_enabled"]
+
+_LOG = logging.getLogger(__name__)
+
+#: Bump to orphan every existing entry after a format change.
+CACHE_VERSION = 1
+
+_SENTINEL = object()
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def default_enabled() -> bool:
+    """Whether stages should cache when the caller did not say.
+
+    Opt-in via the environment: set ``REPRO_CACHE_DIR`` to turn the
+    cache on for a whole run without touching any call site.
+    """
+    return bool(os.environ.get("REPRO_CACHE_DIR", "").strip())
+
+
+class ResultCache:
+    """Pickle-per-entry content-addressed store; see module docstring."""
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 namespace: str = "default"):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.namespace = namespace
+
+    # -------------------------------------------------------------- #
+    def path(self, key: str) -> Path:
+        return self.root / self.namespace / f"{key}.v{CACHE_VERSION}.pkl"
+
+    def get(self, key: str, default=None):
+        """The cached value, or ``default`` on miss/corruption.
+
+        A corrupt or unreadable entry counts as a miss and is removed;
+        the cache never raises into the flow.
+        """
+        path = self.path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (FileNotFoundError, NotADirectoryError):
+            telemetry.count(f"runtime.cache_miss.{self.namespace}")
+            return default
+        except Exception as exc:  # noqa: BLE001 - treat as miss
+            _LOG.warning("dropping unreadable cache entry %s (%s: %s)",
+                         path, type(exc).__name__, exc)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            telemetry.count(f"runtime.cache_miss.{self.namespace}")
+            return default
+        telemetry.count(f"runtime.cache_hit.{self.namespace}")
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically; best-effort.
+
+        A full disk or read-only cache dir degrades to "no cache", not
+        to a failed run.
+        """
+        path = self.path(key)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError as exc:
+            _LOG.warning("cache write failed for %s (%s); continuing "
+                         "uncached", path, exc)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+        else:
+            telemetry.count(f"runtime.cache_write.{self.namespace}")
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    # -------------------------------------------------------------- #
+    def prune(self) -> int:
+        """Delete every entry in this namespace; returns the count."""
+        removed = 0
+        directory = self.root / self.namespace
+        if directory.is_dir():
+            for entry in directory.glob("*.pkl"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,128 @@
+"""Stable content digests for config dataclasses (and friends).
+
+The runtime's on-disk cache is *content-addressed*: a cached result is
+valid exactly as long as every input that produced it hashes to the
+same key.  That requires a digest that is
+
+* **stable across processes and sessions** -- no ``id()``, no
+  ``hash()`` (randomized for strings), no dict iteration-order
+  surprises;
+* **structural** -- two configs with equal field values digest equally,
+  regardless of how they were constructed;
+* **total over the flow's value vocabulary** -- dataclasses, numpy
+  arrays/scalars, tuples, dicts, and the JSON primitives.
+
+The canonical encoding is JSON with sorted keys over a recursively
+normalized value tree; dataclasses are tagged with their qualified
+class name so e.g. two distinct config types with identical fields do
+not collide.  :func:`stable_digest` is the single entry point; the
+``config_digest()`` methods on :class:`~repro.core.flow.StudyConfig`,
+:class:`~repro.cells.characterize.CharacterizationConfig` and
+:class:`~repro.synth.soc_builder.SoCConfig` delegate here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+__all__ = [
+    "config_from_dict",
+    "config_to_dict",
+    "stable_digest",
+]
+
+#: Length of the hex digests handed out (a sha256 prefix).  64 bits of
+#: collision resistance is plenty for a cache namespace this small while
+#: keeping filenames and log lines readable.
+DIGEST_CHARS = 16
+
+
+def _normalize(value):
+    """Recursively convert ``value`` into JSON-encodable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _normalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__qualname__, **fields}
+    if isinstance(value, dict):
+        return {str(k): _normalize(v) for k, v in sorted(value.items(),
+                                                         key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr() round-trips doubles exactly; json.dumps uses it too, but
+        # normalizing here keeps -0.0 / 0.0 and nan handling explicit.
+        return {"__float__": repr(value)}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    # numpy arrays and scalars, without importing numpy here: anything
+    # exposing tolist()/item() canonicalizes through python scalars.
+    if hasattr(value, "tolist"):
+        return {"__array__": _normalize(value.tolist()),
+                "__dtype__": str(getattr(value, "dtype", ""))}
+    if hasattr(value, "item"):
+        return _normalize(value.item())
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for digesting; "
+        "extend repro.runtime.digest._normalize if this type belongs "
+        "in a cache key"
+    )
+
+
+def stable_digest(value) -> str:
+    """A deterministic hex digest of a value tree (sha256 prefix).
+
+    Equal content gives equal digests across processes, sessions and
+    machines; any field change gives (with overwhelming probability) a
+    different digest.
+    """
+    canonical = json.dumps(_normalize(value), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:DIGEST_CHARS]
+
+
+# ---------------------------------------------------------------------- #
+# Config round-trip helpers (the to_dict/from_dict methods delegate here)
+# ---------------------------------------------------------------------- #
+def config_to_dict(config) -> dict:
+    """A plain-dict view of a config dataclass, recursing into nested
+    config dataclasses; tuples stay tuples (the constructor re-coerces).
+    """
+    if not dataclasses.is_dataclass(config):
+        raise TypeError(f"{type(config).__name__} is not a dataclass")
+    out = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = config_to_dict(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(cls, data: dict, *, nested: dict | None = None):
+    """Rebuild ``cls(**data)``, re-coercing the shapes ``to_dict`` and a
+    JSON round trip flatten.
+
+    ``nested`` maps field names to config classes whose dict form should
+    be rebuilt recursively (e.g. ``{"soc": SoCConfig}``); list values
+    are re-coerced to tuples when the field's default is a tuple.
+    """
+    nested = nested or {}
+    kwargs = dict(data)
+    defaults = {
+        f.name: f.default for f in dataclasses.fields(cls)
+        if f.default is not dataclasses.MISSING
+    }
+    for name, value in kwargs.items():
+        if name in nested and isinstance(value, dict):
+            kwargs[name] = nested[name].from_dict(value)
+        elif isinstance(value, list) and isinstance(defaults.get(name), tuple):
+            kwargs[name] = tuple(value)
+    return cls(**kwargs)

@@ -1,0 +1,287 @@
+"""Executor abstraction: one ``map()`` over serial/thread/process backends.
+
+The flow's hot paths are embarrassingly parallel fan-outs -- one SPICE
+characterization per cell per corner, one ISS run per SEU injection, one
+self-contained experiment per artifact.  This module gives them a single
+API::
+
+    from repro.runtime import get_executor
+
+    ex = get_executor(jobs=4)              # or REPRO_JOBS=4 in the env
+    results = ex.map(fn, items)            # ordered like ``items``
+
+Design points:
+
+* **Backend selection.**  ``get_executor(jobs=, backend=)`` resolves the
+  worker count from the ``jobs`` argument, then the ``REPRO_JOBS``
+  environment variable, then 1; the backend from the ``backend``
+  argument, then ``REPRO_EXECUTOR``, then ``"process"`` whenever more
+  than one job is requested.  ``jobs <= 1`` always yields the serial
+  executor -- zero overhead, identical semantics.
+* **Determinism.**  ``map()`` returns results in item order regardless
+  of completion order, so a parallel fan-out aggregates bit-identically
+  to the serial loop.
+* **Graceful degradation.**  If the process backend cannot start (no
+  ``fork``/semaphores in the sandbox) or the function/items fail to
+  pickle, the call silently downgrades -- process -> thread -> serial --
+  and logs once at debug level.  Callers never see the difference.
+* **Per-item timeout + retry.**  ``map(..., timeout_s=, retries=)``
+  re-submits a failed or timed-out item up to ``retries`` times before
+  re-raising (serial included, so failure semantics do not depend on
+  the backend).
+* **Chunking.**  Items are batched (``chunksize`` or an automatic
+  ``len(items)/(4*jobs)`` heuristic) so per-task IPC overhead is paid
+  per chunk, not per item.
+* **Telemetry across the boundary.**  Worker processes record their own
+  spans and metrics and ship them back as snapshots; the parent merges
+  them under the span that was active when ``map()`` was called, so
+  ``--trace`` on a parallel run still shows per-item spans.  Worker
+  threads share the (thread-aware) tracer; their root spans are
+  re-parented the same way.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from typing import Callable, Iterable, Sequence
+
+from repro import telemetry
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "get_executor",
+    "resolve_jobs",
+]
+
+_LOG = logging.getLogger(__name__)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class ExecutorError(RuntimeError):
+    """An item failed on every attempt (its last exception is chained)."""
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit ``jobs`` > ``REPRO_JOBS`` env > 1.
+
+    ``jobs=0`` (or ``REPRO_JOBS=0``) means "one worker per CPU".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            _LOG.warning("ignoring non-integer REPRO_JOBS=%r", env)
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side chunk runner (module-level: must pickle for processes).
+# ---------------------------------------------------------------------- #
+def _run_chunk(fn: Callable, chunk: list, capture_telemetry: bool):
+    """Run ``fn`` over one chunk; used verbatim by every backend.
+
+    In a worker *process* this also isolates and captures telemetry:
+    the child starts from a clean slate (a forked child inherits the
+    parent's trace mid-flight) and returns its spans/metrics snapshot
+    for the parent to merge.
+    """
+    if capture_telemetry:
+        telemetry.reset()
+        telemetry.enable()
+        results = [fn(item) for item in chunk]
+        return results, telemetry.snapshot()
+    results = [fn(item) for item in chunk]
+    return results, None
+
+
+class Executor:
+    """Base class: order-preserving ``map`` with timeout/retry."""
+
+    backend = "serial"
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(1, jobs)
+
+    # -------------------------------------------------------------- #
+    def map(
+        self,
+        fn: Callable,
+        items: Iterable,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        chunksize: int | None = None,
+    ) -> list:
+        """Apply ``fn`` to every item; results ordered like ``items``.
+
+        A failing (or, on pooled backends, timed-out) item is retried
+        ``retries`` times; when every attempt fails an
+        :class:`ExecutorError` chaining the last exception is raised.
+        """
+        items = list(items)
+        if not items:
+            return []
+        return self._map(fn, items, timeout_s=timeout_s, retries=retries,
+                         chunksize=chunksize)
+
+    # -------------------------------------------------------------- #
+    def _map(self, fn, items, *, timeout_s, retries, chunksize):
+        out = []
+        for i, item in enumerate(items):
+            out.append(self._attempt_serial(fn, item, i, retries))
+        return out
+
+    @staticmethod
+    def _attempt_serial(fn, item, index, retries):
+        for attempt in range(retries + 1):
+            try:
+                return fn(item)
+            except Exception as exc:  # noqa: BLE001 - retry anything
+                if attempt >= retries:
+                    raise ExecutorError(
+                        f"item {index} failed after {attempt + 1} "
+                        f"attempt(s): {type(exc).__name__}: {exc}"
+                    ) from exc
+                telemetry.count("runtime.retries")
+
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _chunks(items: Sequence, jobs: int,
+                chunksize: int | None) -> list[tuple[int, list]]:
+        """Split into (start offset, chunk) pairs."""
+        if chunksize is None:
+            # ~4 chunks per worker balances stragglers against IPC cost.
+            chunksize = max(1, len(items) // (4 * jobs) or 1)
+        return [(i, list(items[i:i + chunksize]))
+                for i in range(0, len(items), chunksize)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """The in-process reference backend (and universal fallback)."""
+
+
+class _PooledExecutor(Executor):
+    """Shared machinery for the thread and process backends."""
+
+    def _pool(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _check_picklable(self, fn, items) -> None:
+        """Processes only: surface pickle failures *before* the pool."""
+
+    def _map(self, fn, items, *, timeout_s, retries, chunksize):
+        try:
+            self._check_picklable(fn, items)
+            pool = self._pool()
+        except Exception as exc:  # noqa: BLE001 - any startup failure
+            _LOG.debug("%s backend unavailable (%s: %s); "
+                       "falling back to serial", self.backend,
+                       type(exc).__name__, exc)
+            telemetry.count(f"runtime.fallback.{self.backend}_to_serial")
+            return SerialExecutor().map(
+                fn, items, timeout_s=timeout_s, retries=retries)
+
+        capture = self.backend == "process" and telemetry.enabled()
+        parent_span = telemetry.current_span()
+        mark = telemetry.tracer.mark()
+        chunks = self._chunks(items, self.jobs, chunksize)
+        results: list = [None] * len(items)
+        try:
+            with pool as ex:
+                futures = {
+                    ex.submit(_run_chunk, fn, chunk, capture): (start, chunk)
+                    for start, chunk in chunks
+                }
+                for future, (start, chunk) in futures.items():
+                    budget = (None if timeout_s is None
+                              else timeout_s * len(chunk))
+                    chunk_results = self._await_chunk(
+                        fn, future, chunk, start, budget, retries, capture)
+                    results[start:start + len(chunk)] = chunk_results
+        finally:
+            if self.backend == "thread":
+                # Worker-thread spans landed as new tracer roots; hang
+                # them under the span that was active at the call site.
+                telemetry.tracer.reparent(mark, parent_span)
+        return results
+
+    def _await_chunk(self, fn, future, chunk, start, budget, retries,
+                     capture):
+        """Collect one chunk, degrading to in-process retry on failure."""
+        try:
+            chunk_results, snapshot = future.result(timeout=budget)
+        except Exception as exc:  # noqa: BLE001 - includes TimeoutError
+            future.cancel()
+            _LOG.debug("chunk at %d failed on %s backend (%s: %s); "
+                       "retrying items serially", start, self.backend,
+                       type(exc).__name__, exc)
+            telemetry.count("runtime.chunk_failures")
+            return [
+                self._attempt_serial(fn, item, start + k, retries)
+                for k, item in enumerate(chunk)
+            ]
+        if snapshot is not None:
+            telemetry.merge_snapshot(snapshot)
+        return chunk_results
+
+
+class ThreadExecutor(_PooledExecutor):
+    backend = "thread"
+
+    def _pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+
+class ProcessExecutor(_PooledExecutor):
+    backend = "process"
+
+    def _pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _check_picklable(self, fn, items) -> None:
+        # One representative item: campaign/cell items are homogeneous,
+        # and a full scan would double-serialize every payload.
+        pickle.dumps(fn)
+        if items:
+            pickle.dumps(items[0])
+
+
+_BACKENDS: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(jobs: int | None = None,
+                 backend: str | None = None) -> Executor:
+    """The executor for a fan-out: see module docstring for resolution."""
+    n = resolve_jobs(jobs)
+    if backend is None:
+        backend = os.environ.get("REPRO_EXECUTOR", "").strip() or None
+    if backend is not None and backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; pick from {BACKENDS}")
+    if n <= 1:
+        return SerialExecutor(1)
+    return _BACKENDS[backend or "process"](n)

@@ -37,7 +37,7 @@ __all__ = ["SoCConfig", "SoCModel", "build_soc"]
 XLEN = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SoCConfig:
     """Rocket-class configuration (defaults = the paper's system)."""
 
@@ -75,6 +75,25 @@ class SoCConfig:
             + self.tag_array_kib(self.l2_kib)
         )
         return data + tags
+
+    # -- provenance / cache identity ---------------------------------- #
+    def to_dict(self) -> dict:
+        """Plain-data view; round-trips through :meth:`from_dict`."""
+        from repro.runtime.digest import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SoCConfig":
+        from repro.runtime.digest import config_from_dict
+
+        return config_from_dict(cls, data)
+
+    def config_digest(self) -> str:
+        """Stable content hash: the cache key / provenance stamp."""
+        from repro.runtime.digest import stable_digest
+
+        return stable_digest(self)
 
 
 @dataclass

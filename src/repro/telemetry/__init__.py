@@ -28,8 +28,10 @@ Typical use::
     telemetry.export_jsonl("trace.jsonl") # offline analysis
     telemetry.metrics_summary()           # flat {name: value} dict
 
-State is process-global and single-threaded by design (the flow is
-sequential); :func:`reset` wipes both the trace and the registry, which
+State is process-global; span nesting is per-thread and worker
+processes ship their state back as snapshots (:func:`snapshot` /
+:func:`merge_snapshot`), so the parallel runtime's fan-outs stay fully
+traced.  :func:`reset` wipes both the trace and the registry, which
 tests and the CLI do between runs.
 """
 
@@ -58,12 +60,14 @@ __all__ = [
     "Span",
     "Tracer",
     "count",
+    "current_span",
     "disable",
     "enable",
     "enabled",
     "export_jsonl",
     "format_tree",
     "gauge",
+    "merge_snapshot",
     "metrics_lines",
     "metrics_summary",
     "observe",
@@ -71,6 +75,7 @@ __all__ = [
     "registry",
     "render_tree",
     "reset",
+    "snapshot",
     "span",
     "trace_roots",
     "tracer",
@@ -139,6 +144,44 @@ def observe(name: str, value: float) -> None:
     """Record a histogram observation (no-op while disabled)."""
     if _enabled:
         registry.histogram(name).observe(value)
+
+
+def current_span() -> Span | None:
+    """The calling thread's innermost open span (None while disabled).
+
+    The parallel runtime uses this to anchor worker telemetry: spans
+    recorded by workers are merged under whatever span was active when
+    the fan-out started.
+    """
+    if not _enabled:
+        return None
+    return tracer.active
+
+
+# ---------------------------------------------------------------------- #
+# Cross-process transport: a worker snapshots its whole telemetry state
+# and ships it back; the parent merges it into the live trace/registry.
+# ---------------------------------------------------------------------- #
+def snapshot() -> dict:
+    """Everything collected so far as picklable plain data."""
+    return {
+        "spans": [root.to_dict() for root in tracer.roots],
+        "metrics": registry.snapshot_data(),
+    }
+
+
+def merge_snapshot(snap: dict, parent: Span | None = None) -> None:
+    """Fold a worker's :func:`snapshot` into this process's telemetry.
+
+    Span trees attach under ``parent`` (default: the calling thread's
+    active span, falling back to new roots); metrics merge with their
+    natural semantics (counters add, histograms extend, gauges
+    last-write-win).
+    """
+    spans = [Span.from_dict(d) for d in snap.get("spans", [])]
+    if spans:
+        tracer.adopt(spans, parent)
+    registry.merge_data(snap.get("metrics", {}))
 
 
 # ---------------------------------------------------------------------- #

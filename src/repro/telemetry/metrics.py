@@ -10,7 +10,16 @@ regardless of the global flag.
 
 from __future__ import annotations
 
+import threading
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: One lock for every mutation: instruments are only touched while
+#: telemetry is enabled (the facade checks first), and the parallel
+#: runtime's worker threads must not lose increments to read-modify-
+#: write races.  Uncontended acquisition is ~100 ns -- noise next to
+#: the work being counted.
+_LOCK = threading.Lock()
 
 
 class Counter:
@@ -23,7 +32,8 @@ class Counter:
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with _LOCK:
+            self.value += n
 
 
 class Gauge:
@@ -53,7 +63,8 @@ class Histogram:
         self.values: list[float] = []
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        with _LOCK:
+            self.values.append(float(value))
 
     @property
     def count(self) -> int:
@@ -138,3 +149,32 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+
+    # ------------------------------------------------------------------ #
+    # Cross-process transport: plain-data snapshot + merge.
+    # ------------------------------------------------------------------ #
+    def snapshot_data(self) -> dict:
+        """Every instrument's raw state as picklable plain data."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: list(h.values) for n, h in self.histograms.items()
+            },
+        }
+
+    def merge_data(self, data: dict) -> None:
+        """Fold a worker's :meth:`snapshot_data` into this registry.
+
+        Counters add (they are deltas from the worker's clean slate),
+        histogram observations extend, gauges last-write-win -- the same
+        semantics the instruments would have had in-process.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in data.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for v in values:
+                hist.observe(v)

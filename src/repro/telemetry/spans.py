@@ -11,13 +11,20 @@ singleton instead, whose every method is a no-op, so instrumented code
 pays one branch and zero allocations (see
 :mod:`repro.telemetry.__init__`).
 
-The tracer is process-local and deliberately not thread-safe: the flow
-is single-threaded, and keeping the hot path free of locks is part of
-the near-zero-overhead contract.
+The tracer is process-local and *thread-aware*: each thread nests spans
+on its own stack (``threading.local``), so worker threads of a parallel
+fan-out record clean subtrees instead of corrupting each other's
+nesting.  A span opened in a thread with no enclosing span lands in the
+shared :attr:`Tracer.roots` list; the runtime's thread executor then
+re-parents those roots under the span that launched the fan-out
+(:meth:`Tracer.mark` / :meth:`Tracer.reparent`).  Spans also round-trip
+through plain dicts (:meth:`Span.to_dict` / :meth:`Span.from_dict`) so
+worker *processes* can ship their trees back to the parent.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = ["NOOP_SPAN", "Span", "Tracer"]
@@ -60,6 +67,26 @@ class Span:
         return False
 
     # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A picklable/JSON-able encoding of the subtree (recursive)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_wall": self.start_wall,
+            "duration_s": self.duration_s,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a detached span tree written by :meth:`to_dict`."""
+        span = cls(data["name"], data.get("attrs"), tracer=None)
+        span.start_wall = data.get("start_wall", 0.0)
+        span.duration_s = data.get("duration_s", 0.0)
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    # ------------------------------------------------------------------ #
     def walk(self):
         """Yield (depth, span) over the subtree, pre-order."""
         stack = [(0, self)]
@@ -99,11 +126,20 @@ NOOP_SPAN = _NoopSpan()
 class Tracer:
     """Collects finished spans into per-run trace trees."""
 
-    __slots__ = ("roots", "_stack")
+    __slots__ = ("roots", "_local", "_lock")
 
     def __init__(self):
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def start(self, name: str, attrs: dict | None = None) -> Span:
         """Create an *unopened* span bound to this tracer.
@@ -120,24 +156,59 @@ class Tracer:
     def _pop(self, span: Span) -> None:
         # Tolerate out-of-order exits (e.g. a generator finalized late):
         # unwind to the span being closed rather than corrupting the tree.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        if self._stack:
-            self._stack[-1].children.append(span)
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
+            with self._lock:
+                self.roots.append(span)
 
     # ------------------------------------------------------------------ #
     @property
     def active(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
+
+    def adopt(self, spans: list[Span], parent: Span | None = None) -> None:
+        """Attach detached trees under ``parent`` (or the caller's
+        active span, or as new roots) -- how worker-process snapshots
+        rejoin the parent's trace."""
+        parent = parent if parent is not None else self.active
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            with self._lock:
+                self.roots.extend(spans)
+
+    def mark(self) -> int:
+        """A bookmark into :attr:`roots` for a later :meth:`reparent`."""
+        with self._lock:
+            return len(self.roots)
+
+    def reparent(self, mark: int, parent: Span | None) -> None:
+        """Move roots recorded since ``mark`` under ``parent``.
+
+        Worker threads of a parallel fan-out have no enclosing span on
+        *their* stacks, so their spans arrive as roots; the executor
+        brackets the fan-out with ``mark()``/``reparent()`` to restore
+        the logical nesting.  Ordered by start time for determinism.
+        """
+        if parent is None:
+            return
+        with self._lock:
+            moved = self.roots[mark:]
+            del self.roots[mark:]
+        parent.children.extend(sorted(moved, key=lambda s: s.start_wall))
 
     def reset(self) -> None:
-        self.roots = []
-        self._stack = []
+        with self._lock:
+            self.roots = []
+        self._local = threading.local()
 
     def all_spans(self):
         """Yield every finished span, pre-order across all roots."""

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.__main__ import COMMANDS, main
+from repro.__main__ import _commands, _expand, main
+from repro.experiments import registry
 
 
 class TestCLI:
@@ -24,5 +25,36 @@ class TestCLI:
             main(["fig99"])
 
     def test_all_commands_listed(self):
-        assert "all" in COMMANDS
-        assert {"table1", "table2", "fig6", "fig7"} <= set(COMMANDS)
+        commands = _commands()
+        assert "all" in commands
+        assert {"table1", "table2", "fig6", "fig7"} <= set(commands)
+
+    def test_commands_generated_from_registry(self):
+        commands = set(_commands())
+        # Every registered experiment and every group is a command.
+        assert set(registry.names()) <= commands
+        assert set(registry.groups()) <= commands
+        assert {"stats", "all"} <= commands
+
+    def test_all_expands_through_registry(self):
+        specs = _expand("all")
+        assert [s.name for s in specs] == [
+            s.name for s in registry.all_specs() if s.in_all
+        ]
+        # The heavy sweep is reachable but excluded from ``all``.
+        assert "ext_soc_sweep" not in {s.name for s in specs}
+        assert _expand("ext_soc_sweep")[0].name == "ext_soc_sweep"
+
+    def test_group_expansion(self):
+        specs = _expand("extensions")
+        assert len(specs) > 1
+        assert all(s.group == "extensions" for s in specs)
+
+    def test_single_command_expansion(self):
+        (spec,) = _expand("table1")
+        assert spec.name == "table1"
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(["fig5", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out

@@ -1,0 +1,103 @@
+"""Stable digests and config round-trips (repro.runtime.digest)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cells import CharacterizationConfig
+from repro.core.flow import StudyConfig
+from repro.runtime import config_from_dict, config_to_dict, stable_digest
+from repro.synth.soc_builder import SoCConfig
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        value = {"b": 2, "a": (1.5, "x"), "c": [True, None]}
+        assert stable_digest(value) == stable_digest(value)
+
+    def test_dict_order_irrelevant(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_change_changes_digest(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_tuple_and_list_equivalent(self):
+        assert stable_digest((1, 2)) == stable_digest([1, 2])
+
+    def test_float_precision_preserved(self):
+        assert stable_digest(0.1) != stable_digest(0.1 + 1e-12)
+
+    def test_numpy_array_supported(self):
+        a = np.arange(4, dtype=float)
+        assert stable_digest(a) == stable_digest(a.copy())
+        assert stable_digest(a) != stable_digest(a + 1)
+
+    def test_dataclass_tagged_by_type(self):
+        @dataclasses.dataclass(frozen=True)
+        class A:
+            x: int = 1
+
+        @dataclasses.dataclass(frozen=True)
+        class B:
+            x: int = 1
+
+        assert stable_digest(A()) != stable_digest(B())
+
+    def test_short_hex_format(self):
+        digest = stable_digest("hello")
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+CONFIG_CASES = [
+    StudyConfig(fast=True, shots=7),
+    CharacterizationConfig(engine="analytic"),
+    SoCConfig(),
+]
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("config", CONFIG_CASES,
+                             ids=lambda c: type(c).__name__)
+    def test_round_trip_identity(self, config):
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt == config
+
+    @pytest.mark.parametrize("config", CONFIG_CASES,
+                             ids=lambda c: type(c).__name__)
+    def test_digest_stable_across_round_trip(self, config):
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt.config_digest() == config.config_digest()
+
+    def test_digest_changes_on_field_change(self):
+        base = StudyConfig(fast=True, shots=7)
+        assert (StudyConfig(fast=True, shots=8).config_digest()
+                != base.config_digest())
+
+    def test_jobs_is_not_part_of_the_digest(self):
+        # ``jobs`` is an execution knob, not experiment content: a
+        # parallel run must have the same provenance as a serial one.
+        assert (StudyConfig(fast=True, shots=7, jobs=4).config_digest()
+                == StudyConfig(fast=True, shots=7).config_digest())
+
+    def test_nested_soc_config_round_trips(self):
+        config = StudyConfig(fast=True, soc=SoCConfig(l2_kib=256))
+        rebuilt = StudyConfig.from_dict(config.to_dict())
+        assert isinstance(rebuilt.soc, SoCConfig)
+        assert rebuilt.soc == config.soc
+
+    def test_generic_helpers_match_methods(self):
+        config = CharacterizationConfig()
+        assert config_to_dict(config) == config.to_dict()
+        assert config_from_dict(CharacterizationConfig,
+                                config.to_dict()) == config
+
+    def test_frozen(self):
+        config = StudyConfig(fast=True)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.shots = 99

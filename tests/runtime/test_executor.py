@@ -1,0 +1,209 @@
+"""Executor backends: ordering, selection, fallback, timeout/retry."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.runtime import (
+    BACKENDS,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x, fail_on):
+    if x == fail_on:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+_ATTEMPTS = {"count": 0}
+
+
+def _fails_then_succeeds(x):
+    _ATTEMPTS["count"] += 1
+    if _ATTEMPTS["count"] < 3:
+        raise RuntimeError("transient")
+    return x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs(None) == 1
+
+
+class TestGetExecutor:
+    def test_jobs_one_is_serial(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+
+    def test_backend_arg(self):
+        assert isinstance(get_executor(2, backend="thread"), ThreadExecutor)
+        assert isinstance(get_executor(2, backend="process"),
+                          ProcessExecutor)
+
+    def test_backend_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert isinstance(get_executor(2), ThreadExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_executor(2, backend="gpu")
+
+    def test_backends_registry(self):
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestMapOrdering:
+    def test_results_in_item_order(self, backend):
+        executor = get_executor(3, backend=backend)
+        items = list(range(17))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_empty_items(self, backend):
+        assert get_executor(2, backend=backend).map(_square, []) == []
+
+
+class TestFailurePaths:
+    def test_serial_error_raised(self):
+        with pytest.raises(ExecutorError) as err:
+            SerialExecutor(1).map(lambda x: _flaky(x, 2), [1, 2, 3])
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_retries_recover(self):
+        _ATTEMPTS["count"] = 0
+        out = SerialExecutor(1).map(_fails_then_succeeds, [7], retries=3)
+        assert out == [7]
+
+    def test_retries_exhausted(self):
+        _ATTEMPTS["count"] = 0
+        with pytest.raises(ExecutorError):
+            SerialExecutor(1).map(_fails_then_succeeds, [7], retries=1)
+
+    def test_process_worker_error_propagates(self):
+        executor = ProcessExecutor(2)
+        with pytest.raises(ExecutorError):
+            executor.map(_raise_value_error, [1])
+
+    def test_timeout_recovered_serially(self):
+        # A chunk that blows its budget is cancelled and its items are
+        # re-run in-process, so the caller still gets every result.
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            out = ThreadExecutor(2).map(_slow_identity, [1, 2],
+                                        timeout_s=0.01, chunksize=1)
+            assert out == [1, 2]
+            summary = telemetry.metrics_summary()
+            assert summary.get("runtime.chunk_failures", 0) >= 1
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+
+
+def _raise_value_error(x):
+    raise ValueError(x)
+
+
+def _slow_identity(x):
+    time.sleep(0.2)
+    return x
+
+
+class TestPickleFallback:
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # A lambda cannot cross the process boundary; the executor must
+        # detect this up front and run serially instead of crashing.
+        executor = ProcessExecutor(2)
+        out = executor.map(lambda x: x + 1, [1, 2, 3])
+        assert out == [2, 3, 4]
+
+    def test_unpicklable_item_falls_back_to_serial(self):
+        executor = ProcessExecutor(2)
+        items = [lambda: 1, lambda: 2]  # unpicklable payloads
+        out = executor.map(_call, items)
+        assert out == [1, 2]
+
+    def test_fallback_counted(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            ProcessExecutor(2).map(lambda x: x, [1])
+            summary = telemetry.metrics_summary()
+            assert any(k.startswith("runtime.fallback") for k in summary)
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+
+
+def _call(f):
+    return f()
+
+
+class TestChunking:
+    def test_explicit_chunksize_preserves_order(self):
+        executor = ThreadExecutor(4)
+        items = list(range(23))
+        assert executor.map(_square, items, chunksize=5) == [
+            x * x for x in items
+        ]
+
+    def test_chunk_failure_recovered_serially(self):
+        # One bad item inside a chunk: the chunk fails in the pool and
+        # is re-run serially, where retries can be applied per item.
+        executor = ThreadExecutor(2)
+        with pytest.raises(ExecutorError):
+            executor.map(_raise_value_error, list(range(6)), chunksize=3)
+
+
+class TestTelemetryAcrossProcesses:
+    def test_worker_spans_merged_into_parent(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            with telemetry.span("parent"):
+                ProcessExecutor(2).map(_traced_task, [1, 2, 3, 4])
+            roots = telemetry.tracer.roots
+            assert len(roots) == 1
+            names = [c.name for c in roots[0].children]
+            assert names.count("task") == 4
+            summary = telemetry.metrics_summary()
+            assert summary.get("runtime.test_tasks") == 4
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+
+
+def _traced_task(x):
+    with telemetry.span("task", x=x):
+        telemetry.count("runtime.test_tasks")
+    return x
