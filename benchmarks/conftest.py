@@ -61,6 +61,20 @@ def pytest_sessionfinish(session, exitstatus):
         json.dump(summary, fh, indent=2, sort_keys=True)
     print(f"\nwrote bench summary ({len(summary)} benches) to {path}")
 
+    # Perf and fidelity share one regression story: when a runs dir is
+    # configured, the summary also lands in the provenance ledger as a
+    # kind="bench" RunRecord, so `repro report` / `repro compare` flag
+    # bench wall-time regressions next to paper-fidelity drift.
+    if summary and os.environ.get("REPRO_RUNS_DIR", "").strip():
+        from repro.provenance import RunLedger, ingest_bench_summary
+        from repro.telemetry import iso_ts
+
+        ledger = RunLedger()
+        record = ingest_bench_summary(summary, ledger,
+                                      start_ts=iso_ts(time.time()))
+        print(f"ingested bench summary into {ledger.path} "
+              f"(run {record.run_id})")
+
 
 @pytest.fixture(scope="session")
 def bench_record():

@@ -10,12 +10,27 @@
     python -m repro ext_seu         # EXT-SEU fault-injection campaign
     python -m repro stats           # flow stage-timing tree (telemetry)
     python -m repro all             # every artifact above
+    python -m repro run fig6        # one experiment + ledger + verdict
+    python -m repro report          # latest-vs-paper / drift tables
+    python -m repro compare A B     # per-metric deltas of two runs
 
 The command list is *generated* from the experiment registry
 (:mod:`repro.experiments.registry`): every registered
 :class:`~repro.experiments.registry.ExperimentSpec` is a command,
 umbrella groups (``extensions``) expand to their members, and ``all``
 expands to every spec flagged for it.
+
+Provenance (the run ledger, :mod:`repro.provenance`): every experiment
+invocation appends a :class:`~repro.provenance.records.RunRecord` to
+the append-only JSONL ledger under ``--runs-dir`` (default:
+``REPRO_RUNS_DIR`` or ``.repro/runs``) and ends with a PASS/WARN/FAIL
+paper-fidelity verdict from the experiment's declared
+:class:`~repro.provenance.fidelity.FidelitySpec`.  ``repro run <exp>``
+is the explicit single-experiment form; ``repro report`` renders the
+latest-vs-paper and latest-vs-previous drift tables (``--json`` /
+``--markdown`` for machines, ``--strict`` exits non-zero on any FAIL);
+``repro compare <runA> <runB>`` diffs two ledger entries, including
+ingested benchmark records.  ``--no-ledger`` skips the append.
 
 ``--calibrated`` runs the honest flow (staged calibration first) instead
 of the fast golden-parameter flow; ``--shots N`` controls the ISS
@@ -41,8 +56,10 @@ Reports go through :func:`_report` (a thin ``logging`` wrapper), so
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
+import time
 from functools import partial
 
 from repro import telemetry
@@ -102,7 +119,7 @@ def _commands() -> list[str]:
     from repro.experiments import registry
 
     return (registry.names() + sorted(registry.groups())
-            + ["stats", "all"])
+            + ["stats", "all", "run", "report", "compare"])
 
 
 def _expand(command: str):
@@ -118,6 +135,56 @@ def _expand(command: str):
 
 
 # ---------------------------------------------------------------------- #
+# Provenance: every experiment execution yields (report text, RunRecord).
+# ---------------------------------------------------------------------- #
+def _ledger(args):
+    """The run ledger for this invocation (None with ``--no-ledger``)."""
+    if args.no_ledger:
+        return None
+    from repro.provenance import RunLedger
+
+    return RunLedger(args.runs_dir)
+
+
+def _execute_recorded(spec, study, config):
+    """Run one experiment; return its report text and its RunRecord."""
+    from repro.provenance import RunRecord, telemetry_snapshot
+
+    start_ts = telemetry.iso_ts(time.time())
+    t0 = time.perf_counter()
+    result = spec.run_result(study, config)
+    wall_s = time.perf_counter() - t0
+    text = spec.report(result)
+    fidelity = spec.check_fidelity(result)
+    record = RunRecord(
+        experiment=spec.name,
+        start_ts=start_ts,
+        wall_s=wall_s,
+        config_digest=config.config_digest() if config is not None else None,
+        telemetry=telemetry_snapshot(study if spec.needs_study else None),
+        metrics=fidelity.metrics if fidelity is not None else {},
+        fidelity=fidelity.to_dict() if fidelity is not None else None,
+    )
+    return text, record
+
+
+def _report_verdict(record, ledger) -> None:
+    """The fidelity verdict + ledger line ``repro run`` ends with."""
+    from repro.provenance import FidelityReport
+
+    if record.fidelity:
+        fidelity = FidelityReport.from_dict(record.fidelity)
+        _report(f"fidelity[{record.experiment}]: {fidelity.verdict}")
+        for line in fidelity.summary_lines():
+            _report(line)
+    else:
+        _report(f"fidelity[{record.experiment}]: no spec declared")
+    if ledger is not None:
+        ledger.append(record)
+        _report(f"run {record.run_id} appended to {ledger.path}")
+
+
+# ---------------------------------------------------------------------- #
 # Parallel experiment fan-out.  The shared study is prebuilt (through
 # its heavy common stages) *before* the pool starts, so forked workers
 # inherit it copy-on-write instead of rebuilding libraries per process;
@@ -127,8 +194,13 @@ def _expand(command: str):
 _TASK_STUDY = None
 
 
-def _experiment_task(config_data: dict, name: str) -> str:
-    """Run one registered experiment end-to-end; returns its report."""
+def _experiment_task(config_data: dict, name: str) -> tuple[str, dict]:
+    """Run one registered experiment end-to-end in a worker.
+
+    Returns ``(report text, RunRecord dict)`` -- plain data, so the
+    pair crosses the process boundary; the parent appends the record
+    (single ledger writer) and prints the verdict.
+    """
     from repro.core import CryoStudy, StudyConfig
     from repro.experiments import registry
 
@@ -138,10 +210,11 @@ def _experiment_task(config_data: dict, name: str) -> str:
     if spec.needs_study:
         study = _TASK_STUDY or CryoStudy(config)
     with telemetry.span("cli.experiment", experiment=name):
-        return spec.execute(study, config)
+        text, record = _execute_recorded(spec, study, config)
+    return text, record.to_dict()
 
 
-def _run_parallel(specs, args) -> list[str]:
+def _run_parallel(specs, args) -> list[tuple[str, dict]]:
     """Fan independent experiments out over the executor."""
     global _TASK_STUDY
     from repro.runtime import get_executor
@@ -213,6 +286,19 @@ def _run_stats(args) -> None:
             _spice_probe(study)
         with telemetry.span("stats.reliability_probe"):
             _reliability_probe()
+    if args.json:
+        # Machine-readable twin of the text report: the full span trees
+        # (nested dicts), the stage-cache ledger and the flat metrics
+        # summary, so CI and the run ledger consume stats without
+        # scraping the table.
+        payload = {
+            "mode": "calibrated" if args.calibrated else "fast",
+            "spans": [root.to_dict() for root in telemetry.trace_roots()],
+            "stage_cache": study.stage_cache_stats(),
+            "metrics": telemetry.metrics_summary(),
+        }
+        _report(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return
     _report("Flow stage timings (fast mode)"
             if not args.calibrated else "Flow stage timings (calibrated)")
     # Depth 3 keeps the per-corner library builds visible while folding
@@ -241,6 +327,48 @@ def _emit_telemetry(args) -> None:
         _report(telemetry.metrics_lines(telemetry.metrics_summary()))
 
 
+# ---------------------------------------------------------------------- #
+# repro report / repro compare: read the ledger, re-run nothing.
+# ---------------------------------------------------------------------- #
+def _output_format(args) -> str:
+    return "json" if args.json else "markdown" if args.markdown else "text"
+
+
+def _run_report(args) -> int:
+    from repro.provenance import RunLedger, build_report, render_report
+
+    ledger = RunLedger(args.runs_dir)
+    report = build_report(ledger)
+    _report(render_report(report, _output_format(args)))
+    if args.strict and report["verdict"] == "FAIL":
+        _LOG.error("fidelity verdict is FAIL (--strict)")
+        return 1
+    return 0
+
+
+def _run_compare(args) -> int:
+    from repro.provenance import RunLedger, compare_records, render_compare
+
+    if len(args.targets) != 2:
+        _LOG.error("usage: repro compare <runA> <runB> "
+                   "(run ids or unambiguous prefixes)")
+        return 2
+    ledger = RunLedger(args.runs_dir)
+    if not ledger.exists():
+        _report(f"no runs recorded yet under {ledger.runs_dir} -- "
+                "run `repro run <experiment>` first")
+        return 1
+    try:
+        a = ledger.find(args.targets[0])
+        b = ledger.find(args.targets[1])
+    except KeyError as exc:
+        _LOG.error("%s", exc.args[0])
+        return 2
+    fmt = "json" if args.json else "text"
+    _report(render_compare(compare_records(a, b), fmt))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.runtime import resolve_jobs
 
@@ -249,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("command", choices=_commands())
+    parser.add_argument(
+        "targets", nargs="*", metavar="ARG",
+        help="command arguments: the experiment for `run`, two run ids "
+             "for `compare`",
+    )
     parser.add_argument(
         "--calibrated", action="store_true",
         help="run the full flow including compact-model calibration",
@@ -272,8 +405,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="enable metrics; print the registry summary "
                              "at exit")
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: REPRO_RUNS_DIR or "
+             ".repro/runs)",
+    )
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append RunRecords to the run ledger")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output for stats/report/"
+                             "compare")
+    parser.add_argument("--markdown", action="store_true",
+                        help="markdown output for report")
+    parser.add_argument("--strict", action="store_true",
+                        help="report: exit non-zero on any FAIL fidelity "
+                             "verdict")
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "compare":
+        return _run_compare(args)
 
     if args.trace is not None or args.metrics or args.command == "stats":
         telemetry.reset()
@@ -285,10 +438,28 @@ def main(argv: list[str] | None = None) -> int:
         _emit_telemetry(args)
         return 0
 
-    specs = _expand(args.command)
+    command = args.command
+    if command == "run":
+        if len(args.targets) != 1:
+            _LOG.error("usage: repro run <experiment>")
+            return 2
+        command = args.targets[0]
+        if command not in _commands() or command in ("run", "report",
+                                                     "compare", "stats"):
+            _LOG.error("unknown experiment %r (known: %s)", command,
+                       ", ".join(n for n in _commands()
+                                 if n not in ("run", "report", "compare",
+                                              "stats")))
+            return 2
+
+    ledger = _ledger(args)
+    specs = _expand(command)
     if resolve_jobs(args.jobs) > 1 and len(specs) > 1:
-        for text in _run_parallel(specs, args):
+        from repro.provenance import RunRecord
+
+        for text, record_data in _run_parallel(specs, args):
             _report(text)
+            _report_verdict(RunRecord.from_dict(record_data), ledger)
             _report()
     else:
         study = None
@@ -296,8 +467,12 @@ def main(argv: list[str] | None = None) -> int:
             if spec.needs_study and study is None:
                 study = _build_study(args)
             with telemetry.span("cli.experiment", experiment=spec.name):
-                _report(spec.execute(study, study.config if study is not None
-                                     else _default_config(args)))
+                text, record = _execute_recorded(
+                    spec, study,
+                    study.config if study is not None
+                    else _default_config(args))
+            _report(text)
+            _report_verdict(record, ledger)
             _report()
     _emit_telemetry(args)
     return 0

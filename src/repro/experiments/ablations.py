@@ -188,9 +188,24 @@ def report_all(study=None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("sram_leak_300k_mw", 193.0,
+           lambda r: r["sram_sweep"]["grid"][(0.7, 300.0)] * 1e3,
+           rel=0.10, source="Fig. 6 (SRAM leak 193 mW at 300 K)"),
+    metric("popcount_speedup_gt1", 1.0,
+           lambda r: float(r["popcount"]["speedup"] > 1.0),
+           abs=0.1,
+           source="SVI-C ('hardware support would reduce ... "
+                  "significantly')"),
+    metric("sqrt_overhead_gt1", 1.0,
+           lambda r: float(r["knn_sqrt"]["overhead"] > 1.0),
+           abs=0.1, source="Eq. 2 (sqrt 'unnecessary and removed')"),
+))
 
 
 @experiment("ablations", "ABL-1..4 -- design-choice ablations",
-            report=report, order=80)
+            report=report, order=80, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -73,9 +73,22 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("fabric_fits_110us_budget", 1.0,
+           lambda r: float(
+               r["fast"].time_for(r["n_qubits"]) <= r["budget_s"]),
+           abs=0.1, source="SVII (110 us decoherence budget)"),
+    metric("fabric_below_soc_power", 1.0,
+           lambda r: float(r["fast"].total_power_w < r["soc_power_w"]),
+           abs=0.1,
+           source="SVII ('high-power low-latency or low-power "
+                  "high-latency')"),
+))
 
 
 @experiment("ext_fpga", "EXT -- embedded FPGA classification fabric",
-            report=report, group="extensions", order=100)
+            report=report, group="extensions", order=100, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

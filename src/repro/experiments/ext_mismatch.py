@@ -64,9 +64,26 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("mismatch_grows_at_cryo", 1.0,
+           lambda r: float(r["corners"][10.0]["sigma_vth"]
+                           > r["corners"][300.0]["sigma_vth"]),
+           abs=0.1,
+           source="SIII ('mismatch ... major challenges' at cryo [17])"),
+    metric("snm_margin_holds_10k", 1.0,
+           lambda r: float(r["corners"][10.0]["mc_min"] > 0.0),
+           abs=0.1, source="SIII (SRAM stays functional at 10 K)"),
+    metric("nominal_snm_10k_mv", 157.0,
+           lambda r: r["corners"][10.0]["nominal_snm"] * 1e3,
+           abs=15.0,
+           source="SIII claim, reproduction-established baseline"),
+))
 
 
 @experiment("ext_mismatch", "EXT -- mismatch and SRAM noise margins",
-            report=report, needs_study=False, group="extensions", order=140)
+            report=report, needs_study=False, group="extensions", order=140,
+            fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

@@ -83,9 +83,23 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("d3_fits_110us_budget", 1.0,
+           lambda r: float(r["rows"][3]["fits"]),
+           abs=0.1, source="SVII (QEC inside the 110 us budget)"),
+    metric("d5_fits_110us_budget", 1.0,
+           lambda r: float(r["rows"][5]["fits"]),
+           abs=0.1, source="SVII (QEC inside the 110 us budget)"),
+    metric("d3_suppresses_error", 1.0,
+           lambda r: float(
+               r["rows"][3]["logical_error"] < r["physical_error"]),
+           abs=0.1, source="SVII ('fully error-corrected')"),
+))
 
 
 @experiment("ext_qec", "EXT -- repetition-code QEC decoding",
-            report=report, group="extensions", order=110)
+            report=report, group="extensions", order=110, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -100,9 +100,20 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("tmr_sdc_rate", 0.0,
+           lambda r: r["sdc_rate_tmr"],
+           abs=0.01, source="software TMR masks SDC (classic result)"),
+    metric("baseline_sdc_rate", 0.07,
+           lambda r: r["sdc_rate"],
+           abs=0.05,
+           source="seeded campaign, reproduction-established baseline"),
+))
 
 
 @experiment("ext_seu", "EXT -- SEU fault-injection campaign",
-            report=report, needs_study=False, order=150)
+            report=report, needs_study=False, order=150, fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

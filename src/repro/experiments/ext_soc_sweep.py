@@ -76,9 +76,22 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("knn_cycles_16k_400q", 72.8,
+           lambda r: r["cycles"][16],
+           rel=0.15, source="Table 2 (kNN, 400 qubits, paper config)"),
+    metric("bigger_l1d_helps", 1.0,
+           lambda r: float(r["cycles"][64] < r["cycles"][16]),
+           abs=0.1,
+           source="SI-C ('swapped in and out, depending on the "
+                  "requirements')"),
+))
 
 
 @experiment("ext_soc_sweep", "EXT -- off-the-shelf SoC configuration sweep",
-            report=report, needs_study=False, order=160, in_all=False)
+            report=report, needs_study=False, order=160, in_all=False,
+            fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

@@ -79,9 +79,21 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("classify_burst_admissible", 1.0,
+           lambda r: float(r["classify_admissible"]),
+           abs=0.1,
+           source="SVII (bursts 'without impacting the qubits')"),
+    metric("sustainable_ge_100mw", 1.0,
+           lambda r: float(r["sustainable_power_w"] >= 0.1),
+           abs=0.1, source="Fig. 6 (100 mW cooling capacity)"),
+))
 
 
 @experiment("ext_thermal", "EXT -- burst power management at 10 K",
-            report=report, needs_study=False, group="extensions", order=90)
+            report=report, needs_study=False, group="extensions", order=90,
+            fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

@@ -69,9 +69,29 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+
+def _totals_by_vdd(result: dict) -> list[float]:
+    """Total power ordered by descending Vdd."""
+    corners = result["corners"]
+    return [corners[v]["power"].total for v in sorted(corners, reverse=True)]
+
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("power_drops_with_vdd", 1.0,
+           lambda r: float(all(a > b for a, b in
+                               zip(_totals_by_vdd(r), _totals_by_vdd(r)[1:]))),
+           abs=0.1,
+           source="SVII ('power reduction ... supply voltage reduction')"),
+    metric("power_saving_lowest_vdd", 0.70,
+           lambda r: 1.0 - _totals_by_vdd(r)[-1] / _totals_by_vdd(r)[0],
+           abs=0.15,
+           source="SVII claim, reproduction-established baseline"),
+))
 
 
 @experiment("ext_vdd", "EXT -- supply-voltage scaling at 10 K",
-            report=report, group="extensions", order=120)
+            report=report, group="extensions", order=120, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -127,9 +127,23 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("local_faster_than_remote", 1.0,
+           lambda r: float(r["speedup"] > 1.0),
+           abs=0.1,
+           source="SVII ('decreases the data movement ... more "
+                  "optimization steps')"),
+    metric("iteration_gain", 2.0,
+           lambda r: (r["local_iterations"]
+                      / max(r["remote_iterations"], 1)),
+           abs=1.0,
+           source="SVII claim, reproduction-established baseline"),
+))
 
 
 @experiment("ext_vqe", "EXT -- hybrid-loop (VQE) latency budget",
-            report=report, group="extensions", order=130)
+            report=report, group="extensions", order=130, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

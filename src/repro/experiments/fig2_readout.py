@@ -74,9 +74,19 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("overall_accuracy", 0.99,
+           lambda r: r["accuracy"].overall,
+           abs=0.01, source="Fig. 2(a)"),
+    metric("t2_us", 110.0,
+           lambda r: r["t2_us"],
+           abs=0.5, source="Fig. 2(b) (T2 ~ 110 us)"),
+))
 
 
 @experiment("fig2", "Fig. 2 -- Falcon readout scatter and decoherence",
-            report=report, needs_study=False, order=10)
+            report=report, needs_study=False, order=10, fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

@@ -73,9 +73,29 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+
+def _vth_rise(result: dict, pol: str) -> float:
+    figs = result["metrics"][pol]
+    return figs[10.0].vth / figs[300.0].vth - 1.0
+
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("vth_rise_nfet", 0.47,
+           lambda r: _vth_rise(r, "n"),
+           abs=0.05, source="Fig. 3 / SIII (Vth +47 %)"),
+    metric("vth_rise_pfet", 0.39,
+           lambda r: _vth_rise(r, "p"),
+           abs=0.05, source="Fig. 3 / SIII (Vth +39 %)"),
+    metric("worst_rms_error_decades", 0.0,
+           lambda r: max(err for cal in r["calibration"].values()
+                         for err in cal.validation.values()),
+           abs=0.1, source="Fig. 3 (model matches measurement)"),
+))
 
 
 @experiment("fig3", "Fig. 3 -- staged compact-model calibration",
-            report=report, needs_study=False, order=20)
+            report=report, needs_study=False, order=20, fidelity=FIDELITY)
 def _experiment(study, config):
     return run()

@@ -71,9 +71,22 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("histogram_overlap", 1.0,
+           lambda r: r["overlap"],
+           abs=0.1, source="Fig. 5 ('large overlap')"),
+    metric("mean_delay_ratio_10k", 1.0,
+           lambda r: r["mean_ratio"],
+           abs=0.05, source="Fig. 5 ('only slightly increased')"),
+    metric("library_cells", 200.0,
+           lambda r: r["n_cells"],
+           abs=10.0, source="SIV (~200 cells)"),
+))
 
 
 @experiment("fig5", "Fig. 5 -- library delay distributions per corner",
-            report=report, order=30)
+            report=report, order=30, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -70,9 +70,25 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("leak_total_10k_mw", PAPER_FIG6[10.0]["leak_total_mw"],
+           lambda r: r["reports"][10.0].leakage_total * 1e3,
+           abs=0.15, source="Fig. 6 (0.48 mW at 10 K)"),
+    metric("leakage_reduction", 0.9976,
+           lambda r: r["leakage_reduction"],
+           abs=0.005, source="Fig. 6 (99.76 % suppression)"),
+    metric("dynamic_change_10k", -0.096,
+           lambda r: r["dynamic_change"],
+           abs=0.06, source="Fig. 6 (dynamic 63.5 -> 57.4 mW)"),
+    metric("fits_100mw_budget_10k", 1.0,
+           lambda r: float(r["feasible"][10.0]),
+           abs=0.1, source="Fig. 6 (100 mW cooling capacity)"),
+))
 
 
 @experiment("fig6", "Fig. 6 -- SoC power breakdown per corner",
-            report=report, order=50)
+            report=report, order=50, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -69,9 +69,22 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("knn_crossover_qubits", 1500.0,
+           lambda r: r["knn_crossover"],
+           rel=0.10, source="SVII ('about 1500 qubits')"),
+    metric("decoherence_budget_us", 110.0,
+           lambda r: r["budget_us"],
+           abs=0.5, source="SVII (110 us budget)"),
+    metric("hdc_crossover_below_knn", 1.0,
+           lambda r: float(r["hdc_crossover"] < r["knn_crossover"]),
+           abs=0.1, source="SVII ('too many cycles to be competitive')"),
+))
 
 
 @experiment("fig7", "Fig. 7 -- qubit-count scaling study",
-            report=report, order=70)
+            report=report, order=70, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

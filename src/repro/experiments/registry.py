@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.provenance.fidelity import FidelityReport, FidelitySpec
+
 __all__ = [
     "ExperimentSpec",
     "all_specs",
@@ -65,11 +67,24 @@ class ExperimentSpec:
     """Position in ``repro all`` (ascending)."""
     in_all: bool = True
     """Whether ``repro all`` includes this experiment."""
+    fidelity: FidelitySpec | None = None
+    """Paper-anchored figures of merit checked after every run (the
+    provenance layer's PASS/WARN/FAIL verdict); None = unchecked."""
 
     def execute(self, study, config) -> str:
         """Run + report in one step (what the CLI fan-out calls)."""
         return self.report(self.run(study if self.needs_study else None,
                                     config))
+
+    def run_result(self, study, config):
+        """The raw result dict (what fidelity checks extract from)."""
+        return self.run(study if self.needs_study else None, config)
+
+    def check_fidelity(self, result) -> FidelityReport | None:
+        """Grade ``result`` against the declared spec, if any."""
+        if self.fidelity is None:
+            return None
+        return self.fidelity.evaluate(self.name, result)
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
@@ -94,6 +109,7 @@ def experiment(
     group: str | None = None,
     order: int = 0,
     in_all: bool = True,
+    fidelity: FidelitySpec | None = None,
 ) -> Callable:
     """Decorator form of :func:`register`; decorates the run callable."""
 
@@ -101,7 +117,7 @@ def experiment(
         register(ExperimentSpec(
             name=name, title=title, run=run, report=report,
             needs_study=needs_study, group=group, order=order,
-            in_all=in_all,
+            in_all=in_all, fidelity=fidelity,
         ))
         return run
 

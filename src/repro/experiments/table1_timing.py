@@ -65,9 +65,25 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("delay_300k_ns", PAPER_TABLE1[300.0]["delay_ns"],
+           lambda r: r["corners"][300.0]["delay_ns"],
+           rel=0.05, source="Table 1"),
+    metric("delay_10k_ns", PAPER_TABLE1[10.0]["delay_ns"],
+           lambda r: r["corners"][10.0]["delay_ns"],
+           rel=0.05, source="Table 1"),
+    metric("freq_10k_mhz", PAPER_TABLE1[10.0]["freq_mhz"],
+           lambda r: r["corners"][10.0]["freq_mhz"],
+           rel=0.05, source="Table 1"),
+    metric("cryo_slowdown", 0.046,
+           lambda r: r["slowdown"],
+           abs=0.025, source="Table 1 (4.6 %, 'less than 10 %')"),
+))
 
 
 @experiment("table1", "Table 1 -- SoC critical path and clock frequency",
-            report=report, order=40)
+            report=report, order=40, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -56,9 +56,28 @@ def report(result: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 from repro.experiments.registry import experiment  # noqa: E402
+from repro.provenance import FidelitySpec, metric  # noqa: E402
+
+FIDELITY = FidelitySpec(metrics=(
+    metric("knn_cycles_20q", PAPER_TABLE2["knn"][20],
+           lambda r: r["cycles"]["knn"][20],
+           rel=0.15, source="Table 2"),
+    metric("knn_cycles_400q", PAPER_TABLE2["knn"][400],
+           lambda r: r["cycles"]["knn"][400],
+           rel=0.15, source="Table 2"),
+    metric("hdc_cycles_20q", PAPER_TABLE2["hdc"][20],
+           lambda r: r["cycles"]["hdc"][20],
+           rel=0.25, source="Table 2"),
+    metric("hdc_cycles_400q", PAPER_TABLE2["hdc"][400],
+           lambda r: r["cycles"]["hdc"][400],
+           rel=0.30, source="Table 2"),
+    metric("hdc_knn_ratio_20q", 3.3,
+           lambda r: r["hdc_knn_ratio_20"],
+           rel=0.10, source="SVI ('3.3x slower')"),
+))
 
 
 @experiment("table2", "Table 2 -- cycles per classification",
-            report=report, order=60)
+            report=report, order=60, fidelity=FIDELITY)
 def _experiment(study, config):
     return run(study)

@@ -1,0 +1,82 @@
+"""repro.provenance: the run ledger and paper-fidelity regression layer.
+
+PR 2 gave the flow live telemetry and PR 3 gave configs stable content
+digests; this package makes runs *persist and compare*:
+
+* :mod:`~repro.provenance.records` -- :class:`RunRecord`, the structured
+  account of one experiment invocation (identity, host, wall time,
+  telemetry snapshot, figures of merit, fidelity verdict);
+* :mod:`~repro.provenance.store` -- :class:`RunLedger`, the append-only
+  JSONL store under ``REPRO_RUNS_DIR``/``--runs-dir`` (atomic appends,
+  corrupt-line-tolerant reads) plus benchmark-summary ingestion;
+* :mod:`~repro.provenance.fidelity` -- :class:`FidelitySpec` /
+  :class:`FidelityReport`, the per-experiment paper-anchored metric
+  checks graded PASS/WARN/FAIL;
+* :mod:`~repro.provenance.report` -- ``repro report`` (latest-vs-paper
+  and latest-vs-previous drift) and ``repro compare`` (run-vs-run
+  deltas, wall-time regressions).
+
+Experiments declare their spec through the registry::
+
+    @experiment("table1", ..., fidelity=FidelitySpec(metrics=(
+        metric("delay_10k_ns", 1.09,
+               lambda r: r["corners"][10.0]["delay_ns"],
+               rel=0.05, source="Table 1"),
+    )))
+
+and every CLI invocation then appends a record and prints the verdict;
+``repro report`` / ``repro compare`` read the ledger back without
+re-running anything.
+"""
+
+from repro.provenance.fidelity import (
+    FAIL,
+    PASS,
+    WARN,
+    FidelityCheck,
+    FidelityMetric,
+    FidelityReport,
+    FidelitySpec,
+    metric,
+    worst,
+)
+from repro.provenance.records import (
+    RunRecord,
+    host_info,
+    new_run_id,
+    telemetry_snapshot,
+)
+from repro.provenance.report import (
+    build_report,
+    compare_records,
+    render_compare,
+    render_report,
+)
+from repro.provenance.store import (
+    RunLedger,
+    default_runs_dir,
+    ingest_bench_summary,
+)
+
+__all__ = [
+    "FAIL",
+    "PASS",
+    "WARN",
+    "FidelityCheck",
+    "FidelityMetric",
+    "FidelityReport",
+    "FidelitySpec",
+    "RunLedger",
+    "RunRecord",
+    "build_report",
+    "compare_records",
+    "default_runs_dir",
+    "host_info",
+    "ingest_bench_summary",
+    "metric",
+    "new_run_id",
+    "render_compare",
+    "render_report",
+    "telemetry_snapshot",
+    "worst",
+]

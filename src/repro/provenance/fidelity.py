@@ -1,0 +1,229 @@
+"""Paper-fidelity checks: is a run still reproducing the paper?
+
+Every registered experiment declares a :class:`FidelitySpec`: a handful
+of named scalar figures of merit pulled out of its ``run()`` result
+dict, each anchored to the value the paper publishes (Fig. 2/3/5/6/7,
+Tables 1-2, or a Section-VII claim) with an explicit tolerance.  After
+a run the spec is evaluated into a :class:`FidelityReport` whose
+per-metric checks grade as
+
+* ``PASS`` -- within tolerance of the paper value;
+* ``WARN`` -- outside tolerance but within ``warn_ratio`` times it
+  (drifting, worth a look, not yet a regression);
+* ``FAIL`` -- beyond the warn band, or the metric could not be
+  extracted at all (missing key, exception, non-finite value).
+
+The report's overall verdict is the worst of its checks.  Checks
+serialize to plain dicts so :class:`~repro.provenance.records.RunRecord`
+can persist them in the run ledger, and ``repro report`` can replay
+them without re-running anything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "FAIL",
+    "FidelityCheck",
+    "FidelityMetric",
+    "FidelityReport",
+    "FidelitySpec",
+    "PASS",
+    "WARN",
+    "metric",
+    "worst",
+]
+
+PASS = "PASS"
+WARN = "WARN"
+FAIL = "FAIL"
+
+#: Severity order for combining verdicts (index = badness).
+_ORDER = (PASS, WARN, FAIL)
+
+
+def worst(verdicts) -> str:
+    """The most severe of an iterable of verdict strings."""
+    rank = max((_ORDER.index(v) for v in verdicts), default=0)
+    return _ORDER[rank]
+
+
+@dataclass(frozen=True)
+class FidelityMetric:
+    """One named scalar figure of merit anchored to a paper value."""
+
+    name: str
+    expected: float
+    """The paper's published value (the anchor)."""
+    extract: Callable
+    """``extract(result_dict) -> float`` -- pulls the measured value."""
+    rel_tol: float | None = None
+    """Relative tolerance (fraction of ``expected``)."""
+    abs_tol: float | None = None
+    """Absolute tolerance, in the metric's own unit."""
+    source: str = ""
+    """Where the anchor comes from (e.g. ``"Table 1"``)."""
+
+    def tolerance(self) -> float:
+        """The acceptance half-width around ``expected``."""
+        tol = 0.0
+        if self.rel_tol is not None:
+            tol = abs(self.expected) * self.rel_tol
+        if self.abs_tol is not None:
+            tol = max(tol, self.abs_tol)
+        return tol
+
+
+def metric(
+    name: str,
+    expected: float,
+    extract: Callable,
+    *,
+    rel: float | None = None,
+    abs: float | None = None,  # noqa: A002 - mirrors math.isclose
+    source: str = "",
+) -> FidelityMetric:
+    """Terse constructor used by the experiment modules."""
+    if rel is None and abs is None:
+        raise ValueError(f"metric {name!r} needs rel= and/or abs= tolerance")
+    return FidelityMetric(name=name, expected=expected, extract=extract,
+                          rel_tol=rel, abs_tol=abs, source=source)
+
+
+@dataclass(frozen=True)
+class FidelityCheck:
+    """One evaluated metric: measured vs. paper, graded."""
+
+    name: str
+    status: str
+    expected: float
+    actual: float | None
+    tolerance: float
+    source: str = ""
+    note: str = ""
+
+    @property
+    def deviation(self) -> float | None:
+        """Signed measured-minus-paper distance (None if unmeasured)."""
+        if self.actual is None:
+            return None
+        return self.actual - self.expected
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "expected": self.expected,
+            "actual": self.actual,
+            "tolerance": self.tolerance,
+            "source": self.source,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FidelityCheck":
+        return cls(
+            name=data.get("name", "?"),
+            status=data.get("status", FAIL),
+            expected=data.get("expected", 0.0),
+            actual=data.get("actual"),
+            tolerance=data.get("tolerance", 0.0),
+            source=data.get("source", ""),
+            note=data.get("note", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """All of one run's checks plus the combined verdict."""
+
+    experiment: str
+    checks: tuple[FidelityCheck, ...]
+
+    @property
+    def verdict(self) -> str:
+        return worst(c.status for c in self.checks)
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        """The successfully measured values, by metric name."""
+        return {c.name: c.actual for c in self.checks if c.actual is not None}
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "verdict": self.verdict,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FidelityReport":
+        return cls(
+            experiment=data.get("experiment", "?"),
+            checks=tuple(FidelityCheck.from_dict(c)
+                         for c in data.get("checks", [])),
+        )
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-liner per check (what ``repro run`` prints)."""
+        lines = []
+        for c in self.checks:
+            actual = "unmeasured" if c.actual is None else f"{c.actual:.6g}"
+            anchor = f"paper {c.expected:.6g} +/- {c.tolerance:.3g}"
+            src = f" [{c.source}]" if c.source else ""
+            note = f" ({c.note})" if c.note else ""
+            lines.append(
+                f"  {c.status:<4} {c.name}: {actual} vs {anchor}{src}{note}"
+            )
+        return lines
+
+
+@dataclass(frozen=True)
+class FidelitySpec:
+    """An experiment's declared figures of merit (see module docstring)."""
+
+    metrics: tuple[FidelityMetric, ...] = field(default_factory=tuple)
+    warn_ratio: float = 2.0
+    """Checks within ``warn_ratio * tolerance`` grade WARN, not FAIL."""
+
+    def __post_init__(self):
+        names = [m.name for m in self.metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate fidelity metric names in {names}")
+
+    def evaluate(self, experiment: str, result) -> FidelityReport:
+        """Grade every metric against ``result`` (an experiment's dict)."""
+        checks = []
+        for m in self.metrics:
+            checks.append(self._check(m, result))
+        return FidelityReport(experiment=experiment, checks=tuple(checks))
+
+    def _check(self, m: FidelityMetric, result) -> FidelityCheck:
+        tol = m.tolerance()
+        try:
+            actual = float(m.extract(result))
+        except Exception as exc:  # noqa: BLE001 - graded, not raised
+            return FidelityCheck(
+                name=m.name, status=FAIL, expected=m.expected, actual=None,
+                tolerance=tol, source=m.source,
+                note=f"extraction failed: {type(exc).__name__}: {exc}",
+            )
+        if not math.isfinite(actual):
+            return FidelityCheck(
+                name=m.name, status=FAIL, expected=m.expected, actual=None,
+                tolerance=tol, source=m.source, note="non-finite value",
+            )
+        err = abs(actual - m.expected)
+        if err <= tol:
+            status = PASS
+        elif err <= tol * self.warn_ratio:
+            status = WARN
+        else:
+            status = FAIL
+        return FidelityCheck(
+            name=m.name, status=status, expected=m.expected, actual=actual,
+            tolerance=tol, source=m.source,
+        )

@@ -1,0 +1,152 @@
+"""The run ledger's unit of account: one :class:`RunRecord` per run.
+
+A record is everything needed to answer, months later, "what did this
+invocation produce, on what, and was it still the paper?":
+
+* identity -- a random ``run_id``, the experiment name, the config's
+  content digest (PR 3's :func:`~repro.runtime.digest.stable_digest`),
+  the package version;
+* context -- ISO-8601 UTC start timestamp, wall time, host info
+  (platform/python/cpu count);
+* telemetry -- a compact snapshot of the spans/counters/stage-cache
+  state collected while the run executed (empty when telemetry is off);
+* science -- the experiment's numeric figures of merit and the
+  serialized :class:`~repro.provenance.fidelity.FidelityReport`.
+
+Records are plain data end to end: they serialize to one JSON line
+(:meth:`RunRecord.to_json_line`) and rebuild from a parsed dict
+(:meth:`RunRecord.from_dict`), so they cross process boundaries (the
+parallel CLI fan-out builds them in workers) and survive in the
+append-only ledger (:mod:`repro.provenance.store`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import secrets
+from dataclasses import dataclass, field
+
+from repro import __version__, telemetry
+
+__all__ = ["RunRecord", "host_info", "new_run_id", "telemetry_snapshot"]
+
+#: Bumped when the record layout changes incompatibly; readers skip
+#: newer-schema lines with a warning instead of misparsing them.
+SCHEMA_VERSION = 1
+
+
+def new_run_id() -> str:
+    """A short collision-resistant id (no counters, no clocks)."""
+    return secrets.token_hex(6)
+
+
+def host_info() -> dict:
+    """Where a run happened, for cross-machine comparisons."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def telemetry_snapshot(study=None) -> dict:
+    """A compact, JSON-able view of the live telemetry state.
+
+    Not the full trace (that is what ``--trace FILE`` is for): span
+    count, per-root durations, the flat metrics summary, and -- when the
+    run had a study -- its stage-cache hit/miss ledger.
+    """
+    spans = list(telemetry.tracer.all_spans())
+    snap = {
+        "enabled": telemetry.enabled(),
+        "span_count": len(spans),
+        "roots": [
+            {"name": root.name, "duration_s": root.duration_s}
+            for root in telemetry.trace_roots()
+        ],
+        "metrics": telemetry.metrics_summary(),
+    }
+    if study is not None:
+        snap["stage_cache"] = study.stage_cache_stats()
+    return snap
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger line; see the module docstring for the field story."""
+
+    experiment: str
+    kind: str = "experiment"
+    """``"experiment"`` for registry runs, ``"bench"`` for ingested
+    benchmark summaries."""
+    run_id: str = field(default_factory=new_run_id)
+    start_ts: str = ""
+    """ISO-8601 UTC wall-clock time the run started."""
+    wall_s: float = 0.0
+    config_digest: str | None = None
+    package_version: str = __version__
+    host: dict = field(default_factory=host_info)
+    telemetry: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    """Numeric figures of merit, by metric name."""
+    fidelity: dict | None = None
+    """Serialized :class:`~repro.provenance.fidelity.FidelityReport`."""
+    schema: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------ #
+    @property
+    def verdict(self) -> str | None:
+        """The fidelity verdict carried by the record, if any."""
+        if not self.fidelity:
+            return None
+        return self.fidelity.get("verdict")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "experiment": self.experiment,
+            "start_ts": self.start_ts,
+            "wall_s": self.wall_s,
+            "config_digest": self.config_digest,
+            "package_version": self.package_version,
+            "host": self.host,
+            "telemetry": self.telemetry,
+            "metrics": self.metrics,
+            "fidelity": self.fidelity,
+        }
+
+    def to_json_line(self) -> str:
+        """One newline-terminated JSON document (the ledger encoding)."""
+        return json.dumps(self.to_dict(), sort_keys=True, default=_jsonify) \
+            + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            experiment=data["experiment"],
+            kind=data.get("kind", "experiment"),
+            run_id=data.get("run_id", "?"),
+            start_ts=data.get("start_ts", ""),
+            wall_s=float(data.get("wall_s", 0.0)),
+            config_digest=data.get("config_digest"),
+            package_version=data.get("package_version", "?"),
+            host=data.get("host", {}),
+            telemetry=data.get("telemetry", {}),
+            metrics=data.get("metrics", {}),
+            fidelity=data.get("fidelity"),
+            schema=int(data.get("schema", SCHEMA_VERSION)),
+        )
+
+
+def _jsonify(value):
+    """Last-resort encoder for numpy scalars and other item()-ables."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

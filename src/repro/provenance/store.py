@@ -1,0 +1,188 @@
+"""The persistent run ledger: append-only JSONL under the runs dir.
+
+One file (``ledger.jsonl``), one :class:`RunRecord` per line, appended
+atomically: the encoded line is written with a single ``os.write`` to a
+descriptor opened ``O_APPEND``, which POSIX guarantees lands as one
+contiguous write -- so concurrent appenders (parallel CLI runs, the
+benchmark harness, CI) interleave whole records, never torn ones.
+
+Reads are forgiving by design: a corrupt or foreign line (power loss,
+hand edits, newer schema) is skipped with a logged warning, never a
+crash -- the ledger is an operational record, and losing one line must
+not take the reporting layer down with it.
+
+The directory is resolved once per call from ``--runs-dir`` /
+``REPRO_RUNS_DIR`` / the default ``.repro/runs`` (see
+:func:`default_runs_dir`), mirroring the runtime cache's
+``REPRO_CACHE_DIR`` convention.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.provenance.records import SCHEMA_VERSION, RunRecord
+
+__all__ = ["RunLedger", "default_runs_dir", "ingest_bench_summary"]
+
+_LOG = logging.getLogger(__name__)
+
+#: Ledger filename inside the runs directory.
+LEDGER_NAME = "ledger.jsonl"
+
+
+def default_runs_dir() -> Path:
+    """``REPRO_RUNS_DIR`` if set, else ``.repro/runs`` under the cwd."""
+    env = os.environ.get("REPRO_RUNS_DIR", "").strip()
+    return Path(env) if env else Path(".repro") / "runs"
+
+
+class RunLedger:
+    """Append-only record store; see the module docstring."""
+
+    def __init__(self, runs_dir: str | os.PathLike | None = None):
+        self.runs_dir = Path(runs_dir) if runs_dir is not None \
+            else default_runs_dir()
+
+    @property
+    def path(self) -> Path:
+        return self.runs_dir / LEDGER_NAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, record: RunRecord) -> RunRecord:
+        """Durably add one record; returns it for chaining."""
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        payload = record.to_json_line().encode()
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def records(self, kind: str | None = None,
+                experiment: str | None = None) -> list[RunRecord]:
+        """Every readable record, in append (chronological) order."""
+        if not self.path.exists():
+            return []
+        out: list[RunRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                record = self._parse_line(line, lineno)
+                if record is None:
+                    continue
+                if kind is not None and record.kind != kind:
+                    continue
+                if experiment is not None \
+                        and record.experiment != experiment:
+                    continue
+                out.append(record)
+        return out
+
+    def _parse_line(self, line: str, lineno: int) -> RunRecord | None:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("not a JSON object")
+            if int(data.get("schema", SCHEMA_VERSION)) > SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {data['schema']} is newer than this reader"
+                )
+            return RunRecord.from_dict(data)
+        except (ValueError, KeyError, TypeError) as exc:
+            _LOG.warning(
+                "skipping corrupt ledger line %s:%d (%s)",
+                self.path, lineno, exc,
+            )
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Queries the reporting layer needs
+    # ------------------------------------------------------------------ #
+    def experiments(self) -> list[str]:
+        """Distinct experiment names seen, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records(kind="experiment"):
+            seen.setdefault(record.experiment, None)
+        return list(seen)
+
+    def latest(self, experiment: str,
+               kind: str = "experiment") -> RunRecord | None:
+        """The most recent record for an experiment, if any."""
+        records = self.records(kind=kind, experiment=experiment)
+        return records[-1] if records else None
+
+    def history(self, experiment: str, kind: str = "experiment",
+                n: int = 2) -> list[RunRecord]:
+        """The last ``n`` records for an experiment, oldest first."""
+        return self.records(kind=kind, experiment=experiment)[-n:]
+
+    def find(self, run_id: str) -> RunRecord:
+        """Resolve a run id (or unambiguous prefix) to its record."""
+        matches = [r for r in self.records()
+                   if r.run_id == run_id or r.run_id.startswith(run_id)]
+        exact = [r for r in matches if r.run_id == run_id]
+        if exact:
+            return exact[-1]
+        if not matches:
+            raise KeyError(f"no run {run_id!r} in {self.path}")
+        ids = {r.run_id for r in matches}
+        if len(ids) > 1:
+            raise KeyError(
+                f"run id prefix {run_id!r} is ambiguous: {sorted(ids)}"
+            )
+        return matches[-1]
+
+
+# ---------------------------------------------------------------------- #
+# Benchmark ingestion: perf and fidelity share one regression story.
+# ---------------------------------------------------------------------- #
+def ingest_bench_summary(source, ledger: RunLedger,
+                         start_ts: str = "") -> RunRecord:
+    """Fold a ``bench_summary.json`` into the ledger as one record.
+
+    ``source`` is a path or an already-parsed ``{bench.name: stats}``
+    dict (the :mod:`benchmarks.conftest` histogram summaries).  Each
+    bench's mean wall time becomes a ``metrics`` entry, so
+    ``repro report`` / ``repro compare`` treat bench regressions with
+    the same machinery as paper-fidelity drift.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as fh:
+            summary = json.load(fh)
+    else:
+        summary = source
+    metrics: dict[str, float] = {}
+    total = 0.0
+    for name, stats in summary.items():
+        if isinstance(stats, dict) and "mean" in stats:
+            value = float(stats["mean"])
+        else:
+            value = float(stats)
+        metrics[name] = value
+        total += value * (stats.get("count", 1)
+                          if isinstance(stats, dict) else 1)
+    record = RunRecord(
+        experiment="bench_summary",
+        kind="bench",
+        start_ts=start_ts,
+        wall_s=total,
+        metrics=metrics,
+    )
+    return ledger.append(record)

@@ -49,7 +49,7 @@ from repro.telemetry.sinks import (
     read_jsonl,
     write_jsonl,
 )
-from repro.telemetry.spans import NOOP_SPAN, Span, Tracer
+from repro.telemetry.spans import NOOP_SPAN, Span, Tracer, iso_ts
 
 __all__ = [
     "Counter",
@@ -67,6 +67,7 @@ __all__ = [
     "export_jsonl",
     "format_tree",
     "gauge",
+    "iso_ts",
     "merge_snapshot",
     "metrics_lines",
     "metrics_summary",

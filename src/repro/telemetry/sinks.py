@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from typing import IO, Iterable
 
-from repro.telemetry.spans import Span
+from repro.telemetry.spans import Span, iso_ts
 
 __all__ = ["format_tree", "metrics_lines", "read_jsonl", "write_jsonl"]
 
@@ -110,6 +110,10 @@ def write_jsonl(roots: Iterable[Span], file: str | IO[str]) -> int:
                 "parent": parent,
                 "name": span.name,
                 "start_wall": span.start_wall,
+                # ISO-8601 UTC twin of start_wall: lets offline tooling
+                # correlate spans with run-ledger records across runs
+                # without epoch arithmetic.
+                "start_ts": iso_ts(span.start_wall),
                 "duration_s": span.duration_s,
                 "attrs": span.attrs,
             }

@@ -26,8 +26,20 @@ from __future__ import annotations
 
 import threading
 import time
+from datetime import datetime, timezone
 
-__all__ = ["NOOP_SPAN", "Span", "Tracer"]
+__all__ = ["NOOP_SPAN", "Span", "Tracer", "iso_ts"]
+
+
+def iso_ts(wall: float) -> str:
+    """``start_wall`` (epoch seconds) as an ISO-8601 UTC timestamp.
+
+    The trace JSONL and the provenance run ledger both stamp records
+    with this, so spans and runs correlate across files and machines
+    without epoch-vs-local guessing.
+    """
+    stamp = datetime.fromtimestamp(wall, timezone.utc)
+    return stamp.isoformat(timespec="microseconds").replace("+00:00", "Z")
 
 
 class Span:
@@ -73,6 +85,7 @@ class Span:
             "name": self.name,
             "attrs": dict(self.attrs),
             "start_wall": self.start_wall,
+            "start_ts": iso_ts(self.start_wall),
             "duration_s": self.duration_s,
             "children": [c.to_dict() for c in self.children],
         }

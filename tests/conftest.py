@@ -19,6 +19,17 @@ from repro.device import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the provenance run ledger at a throwaway directory.
+
+    CLI invocations append RunRecords by default; without this, tests
+    calling ``main()`` would grow a ``.repro/runs`` ledger inside the
+    repository checkout.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture(scope="session")
 def campaign() -> MeasurementCampaign:
     """The deterministic synthetic probe-station campaign."""

@@ -1,0 +1,67 @@
+"""End-to-end observability under the parallel CLI fan-out.
+
+One deliberately heavy integration test: ``repro all --jobs 2`` with
+``--trace FILE`` and ``--metrics`` exercises the worker-span merge
+logic (telemetry snapshots shipped back from worker processes and
+re-parented under the parent's per-experiment call-site span) plus the
+run ledger's multi-experiment append path, all in a single invocation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.__main__ import main
+from repro.experiments import registry
+from repro.provenance import RunLedger
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestParallelTraceAndLedger:
+    def test_all_jobs2_trace_metrics_and_ledger(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["all", "--jobs", "2", "--shots", "2",
+                     "--trace", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics summary" in out
+
+        # The trace is valid line-delimited JSON, one span per line,
+        # each with the ISO-8601 start_ts added for cross-run joins.
+        lines = trace.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) > 20
+        assert all(r["start_ts"].endswith("Z") for r in records)
+
+        # Worker spans came home: parent pointers resolve within the
+        # file, and every worker-side span (flow.*, soc.*, ...) hangs
+        # under a parent-side cli.experiment call-site span rather
+        # than floating as its own root.
+        ids = {r["id"] for r in records}
+        assert all(r["parent"] in ids
+                   for r in records if r["parent"] is not None)
+        roots = {r["name"] for r in records if r["parent"] is None}
+        assert roots <= {"cli.experiment", "cli.prebuild_shared_stages"}
+        call_sites = [r for r in records if r["name"] == "cli.experiment"]
+        expected = [s.name for s in registry.all_specs() if s.in_all]
+        assert len(call_sites) == len(expected)
+        by_parent: dict = {}
+        for r in records:
+            by_parent.setdefault(r["parent"], []).append(r["name"])
+        adopted = [n for site in call_sites
+                   for n in by_parent.get(site["id"], [])]
+        assert any(not n.startswith("cli.") for n in adopted)
+
+        # Every fan-out member landed one RunRecord in the ledger.
+        ledger = RunLedger(tmp_path / "runs")
+        by_experiment = [r.experiment for r in ledger.records()]
+        assert sorted(by_experiment) == sorted(expected)
+        assert all(r.start_ts.endswith("Z") for r in ledger.records())

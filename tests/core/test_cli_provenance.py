@@ -1,0 +1,165 @@
+"""The provenance CLI surface: run / report / compare and the ledger.
+
+The autouse ``_isolated_runs_dir`` fixture (tests/conftest.py) points
+``REPRO_RUNS_DIR`` at ``tmp_path / "runs"``, so every ``main()`` call
+here appends to a throwaway ledger that the test can inspect directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.__main__ import main
+from repro.provenance import RunLedger, RunRecord
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "runs")
+
+
+class TestRunCommand:
+    def test_run_appends_record_and_prints_verdict(self, capsys, ledger):
+        assert main(["run", "ext_thermal"]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity[ext_thermal]: PASS" in out
+        assert f"appended to {ledger.path}" in out
+
+        (record,) = ledger.records()
+        assert record.experiment == "ext_thermal"
+        assert record.kind == "experiment"
+        assert record.verdict == "PASS"
+        assert record.config_digest
+        assert record.start_ts.endswith("Z")
+        assert record.wall_s > 0
+        assert record.package_version
+        assert record.metrics  # extracted figures of merit
+        assert record.host["python"]
+
+    def test_plain_experiment_command_also_records(self, capsys, ledger):
+        assert main(["ext_thermal"]) == 0
+        assert "EXT-THERMAL" in capsys.readouterr().out
+        assert len(ledger.records()) == 1
+
+    def test_run_requires_one_experiment(self, capsys):
+        assert main(["run"]) == 2
+        assert main(["run", "a", "b"]) == 2
+
+    def test_run_rejects_unknown_and_builtin_targets(self):
+        assert main(["run", "fig99"]) == 2
+        assert main(["run", "stats"]) == 2
+
+    def test_no_ledger_skips_recording(self, capsys, ledger):
+        assert main(["run", "ext_thermal", "--no-ledger"]) == 0
+        assert not ledger.exists()
+
+    def test_runs_dir_flag_overrides_env(self, capsys, tmp_path):
+        other = tmp_path / "elsewhere"
+        assert main(["run", "ext_thermal",
+                     "--runs-dir", str(other)]) == 0
+        assert RunLedger(other).exists()
+
+    def test_quiet_still_records(self, capsys, ledger):
+        assert main(["run", "ext_thermal", "--quiet"]) == 0
+        assert len(ledger.records()) == 1
+
+
+class TestReportCommand:
+    def test_cold_ledger_message(self, capsys):
+        assert main(["report"]) == 0
+        assert "no runs recorded yet" in capsys.readouterr().out
+
+    def test_report_after_two_runs(self, capsys):
+        main(["run", "ext_thermal", "--quiet"])
+        main(["run", "ext_thermal", "--quiet"])
+        capsys.readouterr()
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Latest vs paper (verdict: PASS)" in out
+        assert "Latest vs previous run (drift)" in out
+        assert "(wall time)" in out
+
+    def test_report_json(self, capsys):
+        main(["run", "ext_thermal", "--quiet"])
+        capsys.readouterr()
+        assert main(["report", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verdict"] == "PASS"
+        (entry,) = report["experiments"]
+        assert entry["experiment"] == "ext_thermal"
+        assert entry["previous"] is None
+
+    def test_report_markdown(self, capsys):
+        main(["run", "ext_thermal", "--quiet"])
+        capsys.readouterr()
+        assert main(["report", "--markdown"]) == 0
+        assert "### Latest vs paper" in capsys.readouterr().out
+
+    def test_strict_fails_on_fail_verdict(self, capsys, ledger):
+        ledger.append(RunRecord(
+            experiment="fig2",
+            fidelity={"experiment": "fig2", "verdict": "FAIL",
+                      "checks": []},
+        ))
+        assert main(["report"]) == 0  # reporting alone never gates
+        assert main(["report", "--strict"]) == 1
+
+    def test_strict_passes_on_pass_verdict(self, capsys):
+        main(["run", "ext_thermal", "--quiet"])
+        assert main(["report", "--strict"]) == 0
+
+
+class TestCompareCommand:
+    def test_compare_two_runs(self, capsys, ledger):
+        main(["run", "ext_thermal", "--quiet"])
+        main(["run", "ext_thermal", "--quiet"])
+        ids = [r.run_id for r in ledger.records()]
+        capsys.readouterr()
+        assert main(["compare", *ids]) == 0
+        out = capsys.readouterr().out
+        assert "Per-metric comparison" in out
+        assert ids[0] in out and ids[1] in out
+
+    def test_compare_accepts_prefixes_and_json(self, capsys, ledger):
+        main(["run", "ext_thermal", "--quiet"])
+        main(["run", "ext_thermal", "--quiet"])
+        a, b = [r.run_id for r in ledger.records()]
+        capsys.readouterr()
+        assert main(["compare", a[:6], b[:6], "--json"]) == 0
+        cmp = json.loads(capsys.readouterr().out)
+        assert cmp["a"]["run_id"] == a and cmp["b"]["run_id"] == b
+        assert cmp["same_experiment"] is True
+
+    def test_compare_arity_enforced(self):
+        assert main(["compare"]) == 2
+        assert main(["compare", "onlyone"]) == 2
+
+    def test_compare_unknown_id(self, capsys):
+        main(["run", "ext_thermal", "--quiet"])
+        assert main(["compare", "zzzzzz", "yyyyyy"]) == 2
+
+    def test_compare_cold_ledger(self, capsys):
+        assert main(["compare", "aaaaaa", "bbbbbb"]) == 1
+
+
+class TestStatsJson:
+    def test_stats_json_is_machine_readable(self, capsys):
+        assert main(["stats", "--json", "--shots", "5"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {"mode", "spans", "stage_cache", "metrics"} <= set(data)
+        assert data["spans"], "expected at least one root span"
+        root = data["spans"][0]
+        assert root["name"] == "repro.stats"
+        assert "start_ts" in root and root["start_ts"].endswith("Z")
+        assert data["stage_cache"]
+        assert any(k.startswith("solver.") for k in data["metrics"])

@@ -60,7 +60,8 @@ class TestCLIIntegration:
     def test_every_cli_command_resolves(self):
         groups = registry.groups()
         for command in _commands():
-            if command in ("stats",):
+            # Builtins dispatch on their own, not through the registry.
+            if command in ("stats", "run", "report", "compare"):
                 continue
             specs = _expand(command)
             assert specs, command

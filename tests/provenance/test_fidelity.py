@@ -1,0 +1,120 @@
+"""Grading logic: measured-vs-paper checks and their verdicts."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.provenance import (
+    FAIL,
+    PASS,
+    WARN,
+    FidelityReport,
+    FidelitySpec,
+    metric,
+    worst,
+)
+
+
+def spec_of(*metrics, warn_ratio=2.0):
+    return FidelitySpec(metrics=tuple(metrics), warn_ratio=warn_ratio)
+
+
+class TestWorst:
+    def test_severity_order(self):
+        assert worst([PASS, WARN, FAIL]) == FAIL
+        assert worst([PASS, WARN]) == WARN
+        assert worst([PASS, PASS]) == PASS
+
+    def test_empty_defaults_to_pass(self):
+        assert worst([]) == PASS
+
+
+class TestMetricConstructor:
+    def test_requires_some_tolerance(self):
+        with pytest.raises(ValueError, match="needs rel= and/or abs="):
+            metric("m", 1.0, lambda r: r["m"])
+
+    def test_tolerance_is_max_of_rel_and_abs(self):
+        m = metric("m", 100.0, lambda r: r["m"], rel=0.05, abs=2.0)
+        assert m.tolerance() == pytest.approx(5.0)
+        m = metric("m", 10.0, lambda r: r["m"], rel=0.05, abs=2.0)
+        assert m.tolerance() == pytest.approx(2.0)
+
+    def test_rel_tolerance_scales_with_expected(self):
+        m = metric("m", -40.0, lambda r: r["m"], rel=0.1)
+        assert m.tolerance() == pytest.approx(4.0)
+
+
+class TestGrading:
+    def test_within_tolerance_passes(self):
+        spec = spec_of(metric("m", 1.0, lambda r: r["m"], abs=0.1))
+        report = spec.evaluate("exp", {"m": 1.08})
+        assert report.verdict == PASS
+        assert report.checks[0].actual == pytest.approx(1.08)
+
+    def test_warn_band_is_warn_ratio_times_tolerance(self):
+        spec = spec_of(metric("m", 1.0, lambda r: r["m"], abs=0.1),
+                       warn_ratio=2.0)
+        assert spec.evaluate("exp", {"m": 1.15}).verdict == WARN
+        assert spec.evaluate("exp", {"m": 1.25}).verdict == FAIL
+
+    def test_missing_key_fails_with_note(self):
+        spec = spec_of(metric("m", 1.0, lambda r: r["nope"], abs=0.1))
+        check = spec.evaluate("exp", {"m": 1.0}).checks[0]
+        assert check.status == FAIL
+        assert check.actual is None
+        assert "extraction failed" in check.note
+
+    def test_non_finite_value_fails(self):
+        spec = spec_of(metric("m", 1.0, lambda r: r["m"], abs=0.1))
+        check = spec.evaluate("exp", {"m": math.nan}).checks[0]
+        assert check.status == FAIL
+        assert check.note == "non-finite value"
+
+    def test_verdict_is_worst_of_checks(self):
+        spec = spec_of(
+            metric("good", 1.0, lambda r: r["good"], abs=0.5),
+            metric("bad", 1.0, lambda r: r["bad"], abs=0.01),
+        )
+        report = spec.evaluate("exp", {"good": 1.0, "bad": 9.0})
+        assert report.verdict == FAIL
+        assert {c.name: c.status for c in report.checks} == {
+            "good": PASS, "bad": FAIL,
+        }
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            spec_of(metric("m", 1.0, lambda r: 1.0, abs=0.1),
+                    metric("m", 2.0, lambda r: 2.0, abs=0.1))
+
+
+class TestReport:
+    def _report(self):
+        spec = spec_of(
+            metric("a", 2.0, lambda r: r["a"], abs=0.5, source="Table 9"),
+            metric("b", 1.0, lambda r: r["nope"], abs=0.1),
+        )
+        return spec.evaluate("exp", {"a": 2.1})
+
+    def test_metrics_property_drops_unmeasured(self):
+        report = self._report()
+        assert report.metrics == {"a": pytest.approx(2.1)}
+
+    def test_dict_roundtrip(self):
+        report = self._report()
+        back = FidelityReport.from_dict(report.to_dict())
+        assert back == report
+        assert back.verdict == FAIL
+
+    def test_summary_lines_mention_anchor_and_source(self):
+        lines = self._report().summary_lines()
+        assert len(lines) == 2
+        assert "PASS" in lines[0] and "[Table 9]" in lines[0]
+        assert "paper 2 +/- 0.5" in lines[0]
+        assert "FAIL" in lines[1] and "unmeasured" in lines[1]
+
+    def test_deviation_signed(self):
+        check = self._report().checks[0]
+        assert check.deviation == pytest.approx(0.1)

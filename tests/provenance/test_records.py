@@ -1,0 +1,81 @@
+"""RunRecord serialization, host/telemetry snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import __version__, telemetry
+from repro.provenance import (
+    RunRecord,
+    host_info,
+    new_run_id,
+    telemetry_snapshot,
+)
+
+
+class TestRunRecord:
+    def test_defaults_carry_identity(self):
+        record = RunRecord(experiment="fig2")
+        assert record.kind == "experiment"
+        assert record.package_version == __version__
+        assert len(record.run_id) == 12
+        assert record.host["python"]
+
+    def test_run_ids_are_unique(self):
+        assert len({new_run_id() for _ in range(64)}) == 64
+
+    def test_json_line_roundtrip(self):
+        record = RunRecord(
+            experiment="fig2",
+            start_ts="2026-08-06T00:00:00Z",
+            wall_s=1.5,
+            config_digest="abc123",
+            metrics={"accuracy": 0.99},
+            fidelity={"verdict": "PASS", "checks": []},
+        )
+        line = record.to_json_line()
+        assert line.endswith("\n") and "\n" not in line[:-1]
+        back = RunRecord.from_dict(json.loads(line))
+        assert back == record
+        assert back.verdict == "PASS"
+
+    def test_verdict_none_without_fidelity(self):
+        assert RunRecord(experiment="x").verdict is None
+
+    def test_numpy_scalars_serialize(self):
+        record = RunRecord(experiment="x",
+                           metrics={"m": np.float64(0.5),
+                                    "n": np.int64(3)})
+        data = json.loads(record.to_json_line())
+        assert data["metrics"] == {"m": 0.5, "n": 3}
+
+
+class TestSnapshots:
+    def test_host_info_fields(self):
+        info = host_info()
+        assert {"hostname", "platform", "python", "cpu_count",
+                "pid"} <= set(info)
+
+    def test_telemetry_snapshot_disabled(self):
+        telemetry.disable()
+        telemetry.reset()
+        snap = telemetry_snapshot()
+        assert snap["enabled"] is False
+        assert snap["span_count"] == 0
+        assert snap["roots"] == []
+
+    def test_telemetry_snapshot_captures_roots(self):
+        telemetry.enable()
+        try:
+            with telemetry.span("flow.study"):
+                with telemetry.span("cells.build_library"):
+                    pass
+            snap = telemetry_snapshot()
+            assert snap["span_count"] == 2
+            assert [r["name"] for r in snap["roots"]] == ["flow.study"]
+            json.dumps(snap)  # must be JSON-able as-is
+        finally:
+            telemetry.disable()
+            telemetry.reset()

@@ -1,0 +1,56 @@
+"""Every registered experiment declares paper-anchored fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+from repro.provenance import PASS, FidelitySpec, metric
+
+
+class TestDeclaredSpecs:
+    def test_all_sixteen_experiments_have_fidelity(self):
+        specs = registry.all_specs()
+        assert len(specs) == 16
+        missing = [s.name for s in specs if s.fidelity is None]
+        assert missing == []
+
+    def test_every_spec_has_anchored_metrics(self):
+        for spec in registry.all_specs():
+            assert len(spec.fidelity.metrics) >= 1, spec.name
+            for m in spec.fidelity.metrics:
+                assert m.source, f"{spec.name}.{m.name} lacks a source"
+                assert m.tolerance() > 0, f"{spec.name}.{m.name}"
+
+    def test_metric_names_unique_within_spec(self):
+        for spec in registry.all_specs():
+            names = [m.name for m in spec.fidelity.metrics]
+            assert len(set(names)) == len(names), spec.name
+
+
+class TestSpecIntegration:
+    def test_check_fidelity_evaluates_declared_spec(self):
+        spec = registry.ExperimentSpec(
+            name="toy", title="toy", run=lambda s, c: {"m": 1.0},
+            report=lambda r: "toy",
+            fidelity=FidelitySpec(metrics=(
+                metric("m", 1.0, lambda r: r["m"], abs=0.1, source="toy"),
+            )),
+        )
+        report = spec.check_fidelity(spec.run_result(None, None))
+        assert report.experiment == "toy"
+        assert report.verdict == PASS
+
+    def test_check_fidelity_none_without_spec(self):
+        spec = registry.ExperimentSpec(
+            name="bare", title="bare", run=lambda s, c: {},
+            report=lambda r: "",
+        )
+        assert spec.check_fidelity({}) is None
+
+    @pytest.mark.parametrize("name", ["ext_thermal", "ext_fpga"])
+    def test_cheap_deterministic_experiments_pass(self, name):
+        spec = registry.get(name)
+        result = spec.run_result(None, None)
+        report = spec.check_fidelity(result)
+        assert report.verdict == PASS, report.summary_lines()

@@ -1,0 +1,141 @@
+"""The append-only ledger: durability, forgiving reads, queries."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.provenance import (
+    RunLedger,
+    RunRecord,
+    default_runs_dir,
+    ingest_bench_summary,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "runs")
+
+
+def rec(experiment="fig2", **kwargs):
+    return RunRecord(experiment=experiment, **kwargs)
+
+
+class TestDefaultRunsDir:
+    def test_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "x"))
+        assert default_runs_dir() == tmp_path / "x"
+        assert RunLedger().runs_dir == tmp_path / "x"
+
+    def test_falls_back_to_dot_repro(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS_DIR", raising=False)
+        assert str(default_runs_dir()).endswith(".repro/runs")
+
+
+class TestAppend:
+    def test_append_creates_dir_and_roundtrips(self, ledger):
+        record = ledger.append(rec(metrics={"m": 1.0}))
+        assert ledger.exists()
+        (back,) = ledger.records()
+        assert back == record
+
+    def test_appends_are_whole_lines(self, ledger):
+        for i in range(5):
+            ledger.append(rec(wall_s=float(i)))
+        lines = ledger.path.read_text().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(line)["schema"] == 1 for line in lines)
+
+    def test_empty_ledger_reads_empty(self, ledger):
+        assert ledger.records() == []
+        assert ledger.experiments() == []
+        assert ledger.latest("fig2") is None
+
+
+class TestForgivingReads:
+    def test_corrupt_line_skipped_with_warning(self, ledger, caplog):
+        ledger.append(rec(experiment="a"))
+        with open(ledger.path, "a") as fh:
+            fh.write("{this is not json\n")
+        ledger.append(rec(experiment="b"))
+        with caplog.at_level(logging.WARNING, "repro.provenance.store"):
+            records = ledger.records()
+        assert [r.experiment for r in records] == ["a", "b"]
+        assert "skipping corrupt ledger line" in caplog.text
+        assert ":2" in caplog.text  # the offending line number
+
+    def test_newer_schema_skipped(self, ledger, caplog):
+        ledger.append(rec())
+        with open(ledger.path, "a") as fh:
+            fh.write(json.dumps({"schema": 99, "experiment": "future"})
+                     + "\n")
+        with caplog.at_level(logging.WARNING, "repro.provenance.store"):
+            records = ledger.records()
+        assert len(records) == 1
+        assert "newer than this reader" in caplog.text
+
+    def test_blank_lines_ignored_silently(self, ledger, caplog):
+        ledger.append(rec())
+        with open(ledger.path, "a") as fh:
+            fh.write("\n\n")
+        with caplog.at_level(logging.WARNING, "repro.provenance.store"):
+            assert len(ledger.records()) == 1
+        assert caplog.text == ""
+
+    def test_non_object_line_skipped(self, ledger, caplog):
+        ledger.runs_dir.mkdir(parents=True, exist_ok=True)
+        ledger.path.write_text('[1, 2, 3]\n')
+        with caplog.at_level(logging.WARNING, "repro.provenance.store"):
+            assert ledger.records() == []
+        assert "not a JSON object" in caplog.text
+
+
+class TestQueries:
+    def test_filters_and_order(self, ledger):
+        ledger.append(rec(experiment="a", wall_s=1.0))
+        ledger.append(rec(experiment="b"))
+        ledger.append(rec(experiment="a", wall_s=2.0))
+        ledger.append(rec(experiment="bench_summary", kind="bench"))
+        assert ledger.experiments() == ["a", "b"]
+        assert ledger.latest("a").wall_s == 2.0
+        assert [r.wall_s for r in ledger.history("a", n=2)] == [1.0, 2.0]
+        assert [r.kind for r in ledger.records(kind="bench")] == ["bench"]
+
+    def test_find_exact_and_prefix(self, ledger):
+        ledger.append(rec(run_id="aaa111bbb222"))
+        ledger.append(rec(run_id="ccc333ddd444"))
+        assert ledger.find("aaa111bbb222").run_id == "aaa111bbb222"
+        assert ledger.find("ccc").run_id == "ccc333ddd444"
+
+    def test_find_missing_and_ambiguous(self, ledger):
+        ledger.append(rec(run_id="aaa111bbb222"))
+        ledger.append(rec(run_id="aaa999eee555"))
+        with pytest.raises(KeyError, match="no run"):
+            ledger.find("zzz")
+        with pytest.raises(KeyError, match="ambiguous"):
+            ledger.find("aaa")
+
+
+class TestBenchIngestion:
+    SUMMARY = {
+        "bench.fig6": {"count": 2, "mean": 0.5, "max": 0.6},
+        "bench.table1": 1.25,
+    }
+
+    def test_ingest_dict(self, ledger):
+        record = ingest_bench_summary(self.SUMMARY, ledger,
+                                      start_ts="2026-08-06T00:00:00Z")
+        assert record.kind == "bench"
+        assert record.experiment == "bench_summary"
+        assert record.metrics == {"bench.fig6": 0.5, "bench.table1": 1.25}
+        assert record.wall_s == pytest.approx(2 * 0.5 + 1.25)
+        assert ledger.latest("bench_summary", kind="bench") == record
+
+    def test_ingest_file(self, ledger, tmp_path):
+        path = tmp_path / "bench_summary.json"
+        path.write_text(json.dumps(self.SUMMARY))
+        record = ingest_bench_summary(path, ledger)
+        assert record.metrics["bench.fig6"] == 0.5
