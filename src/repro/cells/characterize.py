@@ -66,16 +66,33 @@ SPICE_RETRY_BUDGET_S = 10.0
 
 @dataclass(frozen=True)
 class TechModels:
-    """The n/p device models a library build characterizes against."""
+    """The n/p device models a library build characterizes against.
+
+    Device instances are memoized per (polarity, nfin): every SPICE
+    table point of a library build then shares one :class:`FinFET` per
+    sizing, so the model's temperature-derived cache (vth/vsat/mobility
+    terms keyed by ``(id(params), temperature_k)``) is warm across all
+    slew/load points and cells, and the MNA kernel batches all
+    same-sized transistors of a netlist into one compact-model call.
+    """
 
     nfet: FinFETParams
     pfet: FinFETParams
+    _devices: dict = field(default_factory=dict, repr=False, compare=False)
 
     def n_device(self, nfin: int) -> FinFET:
-        return FinFET(self.nfet.copy(nfin=nfin))
+        return self._device("n", nfin)
 
     def p_device(self, nfin: int) -> FinFET:
-        return FinFET(self.pfet.copy(nfin=nfin))
+        return self._device("p", nfin)
+
+    def _device(self, polarity: str, nfin: int) -> FinFET:
+        dev = self._devices.get((polarity, nfin))
+        if dev is None:
+            params = self.nfet if polarity == "n" else self.pfet
+            dev = FinFET(params.copy(nfin=nfin))
+            self._devices[(polarity, nfin)] = dev
+        return dev
 
 
 @dataclass(frozen=True, kw_only=True)

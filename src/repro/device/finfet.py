@@ -28,24 +28,52 @@ in conduction), matching SPICE conventions.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import NamedTuple
+
 import numpy as np
-from scipy.special import lambertw
 
 from repro.device import constants as const
-from repro.device.mobility import effective_mobility
+from repro.device.mobility import (
+    degradation_coefficients,
+    low_field_mobility,
+    mobility_with_coefficients,
+)
 from repro.device.params import FinFETParams
 from repro.device.thermal import (
     cooldown_fraction,
-    effective_thermal_voltage,
     subthreshold_slope_factor,
-    threshold_voltage,
+    thermal_state,
 )
 
-__all__ = ["FinFET", "normalized_charge"]
+__all__ = ["FinFET", "normalized_charge", "stack_models"]
 
 # Beyond this normalized overdrive the Lambert-W argument overflows double
 # precision; switch to the (very accurate) asymptotic expansion.
 _LAMBERT_SWITCH = 500.0
+
+
+def _lambertw0(x: np.ndarray) -> np.ndarray:
+    """Principal-branch Lambert W for real ``x >= 0``, to machine precision.
+
+    Same mathematical function as ``scipy.special.lambertw(x).real`` on
+    the non-negative axis, but evaluated with a real-arithmetic Halley
+    iteration: the scipy ufunc goes through complex arithmetic and
+    dominates the compact-model hot path.  A log-based (large x) or
+    rational (small x) initial guess puts the cubically convergent
+    iteration within machine precision in three steps; a test pins
+    agreement with scipy to ~1e-14 relative across the full range.
+    """
+    lx = np.log(np.maximum(x, 1e-300))
+    w = np.where(x > np.e, lx - np.log(np.maximum(lx, 1.0)), x / (1.0 + x))
+    for _ in range(2):
+        ew = np.exp(w)
+        f = w * ew - x
+        wp1 = w + 1.0
+        w = w - f / (ew * wp1 - (w + 2.0) * f / (2.0 * wp1))
+    # Two Halley steps reach ~1e-8; one Newton polish doubles the digits.
+    ew = np.exp(w)
+    return w - (w * ew - x) / (ew * (w + 1.0))
 
 
 def normalized_charge(u: np.ndarray) -> np.ndarray:
@@ -62,15 +90,46 @@ def normalized_charge(u: np.ndarray) -> np.ndarray:
     u = np.asarray(u, dtype=float)
     q = np.empty_like(u)
     small = u < _LAMBERT_SWITCH
-    if np.any(small):
-        q[small] = 0.5 * np.real(lambertw(2.0 * np.exp(u[small])))
-    if np.any(~small):
-        x = u[~small] + np.log(2.0)
+    if small.all():
+        return 0.5 * _lambertw0(2.0 * np.exp(u))
+    if small.any():
+        q[small] = 0.5 * _lambertw0(2.0 * np.exp(u[small]))
+    big = ~small
+    if big.any():
+        x = u[big] + np.log(2.0)
         w = x - np.log(x)
         # One Newton step of w + ln w = x polishes to ~1e-12 relative.
         w = w - (w + np.log(w) - x) * w / (w + 1.0)
-        q[~small] = 0.5 * w
+        q[big] = 0.5 * w
     return q
+
+
+class _TempDerived(NamedTuple):
+    """Per-(params, temperature) model quantities cached by :class:`FinFET`.
+
+    Everything here depends only on the parameter record and the lattice
+    temperature -- which a circuit fixes for a whole solve -- so the
+    Newton inner loop should never recompute it per ``ids`` call.
+    """
+
+    vt: float
+    """Effective thermal voltage k*T_eff/q in V."""
+    vth0: float
+    """Zero-bias threshold-voltage magnitude in V."""
+    vsat: float
+    """Saturation velocity after its temperature law in m/s."""
+    mexp: float
+    """Vdseff smoothing exponent after its temperature law."""
+    ksativ: float
+    """Pinch-off (Vdsat) scaling after its temperature law."""
+    u0: float
+    """Low-field mobility U0(T) in m^2/Vs."""
+    ua: float
+    """Surface-roughness degradation coefficient UA(T)."""
+    ud: float
+    """Coulomb-scattering degradation coefficient UD(T)."""
+    eu: float
+    """Roughness exponent EU(T)."""
 
 
 class FinFET:
@@ -88,6 +147,54 @@ class FinFET:
 
     def __init__(self, params: FinFETParams):
         self.params = params
+        # (id(params), temperature_k) -> (_TempDerived, params).  The
+        # params object is pinned in the value so a dead record's id
+        # cannot be recycled into a stale hit; a mutated-in-place params
+        # record is the one (documented) way to invalidate by hand:
+        # ``fet.invalidate_cache()``.
+        self._derived_cache: dict[tuple[int, float],
+                                  tuple[_TempDerived, FinFETParams]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Temperature-derived cache
+    # ------------------------------------------------------------------ #
+    def _derived(self, temperature_k: float) -> _TempDerived:
+        """Temperature-derived quantities, computed once per (params, T).
+
+        The solver evaluates ``ids`` thousands of times per transient at
+        one fixed temperature; vth/vsat/mexp/ksativ and the mobility
+        coefficients only depend on ``(params, temperature_k)``, so they
+        are cached here.  Identical arithmetic to the uncached helpers,
+        hence bit-identical currents.
+        """
+        key = (id(self.params), temperature_k)
+        hit = self._derived_cache.get(key)
+        if hit is not None:
+            return hit[0]
+        p = self.params
+        state = thermal_state(temperature_k, p)
+        ua, ud, eu = degradation_coefficients(temperature_k, p)
+        derived = _TempDerived(
+            vt=state.vt,
+            vth0=state.vth0,
+            vsat=self._vsat(temperature_k),
+            mexp=self._mexp(temperature_k),
+            ksativ=self._ksativ(temperature_k),
+            u0=low_field_mobility(temperature_k, p),
+            ua=ua,
+            ud=ud,
+            eu=eu,
+        )
+        self._derived_cache[key] = (derived, p)
+        return derived
+
+    def invalidate_cache(self) -> None:
+        """Drop cached temperature-derived quantities.
+
+        Only needed if the bound ``params`` record was mutated in place
+        (the calibration flow always rebinds fresh copies instead).
+        """
+        self._derived_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Derived operating-point quantities
@@ -97,7 +204,7 @@ class FinFET:
         p = self.params
         vds_mag = abs(vds)
         dibl = p.ETA0 * vds_mag / (1.0 + p.PDIBL2 * vds_mag)
-        return threshold_voltage(temperature_k, p) - dibl
+        return self._derived(temperature_k).vth0 - dibl
 
     def _vsat(self, temperature_k: float) -> float:
         """Saturation velocity with its nonlinear temperature law (m/s)."""
@@ -129,25 +236,23 @@ class FinFET:
     ) -> np.ndarray:
         """Channel current (A, positive) for *internal* positive vgs/vds."""
         p = self.params
-        vt = effective_thermal_voltage(temperature_k, p)
+        d = self._derived(temperature_k)
+        vt = d.vt
         nslope = subthreshold_slope_factor(vds, p)
-        vth_eff = threshold_voltage(temperature_k, p) - p.ETA0 * vds / (
-            1.0 + p.PDIBL2 * vds
-        )
+        vth_eff = d.vth0 - p.ETA0 * vds / (1.0 + p.PDIBL2 * vds)
 
         u_s = (vgs - vth_eff) / (nslope * vt)
         qs = normalized_charge(u_s)
 
-        mu = effective_mobility(vgs, qs, np.maximum(vth_eff, 0.0), temperature_k, p)
-        esat_l = 2.0 * self._vsat(temperature_k) * p.lgate / np.maximum(mu, 1e-6)
+        mu = mobility_with_coefficients(vgs, qs, np.maximum(vth_eff, 0.0),
+                                        p.ETAMOB, d.u0, d.ua, d.ud, d.eu)
+        esat_l = 2.0 * d.vsat * p.lgate / np.maximum(mu, 1e-6)
 
         # Smooth pinch-off voltage: strong-inversion branch ~2*n*vt*qs capped
         # by Esat*L, plus a ~3*vt subthreshold floor.
         vov = 2.0 * nslope * vt * qs
-        vdsat = self._ksativ(temperature_k) * (
-            vov * esat_l / (vov + esat_l) + 3.0 * vt
-        )
-        mexp = self._mexp(temperature_k)
+        vdsat = d.ksativ * (vov * esat_l / (vov + esat_l) + 3.0 * vt)
+        mexp = d.mexp
         ratio = np.maximum(vds, 0.0) / vdsat
         vdseff = vds / np.power(1.0 + np.power(ratio, mexp), 1.0 / mexp)
 
@@ -227,10 +332,9 @@ class FinFET:
     ) -> np.ndarray:
         """Positive-bias current including the series-resistance fixed point."""
         p = self.params
-        vt = effective_thermal_voltage(temperature_k, p)
+        d = self._derived(temperature_k)
         nslope = subthreshold_slope_factor(vds, p)
-        vth0 = threshold_voltage(temperature_k, p)
-        qs_proxy = normalized_charge((vgs - vth0) / (nslope * vt))
+        qs_proxy = normalized_charge((vgs - d.vth0) / (nslope * d.vt))
         rs, rd = self._series_resistances(qs_proxy)
 
         ids = self._ids_intrinsic(vgs, vds, temperature_k)
@@ -328,3 +432,104 @@ class FinFET:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         p = self.params
         return f"FinFET({p.polarity}, nfin={p.nfin}, VTH0={p.VTH0:.3f})"
+
+
+class _StackedParams:
+    """Per-device parameter arrays quacking like :class:`FinFETParams`.
+
+    Every numeric field of the parameter record becomes a float array with
+    one entry per device (repeated per group, then tiled ``tile`` times to
+    match multi-point evaluation layouts).  The model equations are purely
+    elementwise, so running them with array-valued parameters produces the
+    same numbers each device would get from its own scalar evaluation.
+    """
+
+    def __init__(self, params_list: list[FinFETParams],
+                 counts: np.ndarray, tile: int):
+        names = [f.name for f in dataclasses.fields(FinFETParams)
+                 if f.name != "polarity"]
+        # Derived convenience properties used by the current equations.
+        names += ["weff", "cox", "cgate_fin"]
+        for name in names:
+            vals = np.repeat(
+                np.array([getattr(p, name) for p in params_list],
+                         dtype=float),
+                counts,
+            )
+            setattr(self, name, np.tile(vals, tile) if tile > 1 else vals)
+
+
+class _StackedFinFET(FinFET):
+    """One evaluator for a heterogeneous batch of FinFET instances.
+
+    Stacks the parameter records (and the per-temperature derived
+    quantities) of several devices into arrays so a whole circuit's worth
+    of drain currents comes out of a *single* ``ids`` call.  Polarity is
+    folded into a per-device sign vector: p-devices see mirrored biases,
+    exactly like ``FinFET.ids`` does per group.
+
+    Inherits the entire current computation from :class:`FinFET`; only
+    parameter access and the polarity dispatch are overridden.
+    """
+
+    def __init__(self, models: list[FinFET], counts, tile: int = 1):
+        # Deliberately no super().__init__: self.params is the stacked
+        # namespace, and the derived cache is keyed by temperature alone
+        # (each underlying model keeps its own (params, T) cache).
+        self._models = list(models)
+        self._counts = np.asarray(counts, dtype=int)
+        self._tile = int(tile)
+        self.params = _StackedParams(
+            [m.params for m in self._models], self._counts, self._tile
+        )
+        sign = np.repeat(
+            np.array([-1.0 if m.params.polarity == "p" else 1.0
+                      for m in self._models]),
+            self._counts,
+        )
+        self._sign = np.tile(sign, self._tile) if self._tile > 1 else sign
+        self._stacked_derived: dict[float, _TempDerived] = {}
+
+    def _derived(self, temperature_k: float) -> _TempDerived:
+        hit = self._stacked_derived.get(temperature_k)
+        if hit is not None:
+            return hit
+        per = [m._derived(temperature_k) for m in self._models]
+        arrays = []
+        for fname in _TempDerived._fields:
+            vals = np.repeat(
+                np.array([getattr(d, fname) for d in per]), self._counts
+            )
+            arrays.append(np.tile(vals, self._tile)
+                          if self._tile > 1 else vals)
+        hit = _TempDerived(*arrays)
+        self._stacked_derived[temperature_k] = hit
+        return hit
+
+    def invalidate_cache(self) -> None:
+        self._stacked_derived.clear()
+        for m in self._models:
+            m.invalidate_cache()
+
+    def ids(
+        self,
+        vgs: np.ndarray | float,
+        vds: np.ndarray | float,
+        temperature_k: float,
+    ) -> np.ndarray:
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vgs, vds = np.broadcast_arrays(vgs, vds)
+        s = self._sign
+        return s * self._ids_forward(s * vgs, s * vds, temperature_k)
+
+
+def stack_models(models: list[FinFET], counts, tile: int = 1) -> FinFET:
+    """Build a batch evaluator over ``models`` repeated ``counts`` times.
+
+    ``counts[i]`` devices share ``models[i]``; the returned object's
+    ``ids`` expects bias arrays laid out as the concatenation of each
+    model's devices (optionally ``tile`` copies of that layout back to
+    back, for multi-point finite-difference evaluation).
+    """
+    return _StackedFinFET(models, counts, tile=tile)

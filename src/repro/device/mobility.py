@@ -50,6 +50,31 @@ def degradation_coefficients(
     return ua, ud, eu
 
 
+def mobility_with_coefficients(
+    vgs: np.ndarray | float,
+    qn: np.ndarray | float,
+    vth: float,
+    etamob: float,
+    u0: float,
+    ua: float,
+    ud: float,
+    eu: float,
+) -> np.ndarray | float:
+    """Degradation law evaluated with precomputed temperature coefficients.
+
+    The bias-dependent part of :func:`effective_mobility`, split out so
+    the compact model's per-temperature cache can pay for
+    ``low_field_mobility``/``degradation_coefficients`` once per
+    ``(params, T)`` instead of on every ``ids`` call.
+    """
+    # Normalized effective vertical field ~ (Vgs + Vth)/(2 * 1V), scaled by
+    # ETAMOB; clipped at zero so the subthreshold region sees no roughness
+    # degradation.
+    eeff = np.maximum(etamob * (np.abs(vgs) + vth) / 2.0, 0.0)
+    denom = 1.0 + ua * np.power(eeff, eu) + ud / (0.1 + qn)
+    return u0 / denom
+
+
 def effective_mobility(
     vgs: np.ndarray | float,
     qn: np.ndarray | float,
@@ -75,9 +100,5 @@ def effective_mobility(
     """
     u0 = low_field_mobility(temperature_k, params)
     ua, ud, eu = degradation_coefficients(temperature_k, params)
-    # Normalized effective vertical field ~ (Vgs + Vth)/(2 * 1V), scaled by
-    # ETAMOB; clipped at zero so the subthreshold region sees no roughness
-    # degradation.
-    eeff = np.maximum(params.ETAMOB * (np.abs(vgs) + vth) / 2.0, 0.0)
-    denom = 1.0 + ua * np.power(eeff, eu) + ud / (0.1 + qn)
-    return u0 / denom
+    return mobility_with_coefficients(vgs, qn, vth, params.ETAMOB,
+                                      u0, ua, ud, eu)

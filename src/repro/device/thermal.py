@@ -15,10 +15,43 @@ quantity for the purposes of the analytic model.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 from repro.device import constants as const
 from repro.device.params import FinFETParams
+
+
+class ThermalState(NamedTuple):
+    """Temperature-derived quantities shared by one (params, T) pair.
+
+    A circuit's temperature is fixed for the lifetime of a solve, so the
+    compact model evaluates these once per ``(id(params),
+    temperature_k)`` key (see ``FinFET._derived``) instead of on every
+    ``ids`` call.  The fields are computed with exactly the same
+    expressions as the standalone helpers below, so cached and uncached
+    evaluation are bit-identical.
+    """
+
+    dtn: float
+    """Normalized cooldown (TNOM - T)/TNOM."""
+    teff: float
+    """Band-tail effective temperature in K."""
+    vt: float
+    """Effective thermal voltage k*T_eff/q in V."""
+    vth0: float
+    """Zero-bias threshold-voltage magnitude at T in V."""
+
+
+def thermal_state(temperature_k: float, params: FinFETParams) -> ThermalState:
+    """Bundle the temperature-only model quantities for one evaluation."""
+    return ThermalState(
+        dtn=cooldown_fraction(temperature_k),
+        teff=effective_temperature(temperature_k, params),
+        vt=effective_thermal_voltage(temperature_k, params),
+        vth0=threshold_voltage(temperature_k, params),
+    )
 
 
 def effective_temperature(temperature_k: float, params: FinFETParams) -> float:

@@ -42,9 +42,13 @@ DIGEST_CHARS = 16
 def _normalize(value):
     """Recursively convert ``value`` into JSON-encodable canonical form."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # compare=False fields are bookkeeping (memo caches, tracker
+        # backrefs) excluded from the dataclass's own equality; a content
+        # digest follows the same identity semantics.
         fields = {
             f.name: _normalize(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.compare
         }
         return {"__dataclass__": type(value).__qualname__, **fields}
     if isinstance(value, dict):

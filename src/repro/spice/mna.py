@@ -2,15 +2,38 @@
 
 The MNA unknown vector is ``[node voltages..., source branch currents...]``.
 Nonlinear FinFETs are linearized around the current guess with a standard
-Norton companion model; their I-V and derivatives are evaluated *batched
-per model object* so a whole cell costs one vectorized compact-model call
-per Newton iteration instead of one call per transistor.
+Norton companion model; their I-V and derivatives are evaluated through a
+*stacked* evaluator (per-device parameter arrays, see
+``repro.device.finfet.stack_models``) so a whole cell costs one vectorized
+compact-model call per Newton iteration instead of one call per transistor
+or per model group.
+
+Two assembly kernels are provided:
+
+* ``compiled`` (default) -- every stamp is compiled once in ``__init__``
+  into flat scatter-index/value arrays (static conductances, the gmin
+  diagonal, capacitor companions, per-device FinFET entry coefficients
+  with ground masked out at compile time).  ``assemble`` is then a
+  handful of ``np.add.at`` scatters plus one stacked compact-model call
+  for the whole circuit -- no Python loop over devices, capacitors, or
+  nodes per Newton iteration.  The compiled kernel also exposes
+  :meth:`residual` (the exact nonlinear residual from a single n-point
+  model call) and :meth:`rhs` (the RHS with frozen device companions),
+  which together make the solver's modified-Newton bypass iterations
+  free of compact-model calls entirely.
+* ``reference`` -- the original per-element Python stamping loop,
+  retained verbatim for kernel-equivalence tests and the speedup
+  benchmark (``benchmarks/test_bench_spice_kernel.py``).
+
+Both kernels stamp the same terms; any difference is floating-point
+summation order (~1 ulp), which the equivalence suite pins.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.device.finfet import stack_models
 from repro.spice.netlist import GROUND_NAMES, Circuit
 
 __all__ = ["MNASystem"]
@@ -22,11 +45,46 @@ _DERIV_STEP = 1e-5
 #: capacitor-only nodes non-singular.
 GMIN_DEFAULT = 1e-12
 
+#: Per-device companion stamp pattern: (row, col, gm coeff, gds coeff)
+#: selectors into the (drain, gate, source) index triple.  Ground rows and
+#: columns are masked out at compile time.
+_FET_MATRIX_PATTERN = (
+    ("d", "g", 1.0, 0.0),
+    ("d", "d", 0.0, 1.0),
+    ("d", "s", -1.0, -1.0),
+    ("s", "g", -1.0, 0.0),
+    ("s", "d", 0.0, -1.0),
+    ("s", "s", 1.0, 1.0),
+)
+
+
+class _FetGroup:
+    """One model object's devices: batched-evaluation metadata."""
+
+    __slots__ = ("model", "sl", "d", "g", "s", "names")
+
+    def __init__(self, model, sl, d, g, s, names):
+        self.model = model
+        self.sl = sl
+        self.d = d
+        self.g = g
+        self.s = s
+        self.names = names
+
 
 class MNASystem:
-    """Precomputed index maps and stamping routines for one circuit."""
+    """Precomputed index maps and stamping routines for one circuit.
 
-    def __init__(self, circuit: Circuit):
+    ``kernel`` selects the assembly implementation: ``"compiled"``
+    (vectorized scatter kernel, default) or ``"reference"`` (the retained
+    per-element loop).  Both produce the same ``A, z`` up to summation
+    order.
+    """
+
+    def __init__(self, circuit: Circuit, kernel: str = "compiled"):
+        if kernel not in ("compiled", "reference"):
+            raise ValueError(f"unknown MNA kernel {kernel!r}")
+        self.kernel = kernel
         self.circuit = circuit
         self.nodes = circuit.node_names()
         self._index = {name: i for i, name in enumerate(self.nodes)}
@@ -35,6 +93,12 @@ class MNASystem:
         self.n_nodes = len(self.nodes)
         self.n_sources = len(circuit.sources)
         self.dim = self.n_nodes + self.n_sources
+
+        #: Jacobian/LU reuse state installed by the solver (kept here so
+        #: the solver's internal call signatures stay monkeypatch-stable).
+        self.jacobian_cache = None
+        #: Last (gmin, geq-array, matrix) base bake; see _base_matrix.
+        self._baked = None
 
         # Static (bias-independent) stamps: resistors and source incidence.
         self._static = np.zeros((self.dim, self.dim))
@@ -49,17 +113,107 @@ class MNASystem:
                     self._static[i, row] += sign
                     self._static[row, i] += sign
 
-        # Group FinFETs by model object for batched evaluation.
-        self._fet_groups: list[tuple[object, list[int], list[int], list[int]]] = []
+        # ------------------------------------------------------------- #
+        # Compile-once scatter indices for the vectorized kernel.
+        # ------------------------------------------------------------- #
+        dim = self.dim
+        #: Flat indices of the node-diagonal entries (gmin stamp).
+        self._diag_flat = np.arange(self.n_nodes) * (dim + 1)
+        #: RHS rows of the source branch equations.
+        self._src_rows = self.n_nodes + np.arange(self.n_sources)
+
+        # Capacitors: per-cap terminal indices (-1 = ground) plus the
+        # masked scatter pattern for the four conductance entries and the
+        # two RHS entries of each companion.
+        caps = circuit.capacitors
+        self._cap_i = np.array([self.index(c.n1) for c in caps], dtype=int)
+        self._cap_j = np.array([self.index(c.n2) for c in caps], dtype=int)
+        mat_flat, mat_sign, mat_k = [], [], []
+        rhs_row, rhs_sign, rhs_k = [], [], []
+        for k, (i, j) in enumerate(zip(self._cap_i, self._cap_j)):
+            for r, c, sign in ((i, i, 1.0), (j, j, 1.0),
+                               (i, j, -1.0), (j, i, -1.0)):
+                if r >= 0 and c >= 0:
+                    mat_flat.append(r * dim + c)
+                    mat_sign.append(sign)
+                    mat_k.append(k)
+            if i >= 0:
+                rhs_row.append(i)
+                rhs_sign.append(-1.0)
+                rhs_k.append(k)
+            if j >= 0:
+                rhs_row.append(j)
+                rhs_sign.append(1.0)
+                rhs_k.append(k)
+        self._cap_mat_flat = np.array(mat_flat, dtype=int)
+        self._cap_mat_sign = np.array(mat_sign)
+        self._cap_mat_k = np.array(mat_k, dtype=int)
+        self._cap_rhs_row = np.array(rhs_row, dtype=int)
+        self._cap_rhs_sign = np.array(rhs_sign)
+        self._cap_rhs_k = np.array(rhs_k, dtype=int)
+
+        # FinFETs: group by model object for batched evaluation, with one
+        # global device ordering so all groups share one scatter pass.
         by_model: dict[int, list] = {}
         for fet in circuit.finfets:
             by_model.setdefault(id(fet.model), []).append(fet)
+        self._groups: list[_FetGroup] = []
+        pos = 0
         for fets in by_model.values():
-            model = fets[0].model
-            d = [self.index(f.drain) for f in fets]
-            g = [self.index(f.gate) for f in fets]
-            s = [self.index(f.source) for f in fets]
-            self._fet_groups.append((model, d, g, s))
+            d = np.array([self.index(f.drain) for f in fets], dtype=int)
+            g = np.array([self.index(f.gate) for f in fets], dtype=int)
+            s = np.array([self.index(f.source) for f in fets], dtype=int)
+            sl = slice(pos, pos + len(fets))
+            self._groups.append(
+                _FetGroup(fets[0].model, sl, d, g, s,
+                          tuple(f.name for f in fets))
+            )
+            pos += len(fets)
+        self._n_fets = pos
+        self.n_fets = pos
+        if pos:
+            self._fet_d = np.concatenate([grp.d for grp in self._groups])
+            self._fet_g = np.concatenate([grp.g for grp in self._groups])
+            self._fet_s = np.concatenate([grp.s for grp in self._groups])
+            # Stacked evaluators: one compact-model call for the whole
+            # circuit, with per-device parameter/derived arrays.  The
+            # 3x-tiled variant serves the finite-difference linearization
+            # layout [base | vgs+step | vds+step].
+            models = [grp.model for grp in self._groups]
+            counts = [grp.sl.stop - grp.sl.start for grp in self._groups]
+            self._stack1 = stack_models(models, counts, tile=1)
+            self._stack3 = stack_models(models, counts, tile=3)
+        else:
+            self._fet_d = self._fet_g = self._fet_s = np.empty(0, dtype=int)
+            self._stack1 = self._stack3 = None
+
+        mat_flat, mat_cgm, mat_cgds, mat_k = [], [], [], []
+        rhs_row, rhs_sign, rhs_k = [], [], []
+        for k in range(pos):
+            terminal = {"d": self._fet_d[k], "g": self._fet_g[k],
+                        "s": self._fet_s[k]}
+            for rt, ct, cgm, cgds in _FET_MATRIX_PATTERN:
+                r, c = terminal[rt], terminal[ct]
+                if r >= 0 and c >= 0:
+                    mat_flat.append(r * dim + c)
+                    mat_cgm.append(cgm)
+                    mat_cgds.append(cgds)
+                    mat_k.append(k)
+            if terminal["d"] >= 0:
+                rhs_row.append(terminal["d"])
+                rhs_sign.append(-1.0)
+                rhs_k.append(k)
+            if terminal["s"] >= 0:
+                rhs_row.append(terminal["s"])
+                rhs_sign.append(1.0)
+                rhs_k.append(k)
+        self._fet_mat_flat = np.array(mat_flat, dtype=int)
+        self._fet_mat_cgm = np.array(mat_cgm)
+        self._fet_mat_cgds = np.array(mat_cgds)
+        self._fet_mat_k = np.array(mat_k, dtype=int)
+        self._fet_rhs_row = np.array(rhs_row, dtype=int)
+        self._fet_rhs_sign = np.array(rhs_sign)
+        self._fet_rhs_k = np.array(rhs_k, dtype=int)
 
     # ------------------------------------------------------------------ #
     def index(self, node: str) -> int:
@@ -85,6 +239,18 @@ class MNASystem:
     def _voltage(self, v: np.ndarray, idx: int) -> float | np.ndarray:
         return v[idx] if idx >= 0 else 0.0
 
+    def _extended(self, v: np.ndarray) -> np.ndarray:
+        """Solution vector with a trailing 0.0 so index -1 reads ground."""
+        return np.append(v, 0.0)
+
+    def _source_values(self, t: float) -> np.ndarray:
+        return np.array([src.value(t) for src in self.circuit.sources])
+
+    def cap_voltages(self, v: np.ndarray) -> np.ndarray:
+        """Per-capacitor branch voltages v(n1) - v(n2) at solution ``v``."""
+        v_ext = self._extended(v)
+        return v_ext[self._cap_i] - v_ext[self._cap_j]
+
     # ------------------------------------------------------------------ #
     def assemble(
         self,
@@ -101,6 +267,195 @@ class MNASystem:
         ``source_scale`` multiplies every independent source value -- the
         continuation parameter for source stepping.
         """
+        if self.kernel == "reference":
+            return self.assemble_reference(v_guess, t, gmin, cap_companion,
+                                           source_scale)
+        return self.assemble_compiled(v_guess, t, gmin, cap_companion,
+                                      source_scale)
+
+    def assemble_compiled(
+        self,
+        v_guess: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized assembly: precompiled scatters, no per-element loops."""
+        a, z, _ = self.assemble_with_companions(v_guess, t, gmin,
+                                                cap_companion, source_scale)
+        return a, z
+
+    def assemble_with_companions(
+        self,
+        v_guess: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compiled assembly returning ``(A, z, fet_ieq)``.
+
+        ``fet_ieq`` is the per-device Norton companion current used for
+        the device RHS stamps.  The solver caches it next to the LU
+        factorization: together with :meth:`rhs` it lets a modified-Newton
+        bypass iteration rebuild ``z`` for a new timestep *without any
+        compact-model call* (the matrix is frozen, so only sources and
+        capacitor companions change).
+        """
+        a = self._base_matrix(gmin, cap_companion)
+        a_flat = a.ravel()  # view into the copy
+        z = np.zeros(self.dim)
+
+        # Sources: branch equation V(pos) - V(neg) = value(t).
+        if self.n_sources:
+            z[self._src_rows] = source_scale * self._source_values(t)
+
+        # Capacitor companion currents (transient only).
+        if cap_companion is not None and self._cap_i.size:
+            ieq = np.asarray(cap_companion[1])
+            np.add.at(z, self._cap_rhs_row,
+                      self._cap_rhs_sign * ieq[self._cap_rhs_k])
+
+        # FinFETs: batched linearization, one scatter for every device.
+        ieq_f = np.empty(0)
+        if self._n_fets:
+            gm, gds, ieq_f = self._device_linearization(v_guess)
+            np.add.at(
+                a_flat, self._fet_mat_flat,
+                self._fet_mat_cgm * gm[self._fet_mat_k]
+                + self._fet_mat_cgds * gds[self._fet_mat_k],
+            )
+            np.add.at(z, self._fet_rhs_row,
+                      self._fet_rhs_sign * ieq_f[self._fet_rhs_k])
+        return a, z, ieq_f
+
+    def _base_matrix(self, gmin: float, cap_companion) -> np.ndarray:
+        """Static + gmin + capacitor-geq matrix, baked across iterations.
+
+        Within one transient the integrator passes the *same* geq array
+        object every step and gmin only changes on escalation, so the
+        bias-independent part of ``A`` is cached keyed on
+        ``(gmin, id(geq))`` and re-copied instead of re-scattered.  The
+        bake performs the identical additions in the identical order, so
+        the result is bit-equal to scattering afresh.
+        """
+        if cap_companion is None:
+            a = self._static.copy()
+            a.ravel()[self._diag_flat] += gmin
+            return a
+        geq = np.asarray(cap_companion[0])
+        baked = self._baked
+        if baked is not None and baked[0] == gmin and baked[1] is geq:
+            return baked[2].copy()
+        a = self._static.copy()
+        a_flat = a.ravel()
+        a_flat[self._diag_flat] += gmin
+        if self._cap_i.size:
+            np.add.at(a_flat, self._cap_mat_flat,
+                      self._cap_mat_sign * geq[self._cap_mat_k])
+        self._baked = (gmin, geq, a)
+        return a.copy()
+
+    def rhs(
+        self,
+        t: float,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None,
+        source_scale: float,
+        fet_ieq: np.ndarray,
+    ) -> np.ndarray:
+        """RHS vector ``z`` with *frozen* device companions ``fet_ieq``.
+
+        Sources and capacitor companions are re-stamped for the new
+        timestep; the device Norton currents are taken verbatim from a
+        previous linearization.  Paired with that linearization's cached
+        LU this is the zero-model-call bypass iteration of the
+        modified-Newton solver.
+        """
+        z = np.zeros(self.dim)
+        if self.n_sources:
+            z[self._src_rows] = source_scale * self._source_values(t)
+        if cap_companion is not None and self._cap_i.size:
+            ieq = np.asarray(cap_companion[1])
+            np.add.at(z, self._cap_rhs_row,
+                      self._cap_rhs_sign * ieq[self._cap_rhs_k])
+        if self._n_fets:
+            np.add.at(z, self._fet_rhs_row,
+                      self._fet_rhs_sign * fet_ieq[self._fet_rhs_k])
+        return z
+
+    def _device_linearization(
+        self, v_guess: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(gm, gds, ieq) for every FinFET from one stacked model call."""
+        temp = self.circuit.temperature_k
+        v_ext = self._extended(v_guess)
+        vgs = v_ext[self._fet_g] - v_ext[self._fet_s]
+        vds = v_ext[self._fet_d] - v_ext[self._fet_s]
+        n = self._n_fets
+        # One stacked call for the whole circuit: base point plus two
+        # perturbed points, all devices at once.
+        vgs_all = np.concatenate([vgs, vgs + _DERIV_STEP, vgs])
+        vds_all = np.concatenate([vds, vds, vds + _DERIV_STEP])
+        ids_all = np.asarray(self._stack3.ids(vgs_all, vds_all, temp))
+        i0 = ids_all[:n]
+        gm = (ids_all[n : 2 * n] - i0) / _DERIV_STEP
+        gds = (ids_all[2 * n :] - i0) / _DERIV_STEP
+        # Keep the Jacobian positive semi-definite-ish: tiny negative
+        # numerical slopes are clipped.
+        gm = np.maximum(gm, 0.0)
+        gds = np.maximum(gds, 1e-15)
+        ieq = i0 - gm * vgs - gds * vds
+        return gm, gds, ieq
+
+    def residual(
+        self,
+        v: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Exact nonlinear residual ``F(v) = A(v) v - z(v)``.
+
+        Because the companion linearization is exact at its expansion
+        point, the device contribution collapses to the *actual* drain
+        current: one n-point compact-model call per group, no derivative
+        perturbations, and no matrix.  This is the cheap inner evaluation
+        of the solver's modified-Newton (Jacobian reuse) iterations.
+        """
+        f = self._static @ v
+        f[: self.n_nodes] += gmin * v[: self.n_nodes]
+        if self.n_sources:
+            f[self._src_rows] -= source_scale * self._source_values(t)
+        v_ext = self._extended(v)
+        if cap_companion is not None and self._cap_i.size:
+            geq, ieq = cap_companion
+            i_cap = (np.asarray(geq) * (v_ext[self._cap_i] - v_ext[self._cap_j])
+                     + np.asarray(ieq))
+            np.add.at(f, self._cap_rhs_row,
+                      -self._cap_rhs_sign * i_cap[self._cap_rhs_k])
+        if self._n_fets:
+            temp = self.circuit.temperature_k
+            ids = np.asarray(self._stack1.ids(
+                v_ext[self._fet_g] - v_ext[self._fet_s],
+                v_ext[self._fet_d] - v_ext[self._fet_s],
+                temp,
+            ))
+            np.add.at(f, self._fet_rhs_row,
+                      -self._fet_rhs_sign * ids[self._fet_rhs_k])
+        return f
+
+    # ------------------------------------------------------------------ #
+    def assemble_reference(
+        self,
+        v_guess: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Seed-kernel assembly: the retained per-element stamping loop."""
         a = self._static.copy()
         z = np.zeros(self.dim)
 
@@ -126,7 +481,8 @@ class MNASystem:
 
         # FinFETs: batched linearization.
         temp = self.circuit.temperature_k
-        for model, d_idx, g_idx, s_idx in self._fet_groups:
+        for grp in self._groups:
+            d_idx, g_idx, s_idx = grp.d, grp.g, grp.s
             vd = np.array([self._voltage(v_guess, i) for i in d_idx])
             vg = np.array([self._voltage(v_guess, i) for i in g_idx])
             vs = np.array([self._voltage(v_guess, i) for i in s_idx])
@@ -136,12 +492,10 @@ class MNASystem:
             # One vectorized call: base point plus two perturbed points.
             vgs_all = np.concatenate([vgs, vgs + _DERIV_STEP, vgs])
             vds_all = np.concatenate([vds, vds, vds + _DERIV_STEP])
-            ids_all = np.asarray(model.ids(vgs_all, vds_all, temp))
+            ids_all = np.asarray(grp.model.ids(vgs_all, vds_all, temp))
             i0 = ids_all[:n]
             gm = (ids_all[n : 2 * n] - i0) / _DERIV_STEP
             gds = (ids_all[2 * n :] - i0) / _DERIV_STEP
-            # Keep the Jacobian positive semi-definite-ish: tiny negative
-            # numerical slopes are clipped.
             gm = np.maximum(gm, 0.0)
             gds = np.maximum(gds, 1e-15)
             ieq = i0 - gm * vgs - gds * vds
@@ -150,8 +504,7 @@ class MNASystem:
                 if di >= 0:
                     if gi >= 0:
                         a[di, gi] += gm[k]
-                    if di >= 0:
-                        a[di, di] += gds[k]
+                    a[di, di] += gds[k]
                     if si >= 0:
                         a[di, si] -= gm[k] + gds[k]
                     z[di] -= ieq[k]
@@ -164,20 +517,24 @@ class MNASystem:
                     z[si] += ieq[k]
         return a, z
 
+    # ------------------------------------------------------------------ #
     def device_currents(self, v: np.ndarray) -> dict[str, float]:
-        """Evaluate every FinFET's drain current at solution ``v``."""
+        """Evaluate every FinFET's drain current at solution ``v``.
+
+        Device names were collected per group at compile time, so this is
+        one stacked model call plus a zip -- no rescan of the netlist.
+        """
+        if not self._n_fets:
+            return {}
         temp = self.circuit.temperature_k
+        v_ext = self._extended(np.asarray(v, dtype=float))
+        ids = np.asarray(self._stack1.ids(
+            v_ext[self._fet_g] - v_ext[self._fet_s],
+            v_ext[self._fet_d] - v_ext[self._fet_s],
+            temp,
+        ))
         out: dict[str, float] = {}
-        pos = 0
-        for model, d_idx, g_idx, s_idx in self._fet_groups:
-            vd = np.array([self._voltage(v, i) for i in d_idx])
-            vg = np.array([self._voltage(v, i) for i in g_idx])
-            vs = np.array([self._voltage(v, i) for i in s_idx])
-            ids = np.asarray(model.ids(vg - vs, vd - vs, temp))
-            group_fets = [
-                f for f in self.circuit.finfets if id(f.model) == id(model)
-            ]
-            for fet, current in zip(group_fets, ids):
-                out[fet.name] = float(current)
-            pos += len(d_idx)
+        for grp in self._groups:
+            for name, current in zip(grp.names, ids[grp.sl]):
+                out[name] = float(current)
         return out

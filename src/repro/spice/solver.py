@@ -18,14 +18,30 @@ time, so one pathological solve cannot stall a library build.  Budget
 exhaustion raises :class:`~repro.errors.SolverBudgetError`; hopeless
 solves raise :class:`ConvergenceError` carrying the full escalation
 history (plain NR -> gmin ladder -> source stepping).
+
+Performance: with the default ``kernel="compiled"`` the inner loop runs
+modified Newton -- the first iteration of each solve reuses the LU
+factorization and frozen device companions from the previous solve (in a
+transient, the previous timestep), so it rebuilds only the RHS and costs
+*zero* compact-model calls.  Subsequent iterations re-linearize; a
+solution is only ever accepted from a fresh-Jacobian update (or, for
+circuits without nonlinear devices, from the exact cached matrix), so
+accepted solutions satisfy exactly the same criterion as the seed
+solver.  Every escalation-ladder rung changes the cache key and
+therefore starts from a fresh Jacobian.  Reused iterations are counted
+in :attr:`SolverStats.jacobian_reuses`.  ``kernel="reference"`` retains
+the seed behavior (full re-assembly and re-factorization every
+iteration) for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.linalg import LinAlgWarning, lu_factor, lu_solve
 
 from repro import telemetry
 from repro.errors import SolverBudgetError, SolverError
@@ -77,6 +93,9 @@ class SolverStats:
     """Times the :class:`SolverBudget` tracker was consulted."""
     dt_effective: float = 0.0
     """The timestep actually used (transient only)."""
+    jacobian_reuses: int = 0
+    """Newton iterations served by a reused LU factorization (modified
+    Newton); 0 with ``kernel="reference"`` and for cold DC solves."""
 
 
 @dataclass(frozen=True)
@@ -174,6 +193,36 @@ class _BudgetTracker:
                 )
 
 
+class _JacobianCache:
+    """LU factorization + frozen device companions carried across solves.
+
+    The cache key pins the linear-system *structure* the factorization
+    was built for -- (gmin, source_scale, companion on/off) -- so every
+    escalation-ladder rung starts from a fresh Jacobian.  ``fet_ieq``
+    holds the device Norton RHS currents of the cached linearization:
+    with them a bypass iteration rebuilds ``z`` for a new timestep via
+    :meth:`MNASystem.rhs` without touching the compact model.
+    ``reuses`` accumulates across one solver entry point and is
+    published as :attr:`SolverStats.jacobian_reuses`.
+    """
+
+    __slots__ = ("lu", "key", "fet_ieq", "reuses")
+
+    def __init__(self):
+        self.lu = None
+        self.key = None
+        self.fet_ieq = None
+        self.reuses = 0
+
+    def store(self, key, lu, fet_ieq) -> None:
+        self.key = key
+        self.lu = lu
+        self.fet_ieq = fet_ieq
+
+    def matches(self, key) -> bool:
+        return self.lu is not None and self.key == key
+
+
 @dataclass
 class OperatingPoint:
     """DC solution: node voltages and source branch currents."""
@@ -218,6 +267,15 @@ class TransientResult:
         return float(-np.trapezoid(i, self.time) * vdd)
 
 
+def _factorize(a: np.ndarray):
+    """LU-factorize ``a``, silencing scipy's exact-singularity warning
+    (singularity is detected downstream via non-finite solutions, which
+    the Newton loop converts to :class:`ConvergenceError`)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", LinAlgWarning)
+        return lu_factor(a, check_finite=False)
+
+
 def _newton_solve(
     system: MNASystem,
     x0: np.ndarray,
@@ -227,26 +285,67 @@ def _newton_solve(
     source_scale: float = 1.0,
     tracker: _BudgetTracker | None = None,
 ) -> tuple[np.ndarray, int]:
-    """Damped NR iteration; returns (solution, iterations)."""
+    """Damped (modified-)NR iteration; returns (solution, iterations).
+
+    With a :class:`_JacobianCache` installed on ``system`` (the compiled
+    kernel), the first iteration of a solve whose cache key matches
+    bypasses both assembly and the compact model: the RHS is rebuilt
+    around the *frozen* device companions (:meth:`MNASystem.rhs`) and
+    solved against the cached LU.  For circuits without FinFETs the
+    cached matrix is exact, so every iteration may ride it.  A solution
+    is accepted only from a non-stale update -- after a stale bypass
+    converges, one fresh polish iteration re-linearizes so the accepted
+    step meets the same full-Newton criterion as the seed solver.
+    Without a cache (``kernel="reference"``) this is exactly the seed
+    algorithm.
+    """
+    cache: _JacobianCache | None = system.jacobian_cache
+    key = (gmin, source_scale, cap_companion is not None)
+    linear = system.n_fets == 0
     x = x0.copy()
     for it in range(1, _MAX_NR_ITERATIONS + 1):
-        a, z = system.assemble(x, t, gmin=gmin, cap_companion=cap_companion,
-                               source_scale=source_scale)
-        try:
-            x_new = np.linalg.solve(a, z)
-        except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(f"singular MNA matrix at t={t}") from exc
+        stale = False
+        if (cache is not None and cache.matches(key)
+                and (linear or it == 1)):
+            # Bypass: the matrix (static + gmin + cap geq + frozen device
+            # conductances) is unchanged, so only the RHS moves with t.
+            z = system.rhs(t, cap_companion, source_scale, cache.fet_ieq)
+            x_new = lu_solve(cache.lu, z, check_finite=False)
+            cache.reuses += 1
+            stale = not linear
+        else:
+            if cache is None:
+                a, z = system.assemble(x, t, gmin=gmin,
+                                       cap_companion=cap_companion,
+                                       source_scale=source_scale)
+                try:
+                    x_new = np.linalg.solve(a, z)
+                except np.linalg.LinAlgError as exc:
+                    raise ConvergenceError(
+                        f"singular MNA matrix at t={t}"
+                    ) from exc
+            else:
+                a, z, fet_ieq = system.assemble_with_companions(
+                    x, t, gmin=gmin, cap_companion=cap_companion,
+                    source_scale=source_scale)
+                lu = _factorize(a)
+                x_new = lu_solve(lu, z, check_finite=False)
+                cache.store(key, lu, fet_ieq)
+        delta = x_new - x
+        if not np.all(np.isfinite(delta)):
+            raise ConvergenceError(f"singular MNA matrix at t={t}")
         if tracker is not None:
             tracker.charge(1)
-        delta = x_new - x
         # Clamp only the node-voltage part; branch currents move freely.
         dv = delta[: system.n_nodes]
         max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
         if max_dv > _STEP_CLAMP:
             delta[: system.n_nodes] *= _STEP_CLAMP / max_dv
         x = x + delta
-        if max_dv < _VTOL:
+        if max_dv < _VTOL and not stale:
             return x, it
+        # A stale bypass never terminates the loop: the next iteration
+        # re-linearizes at the bypassed point and decides.
     raise ConvergenceError(
         f"Newton-Raphson did not converge in {_MAX_NR_ITERATIONS} iterations "
         f"(t={t}, gmin={gmin}, source_scale={source_scale})"
@@ -343,13 +442,32 @@ def _record_solver_metrics(kind: str, stats: SolverStats) -> None:
         telemetry.count("solver.source_steps", stats.source_steps)
     if stats.budget_charges:
         telemetry.count("solver.budget_charges", stats.budget_charges)
+    if stats.jacobian_reuses:
+        telemetry.count("solver.jacobian_reuses", stats.jacobian_reuses)
+
+
+def _make_system(circuit: Circuit, kernel: str) -> MNASystem:
+    """Build the MNA system and install reuse state for the compiled kernel."""
+    system = MNASystem(circuit, kernel=kernel)
+    if kernel == "compiled":
+        system.jacobian_cache = _JacobianCache()
+    return system
 
 
 def dc_operating_point(
-    circuit: Circuit, t: float = 0.0, budget: SolverBudget | None = None
+    circuit: Circuit,
+    t: float = 0.0,
+    budget: SolverBudget | None = None,
+    kernel: str = "compiled",
 ) -> OperatingPoint:
-    """Solve the DC operating point with sources evaluated at time ``t``."""
-    system = MNASystem(circuit)
+    """Solve the DC operating point with sources evaluated at time ``t``.
+
+    ``kernel`` selects the MNA assembly/iteration strategy: the default
+    ``"compiled"`` vectorized kernel with Jacobian reuse, or
+    ``"reference"`` (the retained seed path, used by equivalence tests
+    and benchmarks).
+    """
+    system = _make_system(circuit, kernel)
     x0 = np.zeros(system.dim)
     tracker = budget.tracker() if budget is not None else None
     stats = SolverStats()
@@ -360,10 +478,13 @@ def dc_operating_point(
         stats.newton_iterations = iterations
         if tracker is not None:
             stats.budget_charges = tracker.charges
-        sp.set(newton_iterations=stats.newton_iterations,
-               gmin_steps=stats.gmin_steps,
-               source_steps=stats.source_steps)
-        _record_solver_metrics("dc", stats)
+        if system.jacobian_cache is not None:
+            stats.jacobian_reuses = system.jacobian_cache.reuses
+        if telemetry.enabled():
+            sp.set(newton_iterations=stats.newton_iterations,
+                   gmin_steps=stats.gmin_steps,
+                   source_steps=stats.source_steps)
+            _record_solver_metrics("dc", stats)
     voltages = {n: float(x[i]) for n, i in zip(system.nodes, range(system.n_nodes))}
     currents = {
         src.name: float(x[system.n_nodes + k])
@@ -380,6 +501,7 @@ def transient(
     record: list[str] | None = None,
     method: str = "be",
     budget: SolverBudget | None = None,
+    kernel: str = "compiled",
 ) -> TransientResult:
     """Fixed-step transient from a DC solution at ``t = 0``.
 
@@ -404,15 +526,17 @@ def transient(
         integrator reconstructs from the companion at each step.
     budget:
         Optional :class:`SolverBudget` bounding the whole run.
+    kernel:
+        ``"compiled"`` (vectorized assembly + Jacobian reuse across
+        timesteps, default) or ``"reference"`` (retained seed path).
     """
     if dt <= 0 or t_stop <= 0:
         raise ValueError("t_stop and dt must be positive")
     if method not in ("be", "trap"):
         raise ValueError(f"unknown integration method {method!r}")
-    system = MNASystem(circuit)
+    system = _make_system(circuit, kernel)
     record = system.nodes if record is None else record
-    for node in record:
-        system.index(node)  # validate early
+    record_idx = [system.index(node) for node in record]  # validate early
 
     # Snap dt down so the grid lands exactly on t_stop (the old
     # int(round(...)) silently simulated a window up to dt/2 short or
@@ -433,27 +557,11 @@ def transient(
     scale = 1.0 if method == "be" else 2.0
     geq = np.array([scale * c.capacitance / dt_eff for c in caps])
 
-    def cap_voltages(xv: np.ndarray) -> np.ndarray:
-        out = np.empty(len(caps))
-        for k, c in enumerate(caps):
-            i, j = system.index(c.n1), system.index(c.n2)
-            vi = xv[i] if i >= 0 else 0.0
-            vj = xv[j] if j >= 0 else 0.0
-            out[k] = vi - vj
-        return out
-
-    volts = {n: np.empty(n_steps + 1) for n in record}
-    src_currents = {s.name: np.empty(n_steps + 1) for s in circuit.sources}
-
-    def store(step: int, xv: np.ndarray) -> None:
-        for n in record:
-            i = system.index(n)
-            volts[n][step] = xv[i] if i >= 0 else 0.0
-        for k, s in enumerate(circuit.sources):
-            src_currents[s.name][step] = xv[system.n_nodes + k]
-
-    store(0, x)
-    v_cap_prev = cap_voltages(x)
+    # The whole run records into one preallocated (n_steps+1, dim) array;
+    # per-node waveforms are sliced out once at the end.
+    solution = np.empty((n_steps + 1, system.dim))
+    solution[0] = x
+    v_cap_prev = system.cap_voltages(x)
     i_cap_prev = np.zeros(len(caps))  # branch currents start from DC (0)
     with telemetry.span("spice.transient", circuit=circuit.title,
                         t_stop=t_stop, steps=n_steps) as sp:
@@ -469,14 +577,16 @@ def transient(
             x, its = _solve_with_gmin_stepping(system, x, t, (geq, ieq),
                                                tracker, stats)
             total_its += its
-            v_cap_new = cap_voltages(x)
+            v_cap_new = system.cap_voltages(x)
             if method == "trap":
                 i_cap_prev = geq * (v_cap_new - v_cap_prev) - i_cap_prev
             v_cap_prev = v_cap_new
-            store(step, x)
+            solution[step] = x
         stats.newton_iterations += total_its
         if tracker is not None:
             stats.budget_charges = tracker.charges
+        if system.jacobian_cache is not None:
+            stats.jacobian_reuses = system.jacobian_cache.reuses
         if telemetry.enabled():
             sp.set(newton_iterations=stats.newton_iterations,
                    gmin_steps=stats.gmin_steps,
@@ -484,6 +594,17 @@ def transient(
                    dt_effective=dt_eff)
             _record_solver_metrics("transient", stats)
 
+    # Slice out recorded nodes; a trailing zero column serves ground
+    # aliases (index -1) without per-step special-casing.
+    extended = np.hstack([solution, np.zeros((n_steps + 1, 1))])
+    volts = {
+        n: np.ascontiguousarray(extended[:, i])
+        for n, i in zip(record, record_idx)
+    }
+    src_currents = {
+        s.name: np.ascontiguousarray(solution[:, system.n_nodes + k])
+        for k, s in enumerate(circuit.sources)
+    }
     return TransientResult(
         time=time,
         voltages=volts,

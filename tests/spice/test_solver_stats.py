@@ -40,6 +40,16 @@ class TestResultStats:
         assert result.stats.gmin_steps == 0
         assert result.stats.source_steps == 0
 
+    def test_jacobian_reuses_counted_for_compiled_kernel(self):
+        # A linear circuit refactorizes once per (gmin, scale, transient?)
+        # key; every later iteration back-substitutes on the cached LU.
+        result = transient(_rc_circuit(), 1e-11, 1e-12, kernel="compiled")
+        assert result.stats.jacobian_reuses > 0
+
+    def test_reference_kernel_never_reuses(self):
+        result = transient(_rc_circuit(), 1e-11, 1e-12, kernel="reference")
+        assert result.stats.jacobian_reuses == 0
+
 
 class TestBudgetObservation:
     def test_unused_budget_reads_zero(self):
