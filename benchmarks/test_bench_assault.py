@@ -1,0 +1,31 @@
+"""Assault-harness bench: the smoke+edge campaign must stay CI-cheap.
+
+The CI assault job runs smoke+edge on every push; this bench keeps the
+campaign's wall time on the regression radar the same way the
+experiment benches do, and asserts the hard budget that makes the job
+viable as a gate.
+"""
+
+from __future__ import annotations
+
+from repro.assault import AssaultConfig, run_assault
+from repro.provenance.fidelity import PASS
+
+
+def _campaign(tmp_root):
+    return run_assault(AssaultConfig(tiers=("smoke", "edge"),
+                                     workdir=str(tmp_root)))
+
+
+def test_bench_assault_smoke_edge(benchmark, tmp_path):
+    reports = benchmark.pedantic(
+        _campaign, args=(tmp_path,), rounds=1, iterations=1
+    )
+    total = sum(len(r.results) for r in reports)
+    wall = sum(r.wall_s for r in reports)
+    print(f"\nassault smoke+edge: {total} scenarios in {wall:.2f}s "
+          f"({', '.join(f'{r.tier}={r.verdict}' for r in reports)})")
+    assert all(r.verdict == PASS for r in reports)
+    # The CI gate budget: a hostile campaign that takes minutes never
+    # gets run; smoke+edge must stay interactive.
+    assert wall < 30.0

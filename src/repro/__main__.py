@@ -13,6 +13,7 @@
     python -m repro run fig6        # one experiment + ledger + verdict
     python -m repro report          # latest-vs-paper / drift tables
     python -m repro compare A B     # per-metric deltas of two runs
+    python -m repro assault         # hostile-scenario campaign (--tier)
 
 The command list is *generated* from the experiment registry
 (:mod:`repro.experiments.registry`): every registered
@@ -119,7 +120,7 @@ def _commands() -> list[str]:
     from repro.experiments import registry
 
     return (registry.names() + sorted(registry.groups())
-            + ["stats", "all", "run", "report", "compare"])
+            + ["stats", "all", "run", "report", "compare", "assault"])
 
 
 def _expand(command: str):
@@ -369,6 +370,53 @@ def _run_compare(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# repro assault: the hostile-scenario campaign (repro.assault).
+# ---------------------------------------------------------------------- #
+def _run_assault(args) -> int:
+    from pathlib import Path
+
+    from repro.assault import (
+        AssaultConfig,
+        record_tier_report,
+        render_reports,
+        run_assault,
+    )
+    from repro.assault.corpus import TIERS
+    from repro.errors import ConfigError
+    from repro.provenance.fidelity import FAIL
+
+    requested = tuple(t.strip() for t in args.tier.split(",") if t.strip())
+    if requested == ("all",):
+        requested = TIERS
+    try:
+        config = AssaultConfig(
+            tiers=requested,
+            seed=args.seed,
+            jobs=1 if args.jobs is None else args.jobs,
+        )
+    except ConfigError as exc:
+        _LOG.error("%s", exc)
+        return 2
+    start_ts = telemetry.iso_ts(time.time())
+    reports = run_assault(config)
+    _report(render_reports(reports, "json" if args.json else "text"))
+    ledger = _ledger(args)
+    if ledger is not None:
+        for report in reports:
+            record = record_tier_report(report, ledger, start_ts=start_ts)
+            _report(f"assault {report.tier} run {record.run_id} "
+                    f"appended to {ledger.path}")
+    if args.report_json:
+        Path(args.report_json).write_text(
+            render_reports(reports, "json") + "\n", encoding="utf-8")
+        _report(f"wrote tier report to {args.report_json}")
+    if args.strict and any(r.verdict == FAIL for r in reports):
+        _LOG.error("assault verdict is FAIL (--strict)")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.runtime import resolve_jobs
 
@@ -418,8 +466,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--markdown", action="store_true",
                         help="markdown output for report")
     parser.add_argument("--strict", action="store_true",
-                        help="report: exit non-zero on any FAIL fidelity "
+                        help="report/assault: exit non-zero on any FAIL "
                              "verdict")
+    parser.add_argument(
+        "--tier", default="smoke", metavar="T[,T...]",
+        help="assault: comma-separated tiers to run "
+             "(smoke, edge, storm, endurance, or 'all')",
+    )
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="assault: campaign seed (scenarios replay "
+                             "bit-identically for one seed)")
+    parser.add_argument(
+        "--report-json", default=None, metavar="FILE",
+        help="assault: also write the tier report as JSON to FILE",
+    )
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
 
@@ -431,6 +491,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace is not None or args.metrics or args.command == "stats":
         telemetry.reset()
         telemetry.enable()
+
+    if args.command == "assault":
+        code = _run_assault(args)
+        _emit_telemetry(args)
+        return code
 
     if args.command == "stats":
         _run_stats(args)
@@ -444,12 +509,11 @@ def main(argv: list[str] | None = None) -> int:
             _LOG.error("usage: repro run <experiment>")
             return 2
         command = args.targets[0]
-        if command not in _commands() or command in ("run", "report",
-                                                     "compare", "stats"):
+        builtins = ("run", "report", "compare", "stats", "assault")
+        if command not in _commands() or command in builtins:
             _LOG.error("unknown experiment %r (known: %s)", command,
                        ", ".join(n for n in _commands()
-                                 if n not in ("run", "report", "compare",
-                                              "stats")))
+                                 if n not in builtins))
             return 2
 
     ledger = _ledger(args)

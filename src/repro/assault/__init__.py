@@ -1,0 +1,55 @@
+"""Scenario-tier assault harness: chaos injection for the repro stack.
+
+Where :mod:`repro.reliability` injects faults into the *simulated*
+hardware, this package injects faults into the *reproduction
+infrastructure itself* -- the result cache, the run ledger, the
+executor's worker pool, the SPICE solver -- and grades how the stack
+degrades.  Three layers:
+
+* :mod:`repro.assault.chaos` -- seeded, revertible fault injectors
+  (:class:`ChaosMonkey`);
+* :mod:`repro.assault.corpus` -- the frozen scenario corpus in four
+  tiers (``smoke`` -> ``edge`` -> ``storm`` -> ``endurance``), each
+  scenario declaring its expected outcome: a typed
+  :class:`~repro.errors.ReproError` rejection or graceful degradation,
+  never a raw traceback and never a silent wrong answer;
+* :mod:`repro.assault.runner` / :mod:`repro.assault.report` -- the
+  campaign runner and PASS/WARN/FAIL tier reports that land in the run
+  ledger and drive the ``repro assault`` CLI's ``--strict`` exit code.
+"""
+
+from repro.assault.chaos import ChaosMonkey, WorkerAssassin
+from repro.assault.corpus import TIERS, all_scenarios, scenario, scenarios_for
+from repro.assault.report import TierReport, record_tier_report, render_reports
+from repro.assault.runner import AssaultConfig, run_assault, run_scenario
+from repro.assault.scenarios import (
+    Expectation,
+    ScenarioContext,
+    ScenarioResult,
+    ScenarioSpec,
+    expect_clean,
+    expect_error,
+    grade,
+)
+
+__all__ = [
+    "TIERS",
+    "AssaultConfig",
+    "ChaosMonkey",
+    "Expectation",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TierReport",
+    "WorkerAssassin",
+    "all_scenarios",
+    "expect_clean",
+    "expect_error",
+    "grade",
+    "record_tier_report",
+    "render_reports",
+    "run_assault",
+    "run_scenario",
+    "scenario",
+    "scenarios_for",
+]

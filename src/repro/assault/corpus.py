@@ -1,0 +1,665 @@
+"""The frozen scenario corpus, organized as tiered missions.
+
+Tier taxonomy (mirroring the smoke -> edge/security -> latency staging
+of tiered test-mission harnesses):
+
+``smoke``
+    The stack's vital signs: cache round-trip, ledger round-trip,
+    executor fan-out, a small DC solve, fidelity grading.  Everything
+    must complete cleanly -- a smoke FAIL means the repo is broken
+    before any adversary shows up.
+``edge``
+    Malformed *inputs*: broken netlists (dangling nodes, NaN
+    parameters, zero-width devices, duplicate elements), out-of-range
+    configs, combinational cycles, oversized transient requests.  Each
+    must be rejected with a typed :class:`~repro.errors.ReproError`
+    subclass naming the offender -- never a raw traceback, never
+    silent acceptance.
+``storm``
+    Chaos against the *infrastructure*: truncated / bit-flipped /
+    stale-version-poisoned cache entries, ledger corruption, worker
+    death mid-``map``, solver budget exhaustion and forced
+    non-convergence, an SEU campaign running concurrently with library
+    characterization.  The contract is graceful degradation: misses
+    instead of garbage, typed errors instead of tracebacks, recovery
+    after the chaos lifts.
+``endurance``
+    The storm scenarios looped with seeded random interleaving:
+    repeated cache churn under corruption, ledger growth under
+    periodic damage, solver sweeps under random budgets, executor
+    retry storms.  Catches state that only corrupts cumulatively.
+
+Adding a scenario: write a ``run(ctx)`` function and decorate it::
+
+    @scenario("cache_eviction_race", tier="storm",
+              description="...", expect=expect_clean(_my_check))
+    def _cache_eviction_race(ctx):
+        ...
+        return observation
+
+The :class:`~repro.assault.scenarios.ScenarioContext` gives every
+scenario an isolated cache/ledger sandbox and a seeded
+:class:`~repro.assault.chaos.ChaosMonkey`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.assault.scenarios import (
+    ScenarioSpec,
+    expect_clean,
+    expect_error,
+)
+from repro.errors import (
+    ConfigError,
+    NetlistError,
+    SolverBudgetError,
+    SolverError,
+    ValidationError,
+)
+
+__all__ = ["TIERS", "all_scenarios", "scenario", "scenarios_for"]
+
+#: Canonical tier order (escalating hostility).
+TIERS = ("smoke", "edge", "storm", "endurance")
+
+_CORPUS: list[ScenarioSpec] = []
+
+
+def scenario(name: str, *, tier: str, description: str, expect):
+    """Register one frozen scenario in the corpus (decorator)."""
+    if tier not in TIERS:
+        raise ConfigError(f"unknown tier {tier!r}; pick from {TIERS}",
+                          field="tier")
+    if any(s.name == name for s in _CORPUS):
+        raise ValueError(f"scenario {name!r} already registered")
+
+    def decorate(run):
+        _CORPUS.append(ScenarioSpec(name=name, tier=tier,
+                                    description=description, run=run,
+                                    expect=expect))
+        return run
+
+    return decorate
+
+
+def scenarios_for(tier: str) -> list[ScenarioSpec]:
+    """The corpus slice for one tier, in registration order."""
+    if tier not in TIERS:
+        raise ConfigError(f"unknown tier {tier!r}; pick from {TIERS}",
+                          field="tier")
+    return [s for s in _CORPUS if s.tier == tier]
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    return list(_CORPUS)
+
+
+# ====================================================================== #
+# Shared builders (small on purpose: scenarios run on every PR)
+# ====================================================================== #
+def _square(x):
+    """Module-level so it pickles across the process boundary."""
+    return x * x
+
+
+def _rc_divider():
+    """A linear divider: mid node must land at exactly 0.5 V."""
+    from repro.spice import Circuit
+    from repro.spice.sources import DC
+
+    c = Circuit("divider")
+    c.add_vsource("v1", "a", "0", DC(1.0))
+    c.add_resistor("r1", "a", "mid", 1e3)
+    c.add_resistor("r2", "mid", "0", 1e3)
+    return c
+
+
+def _inverter():
+    """A transistor-level inverter: the smallest nonlinear solve."""
+    from repro.device import FinFET, golden_nfet, golden_pfet
+    from repro.spice import Circuit
+    from repro.spice.sources import DC
+
+    c = Circuit("inv")
+    c.add_vsource("vdd", "vdd", "0", DC(0.7))
+    c.add_vsource("vin", "in", "0", DC(0.35))
+    c.add_finfet("mp", "out", "in", "vdd", FinFET(golden_pfet(nfin=2)))
+    c.add_finfet("mn", "out", "in", "0", FinFET(golden_nfet(nfin=2)))
+    c.add_capacitor("cl", "out", "0", 1e-15)
+    return c
+
+
+def _record(i: int):
+    from repro.provenance import RunRecord
+
+    return RunRecord(experiment=f"assault_probe_{i}", kind="experiment",
+                     metrics={"value": float(i)})
+
+
+# ====================================================================== #
+# smoke -- vital signs, everything must work cleanly
+# ====================================================================== #
+@scenario("cache_roundtrip", tier="smoke",
+          description="put/get/membership on a fresh cache",
+          expect=expect_clean(lambda obs: obs["hits"] == 3
+                              and obs["member"] is True))
+def _cache_roundtrip(ctx):
+    from repro.runtime import stable_digest
+
+    keys = [stable_digest({"i": i}) for i in range(3)]
+    for i, key in enumerate(keys):
+        ctx.cache.put(key, {"payload": i})
+    hits = sum(ctx.cache.get(k, None) == {"payload": i}
+               for i, k in enumerate(keys))
+    return {"hits": hits, "member": keys[0] in ctx.cache}
+
+
+@scenario("ledger_roundtrip", tier="smoke",
+          description="append records, read them back in order",
+          expect=expect_clean(lambda obs: obs["read"] == 3
+                              and obs["latest"] == "assault_probe_2"))
+def _ledger_roundtrip(ctx):
+    for i in range(3):
+        ctx.ledger.append(_record(i))
+    records = ctx.ledger.records()
+    return {"read": len(records), "latest": records[-1].experiment}
+
+
+@scenario("executor_fanout", tier="smoke",
+          description="thread-pool map matches the serial reference",
+          expect=expect_clean(lambda obs: obs["parallel"] == obs["serial"]))
+def _executor_fanout(ctx):
+    from repro.runtime import get_executor
+
+    items = list(range(16))
+    return {
+        "parallel": get_executor(2, "thread").map(_square, items),
+        "serial": get_executor(1).map(_square, items),
+    }
+
+
+@scenario("solver_dc_divider", tier="smoke",
+          description="a trivial DC solve lands on the analytic answer",
+          expect=expect_clean(lambda obs: abs(obs["mid"] - 0.5) < 1e-6))
+def _solver_dc_divider(ctx):
+    from repro.spice import dc_operating_point
+
+    return {"mid": dc_operating_point(_rc_divider())["mid"]}
+
+
+@scenario("fidelity_grading", tier="smoke",
+          description="the PASS/WARN/FAIL machinery grades a clean run",
+          expect=expect_clean(lambda obs: obs["verdict"] == "PASS"))
+def _fidelity_grading(ctx):
+    from repro.provenance import FidelitySpec, metric
+
+    spec = FidelitySpec(metrics=(
+        metric("probe", 1.0, lambda r: r["probe"], rel=0.05),
+    ))
+    return {"verdict": spec.evaluate("probe", {"probe": 1.01}).verdict}
+
+
+# ====================================================================== #
+# edge -- malformed inputs must be rejected with typed errors
+# ====================================================================== #
+@scenario("netlist_negative_resistance", tier="edge",
+          description="R <= 0 rejected at element construction",
+          expect=expect_error(NetlistError))
+def _netlist_negative_resistance(ctx):
+    from repro.spice import Circuit
+
+    Circuit().add_resistor("r1", "a", "0", -50.0)
+
+
+@scenario("netlist_nan_parameter", tier="edge",
+          description="NaN capacitance rejected at element construction",
+          expect=expect_error(NetlistError))
+def _netlist_nan_parameter(ctx):
+    from repro.spice import Circuit
+
+    Circuit().add_capacitor("c1", "a", "0", float("nan"))
+
+
+@scenario("netlist_duplicate_element", tier="edge",
+          description="reusing an element name is rejected",
+          expect=expect_error(NetlistError))
+def _netlist_duplicate_element(ctx):
+    from repro.spice import Circuit
+
+    c = Circuit()
+    c.add_resistor("r1", "a", "0", 1e3)
+    c.add_resistor("r1", "b", "0", 1e3)
+
+
+@scenario("netlist_dangling_node", tier="edge",
+          description="a resistor into nowhere fails validation, not "
+                      "silently solving to 0 V through gmin",
+          expect=expect_error(NetlistError))
+def _netlist_dangling_node(ctx):
+    from repro.spice import Circuit, dc_operating_point
+    from repro.spice.sources import DC
+
+    c = Circuit()
+    c.add_vsource("v1", "a", "0", DC(1.0))
+    c.add_resistor("r1", "a", "nowhere", 1e3)
+    dc_operating_point(c)
+
+
+@scenario("netlist_zero_width_device", tier="edge",
+          description="a 0-fin FinFET is rejected before assembly "
+                      "(device params or circuit validation, both typed)",
+          expect=expect_error(ValidationError))
+def _netlist_zero_width_device(ctx):
+    from repro.device import FinFET, golden_nfet
+    from repro.spice import Circuit, dc_operating_point
+    from repro.spice.sources import DC
+
+    broken = dataclasses.replace(golden_nfet(), nfin=0)
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", "0", DC(0.7))
+    c.add_finfet("mn", "vdd", "vdd", "0", FinFET(broken))
+    dc_operating_point(c)
+
+
+@scenario("netlist_unknown_probe_node", tier="edge",
+          description="recording an unknown node is rejected up front",
+          expect=expect_error(NetlistError))
+def _netlist_unknown_probe_node(ctx):
+    from repro.spice import transient
+
+    transient(_rc_divider(), t_stop=1e-10, dt=1e-12, record=["ghost"])
+
+
+@scenario("config_unknown_engine", tier="edge",
+          description="an unknown characterization engine is rejected",
+          expect=expect_error(ConfigError))
+def _config_unknown_engine(ctx):
+    from repro.cells import CharacterizationConfig
+
+    CharacterizationConfig(engine="quantum_annealer")
+
+
+@scenario("config_nan_temperature", tier="edge",
+          description="NaN corner temperature is rejected",
+          expect=expect_error(ConfigError))
+def _config_nan_temperature(ctx):
+    from repro.cells import CharacterizationConfig
+
+    CharacterizationConfig(temperature_k=float("nan"))
+
+
+@scenario("config_zero_shots", tier="edge",
+          description="a zero-shot study config is rejected",
+          expect=expect_error(ConfigError))
+def _config_zero_shots(ctx):
+    from repro.core import StudyConfig
+
+    StudyConfig(shots=0)
+
+
+@scenario("config_bad_soc_geometry", tier="edge",
+          description="non-power-of-two cache geometry is rejected",
+          expect=expect_error(ConfigError))
+def _config_bad_soc_geometry(ctx):
+    from repro.synth.soc_builder import SoCConfig
+
+    SoCConfig(line_bytes=48)
+
+
+@scenario("synth_combinational_cycle", tier="edge",
+          description="a cyclic gate netlist is rejected by the "
+                      "topological traversal",
+          expect=expect_error(NetlistError))
+def _synth_combinational_cycle(ctx):
+    from repro.synth.netlist import GateNetlist
+
+    n = GateNetlist("loop")
+    n.add_gate("INV_X1", {"A": "n2"}, output="n1", name="g1")
+    n.add_gate("INV_X1", {"A": "n1"}, output="n2", name="g2")
+    n.topological_gates(library={})
+
+
+@scenario("transient_oversized", tier="edge",
+          description="a t_stop/dt pair implying billions of steps is "
+                      "rejected instead of grinding or OOMing",
+          expect=expect_error(ConfigError))
+def _transient_oversized(ctx):
+    from repro.spice import transient
+
+    transient(_rc_divider(), t_stop=1.0, dt=1e-12)
+
+
+@scenario("transient_nonpositive_step", tier="edge",
+          description="dt <= 0 is rejected with a typed error",
+          expect=expect_error(ConfigError))
+def _transient_nonpositive_step(ctx):
+    from repro.spice import transient
+
+    transient(_rc_divider(), t_stop=1e-9, dt=0.0)
+
+
+# ====================================================================== #
+# storm -- chaos against the infrastructure
+# ====================================================================== #
+def _check_cache_chaos(obs):
+    if not obs["miss_under_chaos"]:
+        return False
+    if not obs["not_member_under_chaos"]:
+        return False
+    if not obs["recovered"]:
+        return "degraded entry never recovered after chaos lifted"
+    return True
+
+
+@scenario("cache_truncation", tier="storm",
+          description="a truncated entry reads as a miss, never garbage",
+          expect=expect_clean(_check_cache_chaos))
+def _cache_truncation(ctx):
+    from repro.runtime import stable_digest
+
+    key = stable_digest({"cell": "INV_X1"})
+    ctx.cache.put(key, {"delay_ps": 12.5})
+    with ctx.chaos.truncated_cache_entry(ctx.cache, key):
+        miss = ctx.cache.get(key, None) is None
+        member = key in ctx.cache
+    ctx.cache.put(key, {"delay_ps": 12.5})
+    return {
+        "miss_under_chaos": miss,
+        "not_member_under_chaos": not member,
+        "recovered": ctx.cache.get(key, None) == {"delay_ps": 12.5},
+    }
+
+
+@scenario("cache_bitflip", tier="storm",
+          description="a bit-flipped entry fails its CRC and misses",
+          expect=expect_clean(_check_cache_chaos))
+def _cache_bitflip(ctx):
+    from repro.runtime import stable_digest
+
+    key = stable_digest({"cell": "NAND2_X1"})
+    ctx.cache.put(key, list(range(64)))
+    with ctx.chaos.bitflipped_cache_entry(ctx.cache, key):
+        miss = ctx.cache.get(key, None) is None
+        member = key in ctx.cache
+    ctx.cache.put(key, list(range(64)))
+    return {
+        "miss_under_chaos": miss,
+        "not_member_under_chaos": not member,
+        "recovered": ctx.cache.get(key, None) == list(range(64)),
+    }
+
+
+@scenario("cache_stale_version_poison", tier="storm",
+          description="an entry written under an older cache version is "
+                      "invisible, never served",
+          expect=expect_clean(lambda obs: obs["poison_invisible"]
+                              and obs["real_value_served"]))
+def _cache_stale_version_poison(ctx):
+    from repro.runtime import stable_digest
+
+    key = stable_digest({"corner": "10K"})
+    with ctx.chaos.stale_version_entry(ctx.cache, key, {"POISON": True}):
+        poison_invisible = (ctx.cache.get(key, None) is None
+                            and key not in ctx.cache)
+        ctx.cache.put(key, {"fresh": 1})
+        served = ctx.cache.get(key, None)
+    return {
+        "poison_invisible": poison_invisible,
+        "real_value_served": served == {"fresh": 1},
+    }
+
+
+def _check_ledger_chaos(obs):
+    if obs["raised"]:
+        return False
+    if obs["read_under_chaos"] < obs["expected_valid"]:
+        return ("readable records dropped below the valid count: "
+                f"{obs['read_under_chaos']} < {obs['expected_valid']}")
+    return obs["recovered"] == obs["appended"]
+
+
+def _ledger_chaos(ctx, mode: str, expected_valid: int, appended: int = 3):
+    for i in range(appended):
+        ctx.ledger.append(_record(i))
+    raised = False
+    read = 0
+    with ctx.chaos.corrupted_ledger(ctx.ledger, mode=mode):
+        try:
+            read = len(ctx.ledger.records())
+        except Exception:  # noqa: BLE001 - the contract is "never raises"
+            raised = True
+    return {
+        "raised": raised,
+        "read_under_chaos": read,
+        "expected_valid": expected_valid,
+        "recovered": len(ctx.ledger.records()),
+        "appended": appended,
+    }
+
+
+@scenario("ledger_garbage_line", tier="storm",
+          description="an appended garbage line is skipped, valid "
+                      "records survive",
+          expect=expect_clean(_check_ledger_chaos))
+def _ledger_garbage_line(ctx):
+    return _ledger_chaos(ctx, "garbage", expected_valid=3)
+
+
+@scenario("ledger_midfile_corruption", tier="storm",
+          description="a record mangled mid-file loses only itself",
+          expect=expect_clean(_check_ledger_chaos))
+def _ledger_midfile_corruption(ctx):
+    return _ledger_chaos(ctx, "midline", expected_valid=2)
+
+
+@scenario("ledger_binary_junk", tier="storm",
+          description="raw binary appended to the ledger is skipped",
+          expect=expect_clean(_check_ledger_chaos))
+def _ledger_binary_junk(ctx):
+    return _ledger_chaos(ctx, "binary", expected_valid=3)
+
+
+@scenario("executor_worker_death", tier="storm",
+          description="a worker hard-killed mid-map is recovered by the "
+                      "chunk retry path; results stay bit-identical",
+          expect=expect_clean(lambda obs: obs["results"] == obs["expected"]))
+def _executor_worker_death(ctx):
+    from repro.runtime import get_executor
+
+    items = list(range(8))
+    assassin = ctx.chaos.worker_assassin(_square, kill_items={3, 5})
+    results = get_executor(2, "process").map(assassin, items, chunksize=2)
+    return {"results": results, "expected": [_square(i) for i in items]}
+
+
+@scenario("solver_budget_exhaustion", tier="storm",
+          description="a 1-iteration budget surfaces SolverBudgetError, "
+                      "not a hang or a raw traceback",
+          expect=expect_error(SolverBudgetError))
+def _solver_budget_exhaustion(ctx):
+    from repro.spice import dc_operating_point
+    from repro.spice.solver import SolverBudget
+
+    dc_operating_point(_inverter(), budget=SolverBudget(max_iterations=1))
+
+
+@scenario("solver_nonconvergence", tier="storm",
+          description="a hopeless solve walks the whole escalation "
+                      "ladder and raises a typed ConvergenceError",
+          expect=expect_error(SolverError))
+def _solver_nonconvergence(ctx):
+    from repro.spice import dc_operating_point
+
+    with ctx.chaos.hostile_solver(max_iterations=1):
+        dc_operating_point(_inverter())
+
+
+@scenario("seu_storm_during_characterization", tier="storm",
+          description="an SEU campaign hammers the ISS while a library "
+                      "characterizes; both finish intact",
+          expect=expect_clean(lambda obs: obs["coverage_complete"]
+                              and obs["outcomes_accounted"]))
+def _seu_storm_during_characterization(ctx):
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from repro.cells import (
+        CharacterizationConfig,
+        TechModels,
+        build_library,
+    )
+    from repro.cells.catalog import full_catalog
+    from repro.device import golden_nfet, golden_pfet
+    from repro.reliability import CampaignConfig, qec_workload, run_campaign
+
+    def storm():
+        rng = np.random.default_rng(ctx.seed)
+        bits = rng.integers(0, 2, 45)
+        return run_campaign(
+            qec_workload(bits, distance=3),
+            CampaignConfig(n_injections=10, seed=ctx.seed),
+        )
+
+    catalog = [c for c in full_catalog()
+               if c.name in ("INV_X1", "NAND2_X1")]
+    models = TechModels(golden_nfet(), golden_pfet())
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        campaign_future = pool.submit(storm)
+        library = build_library(
+            models, CharacterizationConfig(temperature_k=300.0),
+            catalog=catalog, name="under_fire",
+        )
+        campaign = campaign_future.result(timeout=300)
+    return {
+        "coverage_complete": library.coverage is None
+        or not library.coverage.quarantined,
+        "outcomes_accounted": sum(campaign.counts().values()) == 10,
+    }
+
+
+# ====================================================================== #
+# endurance -- the storm, looped, with seeded interleaving
+# ====================================================================== #
+@scenario("cache_churn", tier="endurance",
+          description="20 rounds of put/corrupt/get: never garbage, "
+                      "membership always consistent with readability",
+          expect=expect_clean(lambda obs: obs["violations"] == []))
+def _cache_churn(ctx):
+    from repro.runtime import stable_digest
+
+    violations = []
+    for round_no in range(20):
+        key = stable_digest({"round": round_no})
+        value = {"round": round_no, "blob": list(range(32))}
+        ctx.cache.put(key, value)
+        attack = ctx.rng.choice(["truncate", "bitflip", "none"])
+        if attack == "truncate":
+            chaos = ctx.chaos.truncated_cache_entry(ctx.cache, key)
+        elif attack == "bitflip":
+            chaos = ctx.chaos.bitflipped_cache_entry(ctx.cache, key)
+        else:
+            chaos = None
+        if chaos is None:
+            got = ctx.cache.get(key, None)
+            if got != value:
+                violations.append(f"round {round_no}: clean entry lost")
+            continue
+        with chaos:
+            got = ctx.cache.get(key, None)
+            if got is not None and got != value:
+                violations.append(f"round {round_no}: served garbage")
+            if (key in ctx.cache) != (ctx.cache.get(key, None) is not None):
+                violations.append(
+                    f"round {round_no}: membership != readability")
+    return {"violations": violations}
+
+
+@scenario("ledger_growth_under_corruption", tier="endurance",
+          description="append/corrupt cycles: reads never raise, the "
+                      "valid-record count never regresses",
+          expect=expect_clean(lambda obs: obs["violations"] == []))
+def _ledger_growth_under_corruption(ctx):
+    violations = []
+    appended = 0
+    for round_no in range(12):
+        ctx.ledger.append(_record(round_no))
+        appended += 1
+        if round_no % 3 == 2:
+            mode = ctx.rng.choice(["garbage", "binary", "midline"])
+            with ctx.chaos.corrupted_ledger(ctx.ledger, mode=mode):
+                try:
+                    ctx.ledger.records()
+                except Exception as exc:  # noqa: BLE001
+                    violations.append(
+                        f"round {round_no}: read raised "
+                        f"{type(exc).__name__} under {mode}")
+        clean = len(ctx.ledger.records())
+        if clean != appended:
+            violations.append(
+                f"round {round_no}: {clean} records after chaos lifted, "
+                f"expected {appended}")
+    return {"violations": violations}
+
+
+@scenario("solver_budget_sweep", tier="endurance",
+          description="repeated solves under random budgets: every "
+                      "outcome is a solution or a typed SolverError",
+          expect=expect_clean(lambda obs: obs["violations"] == []
+                              and obs["solved"] > 0))
+def _solver_budget_sweep(ctx):
+    from repro.errors import SolverError
+    from repro.spice import dc_operating_point
+    from repro.spice.solver import SolverBudget
+
+    violations = []
+    solved = 0
+    for round_no in range(8):
+        cap = ctx.rng.choice([1, 2, 5, None])
+        budget = (None if cap is None
+                  else SolverBudget(max_iterations=cap))
+        try:
+            op = dc_operating_point(_inverter(), budget=budget)
+        except SolverError:
+            continue
+        except Exception as exc:  # noqa: BLE001
+            violations.append(
+                f"round {round_no} (cap={cap}): untyped "
+                f"{type(exc).__name__}: {exc}")
+            continue
+        solved += 1
+        if not 0.0 <= op["out"] <= 0.7:
+            violations.append(
+                f"round {round_no}: out={op['out']} outside the rails")
+    return {"violations": violations, "solved": solved}
+
+
+@scenario("executor_retry_storm", tier="endurance",
+          description="flaky items fail once then succeed under "
+                      "retries; with retries=0 the typed ExecutorError "
+                      "surfaces",
+          expect=expect_clean(lambda obs: obs["recovered"]
+                              and obs["typed_failure"]))
+def _executor_retry_storm(ctx):
+    from repro.runtime import ExecutorError, get_executor
+
+    failures: set[int] = set()
+
+    def flaky(item):
+        if item % 3 == 0 and item not in failures:
+            failures.add(item)
+            raise OSError(f"transient fault on {item}")
+        return item * 2
+
+    ex = get_executor(1)
+    results = ex.map(flaky, range(9), retries=1)
+    recovered = results == [i * 2 for i in range(9)]
+    failures.clear()
+    try:
+        ex.map(flaky, range(9), retries=0)
+        typed_failure = False
+    except ExecutorError:
+        typed_failure = True
+    return {"recovered": recovered, "typed_failure": typed_failure}

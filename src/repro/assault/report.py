@@ -1,0 +1,140 @@
+"""Tier reports: aggregate graded scenarios, render, ledger them.
+
+A :class:`TierReport` is the assault analogue of a
+:class:`~repro.provenance.fidelity.FidelityReport`: one verdict per
+scenario, combined with the same ``worst()`` semantics (any FAIL fails
+the tier, any WARN without a FAIL warns it).  Reports render as text
+for humans and JSON for CI artifacts, and land in the run ledger as
+``kind="assault"`` records so ``repro runs``/``repro report`` history
+covers hostile campaigns alongside experiments and benches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.assault.scenarios import ScenarioResult
+from repro.errors import ConfigError
+from repro.provenance.fidelity import FAIL, PASS, WARN, worst
+
+__all__ = ["TierReport", "record_tier_report", "render_reports"]
+
+_GLYPH = {PASS: "+", WARN: "~", FAIL: "!"}
+
+
+@dataclass(frozen=True)
+class TierReport:
+    """All graded scenario results for one tier of one campaign."""
+
+    tier: str
+    results: tuple[ScenarioResult, ...] = ()
+    wall_s: float = 0.0
+    seed: int = 2023
+
+    @property
+    def verdict(self) -> str:
+        """Tier verdict: the worst scenario verdict (PASS if empty)."""
+        return worst(r.status for r in self.results)
+
+    def counts(self) -> dict[str, int]:
+        out = {PASS: 0, WARN: 0, FAIL: 0}
+        for r in self.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    def failures(self) -> list[ScenarioResult]:
+        return [r for r in self.results if r.status == FAIL]
+
+    # -------------------------------------------------------------- #
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "verdict": self.verdict,
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "counts": self.counts(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TierReport":
+        return cls(
+            tier=data.get("tier", "?"),
+            results=tuple(ScenarioResult.from_dict(r)
+                          for r in data.get("results", [])),
+            wall_s=float(data.get("wall_s", 0.0)),
+            seed=int(data.get("seed", 2023)),
+        )
+
+    # -------------------------------------------------------------- #
+    def summary_lines(self) -> list[str]:
+        c = self.counts()
+        lines = [
+            f"tier {self.tier}: {self.verdict}  "
+            f"({c[PASS]} pass / {c[WARN]} warn / {c[FAIL]} fail, "
+            f"{self.wall_s:.2f}s, seed={self.seed})"
+        ]
+        for r in self.results:
+            mark = _GLYPH.get(r.status, "?")
+            line = f"  [{mark}] {r.name:<34} {r.status:<4} {r.wall_s:7.3f}s"
+            if r.note and r.status != PASS:
+                line += f"  {r.note}"
+            lines.append(line)
+        return lines
+
+
+def render_reports(reports: list[TierReport], fmt: str = "text") -> str:
+    """Render a campaign's tier reports as ``text`` or ``json``."""
+    if fmt == "json":
+        campaign = worst(r.verdict for r in reports)
+        return json.dumps({"verdict": campaign,
+                           "tiers": [r.to_dict() for r in reports]},
+                          indent=2, sort_keys=True)
+    if fmt != "text":
+        raise ConfigError(f"unknown report format {fmt!r}; "
+                          "pick 'text' or 'json'", field="format")
+    lines: list[str] = []
+    for report in reports:
+        lines.extend(report.summary_lines())
+    campaign = worst(r.verdict for r in reports)
+    total = sum(len(r.results) for r in reports)
+    lines.append(f"assault campaign: {campaign} "
+                 f"({total} scenarios over {len(reports)} tier(s))")
+    return "\n".join(lines)
+
+
+def record_tier_report(report: TierReport, ledger, start_ts: str = ""):
+    """Append one tier's report to the run ledger as an assault record.
+
+    The fidelity payload mirrors the shape ``FidelityReport.to_dict``
+    produces (verdict + per-check statuses), so ledger consumers that
+    understand fidelity verdicts can read assault records unchanged;
+    ``build_report`` ignores the ``assault`` kind entirely.
+    """
+    from repro.provenance import RunRecord
+
+    c = report.counts()
+    record = RunRecord(
+        experiment=f"assault_{report.tier}",
+        kind="assault",
+        start_ts=start_ts,
+        wall_s=report.wall_s,
+        metrics={
+            "scenarios": float(len(report.results)),
+            "passed": float(c[PASS]),
+            "warned": float(c[WARN]),
+            "failed": float(c[FAIL]),
+            "seed": float(report.seed),
+        },
+        fidelity={
+            "experiment": f"assault_{report.tier}",
+            "verdict": report.verdict,
+            "checks": [
+                {"name": r.name, "status": r.status, "note": r.note}
+                for r in report.results
+            ],
+        },
+    )
+    ledger.append(record)
+    return record

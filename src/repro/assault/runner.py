@@ -1,0 +1,129 @@
+"""The campaign runner: execute tiers of hostile scenarios, grade them.
+
+``run_assault`` is the single entry point the CLI and the test suite
+share.  For each requested tier it materializes the scenario corpus,
+runs every scenario in its own sandbox (throwaway cache/ledger dirs
+under one campaign root, removed afterwards unless the caller pins a
+``workdir``), grades the outcome PASS/WARN/FAIL against the scenario's
+declared contract, and folds the results into per-tier
+:class:`~repro.assault.report.TierReport` objects.
+
+Scenario execution is itself routed through the repo's
+:class:`~repro.runtime.executor.Executor`, so the harness exercises the
+machinery it is attacking; scenario closures are not picklable, which
+the executor detects and degrades to its in-process path -- exactly the
+graceful-degradation contract the storm tier asserts from the outside.
+
+Determinism: the campaign seed fans out per scenario as
+``seed ^ crc32(name)``, so any single scenario replays bit-identically
+in isolation (``run_assault`` with one tier, or the scenario function
+directly under a :class:`~repro.assault.scenarios.ScenarioContext`).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.assault.corpus import TIERS, scenarios_for
+from repro.assault.report import TierReport
+from repro.assault.scenarios import (
+    ScenarioContext,
+    ScenarioResult,
+    ScenarioSpec,
+    grade,
+)
+from repro import telemetry
+from repro.errors import ConfigError
+
+__all__ = ["AssaultConfig", "run_assault", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class AssaultConfig:
+    """One assault campaign: which tiers, how seeded, where sandboxed."""
+
+    tiers: tuple[str, ...] = ("smoke",)
+    seed: int = 2023
+    jobs: int | None = 1
+    """Worker count for scenario fan-out; 1 (serial) keeps chaos
+    scenarios from fighting over process-global knobs like the solver's
+    iteration cap."""
+    workdir: str | None = None
+    """Campaign sandbox root; ``None`` uses a throwaway temp dir that
+    is removed when the campaign ends."""
+
+    def __post_init__(self):
+        if not self.tiers:
+            raise ConfigError("assault needs at least one tier",
+                              field="tiers")
+        for tier in self.tiers:
+            if tier not in TIERS:
+                raise ConfigError(
+                    f"unknown tier {tier!r}; pick from {TIERS}",
+                    field="tiers")
+
+
+def run_scenario(spec: ScenarioSpec, root: Path, seed: int
+                 ) -> ScenarioResult:
+    """Execute and grade one scenario in its own sandbox."""
+    workdir = root / spec.tier / spec.name
+    derived = seed ^ zlib.crc32(spec.name.encode())
+    ctx = ScenarioContext(workdir, seed=derived)
+    observation = None
+    error: BaseException | None = None
+    start = time.perf_counter()
+    with telemetry.span("assault.scenario", scenario=spec.name,
+                        tier=spec.tier):
+        try:
+            observation = spec.run(ctx)
+        except Exception as exc:  # noqa: BLE001 - grading IS the handler
+            error = exc
+    wall = time.perf_counter() - start
+    status, note = grade(spec, observation, error)
+    telemetry.count(f"assault.{status.lower()}")
+    return ScenarioResult(
+        name=spec.name,
+        tier=spec.tier,
+        status=status,
+        note=note,
+        error_type=type(error).__name__ if error is not None else "",
+        wall_s=wall,
+    )
+
+
+def run_assault(config: AssaultConfig | None = None) -> list[TierReport]:
+    """Run the campaign; returns one :class:`TierReport` per tier."""
+    from repro.runtime import get_executor
+
+    config = config or AssaultConfig()
+    if config.workdir is not None:
+        root = Path(config.workdir)
+        root.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+    else:
+        root = Path(tempfile.mkdtemp(prefix="repro-assault-"))
+        cleanup = True
+
+    executor = get_executor(config.jobs, "thread")
+    reports: list[TierReport] = []
+    try:
+        for tier in config.tiers:
+            specs = scenarios_for(tier)
+            start = time.perf_counter()
+            results = executor.map(
+                lambda spec: run_scenario(spec, root, config.seed), specs)
+            reports.append(TierReport(
+                tier=tier,
+                results=tuple(results),
+                wall_s=time.perf_counter() - start,
+                seed=config.seed,
+            ))
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+    return reports

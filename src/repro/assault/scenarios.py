@@ -1,0 +1,180 @@
+"""Scenario model: frozen specs, expected outcomes, PASS/WARN/FAIL grading.
+
+A :class:`ScenarioSpec` is one hostile situation thrown at the repro
+stack, declared with the *contract* the stack must honor under it:
+
+* ``expect_error(ExcType, ...)`` -- the scenario must be rejected with
+  a clean **typed** error (:class:`~repro.errors.ReproError` subclass),
+  never a raw traceback and never silent acceptance;
+* ``expect_clean(check)`` -- the scenario must complete without
+  raising, and the returned observation must satisfy ``check`` (the
+  graceful-degradation contract: wrong answers are worse than errors).
+
+Grading mirrors the fidelity machinery's verdict scale
+(:data:`~repro.provenance.fidelity.PASS`/``WARN``/``FAIL``):
+
+========  =========================================================
+verdict   meaning
+========  =========================================================
+PASS      the declared contract held exactly
+WARN      degraded but typed/handled (a ``ReproError`` of the wrong
+          class, or a check that flags a soft deviation)
+FAIL      an unhandled exception escaped, the expected rejection
+          never happened, or the degradation contract was violated
+========  =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.provenance.fidelity import FAIL, PASS, WARN
+
+__all__ = [
+    "Expectation",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "expect_clean",
+    "expect_error",
+    "grade",
+]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """What a scenario's run must do for the stack to PASS."""
+
+    kind: str
+    """``"error"`` (typed rejection required) or ``"clean"`` (graceful
+    completion required)."""
+    error_types: tuple[type, ...] = ()
+    check: Callable | None = None
+    """``check(observation)``: ``True`` = PASS, a string = WARN with
+    that note, anything else = FAIL."""
+
+
+def expect_error(*error_types: type) -> Expectation:
+    """The scenario must raise one of these typed error classes."""
+    if not error_types:
+        raise ValueError("expect_error needs at least one exception type")
+    return Expectation(kind="error", error_types=error_types)
+
+
+def expect_clean(check: Callable | None = None) -> Expectation:
+    """The scenario must complete; ``check`` grades the observation."""
+    return Expectation(kind="clean", check=check)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One frozen hostile scenario plus its expected outcome."""
+
+    name: str
+    tier: str
+    description: str
+    run: Callable
+    """``run(ctx: ScenarioContext) -> observation`` -- drives the stack
+    through the hostile situation; raises to signal rejection."""
+    expect: Expectation
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One graded scenario execution (what tier reports aggregate)."""
+
+    name: str
+    tier: str
+    status: str
+    note: str = ""
+    error_type: str = ""
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "status": self.status,
+            "note": self.note,
+            "error_type": self.error_type,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        return cls(
+            name=data.get("name", "?"),
+            tier=data.get("tier", "?"),
+            status=data.get("status", FAIL),
+            note=data.get("note", ""),
+            error_type=data.get("error_type", ""),
+            wall_s=float(data.get("wall_s", 0.0)),
+        )
+
+
+class ScenarioContext:
+    """Per-scenario sandbox: throwaway dirs + seeded chaos.
+
+    Every scenario gets its own working directory (so chaos against the
+    cache or ledger cannot leak across scenarios), its own
+    :class:`~repro.assault.chaos.ChaosMonkey`, and a scenario-local RNG
+    -- all derived from one campaign seed, so the whole assault replays
+    deterministically.
+    """
+
+    def __init__(self, workdir: str | Path, seed: int = 2023):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.seed = seed
+        self.rng = random.Random(seed ^ 0x5EED)
+
+    @cached_property
+    def chaos(self):
+        from repro.assault.chaos import ChaosMonkey
+
+        return ChaosMonkey(self.seed)
+
+    @cached_property
+    def cache(self):
+        from repro.runtime import ResultCache
+
+        return ResultCache(self.workdir / "cache", namespace="assault")
+
+    @cached_property
+    def ledger(self):
+        from repro.provenance import RunLedger
+
+        return RunLedger(self.workdir / "runs")
+
+
+def grade(spec: ScenarioSpec, observation, error: BaseException | None
+          ) -> tuple[str, str]:
+    """Grade one execution against the spec's expectation; see module
+    docstring for the verdict semantics."""
+    expect = spec.expect
+    if error is not None:
+        if expect.kind == "error" and isinstance(error, expect.error_types):
+            return PASS, f"rejected with {type(error).__name__}: {error}"
+        if isinstance(error, ReproError):
+            return WARN, (f"typed but unexpected "
+                          f"{type(error).__name__}: {error}")
+        return FAIL, f"unhandled {type(error).__name__}: {error}"
+    if expect.kind == "error":
+        wanted = "/".join(t.__name__ for t in expect.error_types)
+        return FAIL, f"accepted silently (expected {wanted})"
+    if expect.check is None:
+        return PASS, ""
+    try:
+        verdict = expect.check(observation)
+    except Exception as exc:  # noqa: BLE001 - a broken check is a FAIL
+        return FAIL, f"check raised {type(exc).__name__}: {exc}"
+    if verdict is True:
+        return PASS, ""
+    if isinstance(verdict, str):
+        return WARN, verdict
+    return FAIL, "degradation contract violated"

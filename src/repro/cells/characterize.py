@@ -106,8 +106,25 @@ class CharacterizationConfig:
     engine: str = "analytic"
 
     def __post_init__(self) -> None:
+        from repro.errors import ConfigError
+
         if self.engine not in ("analytic", "spice"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+            raise ConfigError(f"unknown engine {self.engine!r}",
+                              field="engine")
+        if not np.isfinite(self.temperature_k) or self.temperature_k <= 0:
+            raise ConfigError(
+                f"temperature_k must be finite and > 0 "
+                f"(got {self.temperature_k!r})", field="temperature_k")
+        if not np.isfinite(self.vdd) or self.vdd <= 0:
+            raise ConfigError(f"vdd must be finite and > 0 "
+                              f"(got {self.vdd!r})", field="vdd")
+        for axis in ("slew_index", "load_index"):
+            values = getattr(self, axis)
+            if not values or any(not np.isfinite(v) or v <= 0
+                                 for v in values):
+                raise ConfigError(
+                    f"{axis} needs finite positive entries (got {values!r})",
+                    field=axis)
 
     # -- provenance / cache identity ---------------------------------- #
     def to_dict(self) -> dict:

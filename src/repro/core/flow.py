@@ -122,6 +122,18 @@ class StudyConfig:
     """Worker count for the flow's parallel fan-outs (library builds);
     ``None`` defers to ``REPRO_JOBS`` / serial."""
 
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigError
+
+        if self.shots < 1:
+            raise ConfigError(f"shots must be >= 1 (got {self.shots!r})",
+                              field="shots")
+        if not np.isfinite(self.cooling_budget_w) \
+                or self.cooling_budget_w <= 0:
+            raise ConfigError(
+                f"cooling_budget_w must be finite and > 0 "
+                f"(got {self.cooling_budget_w!r})", field="cooling_budget_w")
+
     # -- provenance / cache identity ---------------------------------- #
     def to_dict(self) -> dict:
         """Plain-data view; round-trips through :meth:`from_dict`."""

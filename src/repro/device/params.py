@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.device import constants as const
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -203,9 +204,12 @@ class FinFETParams:
 
     def __post_init__(self) -> None:
         if self.polarity not in ("n", "p"):
-            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+            raise ConfigError(
+                f"polarity must be 'n' or 'p', got {self.polarity!r}",
+                field="polarity")
         if self.nfin < 1:
-            raise ValueError(f"nfin must be >= 1, got {self.nfin}")
+            raise ConfigError(f"nfin must be >= 1, got {self.nfin}",
+                              field="nfin")
 
     # Convenience -----------------------------------------------------------
     @property

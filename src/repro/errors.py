@@ -24,16 +24,26 @@ tagged by layer:
     (:class:`~repro.soc.cpu.HaltError`) or a cycle-budget watchdog trip
     (:class:`HangError`) -- the crash/hang buckets of a fault-injection
     campaign.
+``ValidationError``
+    A malformed *input* was rejected before any compute ran: a broken
+    netlist (:class:`NetlistError`, naming the offending element or
+    node) or an out-of-range configuration (:class:`ConfigError`,
+    naming the field).  Both also derive from ``ValueError`` so
+    pre-existing ``except ValueError`` call sites (and tests) keep
+    working.
 """
 
 from __future__ import annotations
 
 __all__ = [
     "CharacterizationError",
+    "ConfigError",
     "HangError",
+    "NetlistError",
     "ReproError",
     "SolverBudgetError",
     "SolverError",
+    "ValidationError",
     "WorkloadError",
 ]
 
@@ -63,6 +73,36 @@ class CharacterizationError(ReproError):
         super().__init__(message)
         self.cell = cell
         self.arc = arc
+
+
+class ValidationError(ReproError, ValueError):
+    """A malformed input was rejected before any compute ran.
+
+    The dual ``ValueError`` base keeps the seed contract: call sites
+    that guarded parse/validate paths with ``except ValueError`` still
+    catch the typed form, while flow-level recovery can now tell "bad
+    input" from "good input, failed compute".
+    """
+
+
+class NetlistError(ValidationError):
+    """A circuit/netlist is structurally invalid (the assault harness's
+    edge tier feeds these: dangling nodes, NaN parameters, zero-width
+    devices, combinational loops...)."""
+
+    def __init__(self, message: str, element: str = ""):
+        super().__init__(message)
+        self.element = element
+        """The offending element, node, or net name (may be empty)."""
+
+
+class ConfigError(ValidationError):
+    """A configuration value is out of range or malformed."""
+
+    def __init__(self, message: str, field: str = ""):
+        super().__init__(message)
+        self.field = field
+        """The offending config field name (may be empty)."""
 
 
 class WorkloadError(ReproError):

@@ -79,7 +79,11 @@ class RunLedger:
         if not self.path.exists():
             return []
         out: list[RunRecord] = []
-        with open(self.path, encoding="utf-8") as fh:
+        # errors="replace": raw binary junk in the file (power loss over
+        # reused blocks) must degrade to a skipped line, not abort the
+        # whole read with UnicodeDecodeError.  The replacement chars
+        # make the line fail JSON parsing, which _parse_line tolerates.
+        with open(self.path, encoding="utf-8", errors="replace") as fh:
             for lineno, line in enumerate(fh, start=1):
                 record = self._parse_line(line, lineno)
                 if record is None:

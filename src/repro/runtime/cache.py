@@ -19,6 +19,13 @@ concurrent writer can never leave a torn entry.  The root defaults to
 *opt-in* -- stages consult :func:`default_enabled`, which is true only
 when ``REPRO_CACHE_DIR`` is set (tests monkeypatch engines, so silently
 serving yesterday's results by default would be a correctness hazard).
+
+Integrity: every entry ends with a fixed-size footer (magic, payload
+length, CRC32 over the payload).  ``get``/``__contains__`` verify the
+footer *before* ``pickle.load`` runs, so a truncated or bit-flipped
+entry is detected and dropped as a miss instead of feeding the
+unpickler garbage -- and membership is consistent with readability: a
+key is ``in`` the cache exactly when ``get`` would return its value.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import struct
+import zlib
 from pathlib import Path
 
 from repro import telemetry
@@ -35,7 +44,12 @@ __all__ = ["ResultCache", "default_cache_dir", "default_enabled"]
 _LOG = logging.getLogger(__name__)
 
 #: Bump to orphan every existing entry after a format change.
-CACHE_VERSION = 1
+#: v2: appended the integrity footer (magic + length + CRC32).
+CACHE_VERSION = 2
+
+#: Entry trailer: payload || pack(magic, payload length, crc32(payload)).
+_FOOTER = struct.Struct("<4sQI")
+_MAGIC = b"RPRC"
 
 _SENTINEL = object()
 
@@ -69,6 +83,32 @@ class ResultCache:
     def path(self, key: str) -> Path:
         return self.root / self.namespace / f"{key}.v{CACHE_VERSION}.pkl"
 
+    def _read_verified(self, path: Path) -> bytes | None:
+        """The entry's pickle payload, or ``None`` if the file fails
+        its integrity footer (truncated, bit-flipped, or pre-footer).
+
+        Raises ``OSError`` subclasses for I/O-level misses (no file);
+        callers map those to plain misses.
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if len(blob) < _FOOTER.size:
+            return None
+        payload, footer = blob[:-_FOOTER.size], blob[-_FOOTER.size:]
+        magic, length, crc = _FOOTER.unpack(footer)
+        if magic != _MAGIC or length != len(payload) \
+                or crc != zlib.crc32(payload):
+            return None
+        return payload
+
+    def _drop_corrupt(self, path: Path, reason: str) -> None:
+        _LOG.warning("dropping unreadable cache entry %s (%s)", path, reason)
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        telemetry.count(f"runtime.cache_corrupt.{self.namespace}")
+
     def get(self, key: str, default=None):
         """The cached value, or ``default`` on miss/corruption.
 
@@ -77,18 +117,24 @@ class ResultCache:
         """
         path = self.path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            payload = self._read_verified(path)
         except (FileNotFoundError, NotADirectoryError):
             telemetry.count(f"runtime.cache_miss.{self.namespace}")
             return default
+        except OSError as exc:
+            self._drop_corrupt(path, f"{type(exc).__name__}: {exc}")
+            telemetry.count(f"runtime.cache_miss.{self.namespace}")
+            return default
+        if payload is None:
+            self._drop_corrupt(path, "integrity footer mismatch")
+            telemetry.count(f"runtime.cache_miss.{self.namespace}")
+            return default
+        try:
+            value = pickle.loads(payload)
         except Exception as exc:  # noqa: BLE001 - treat as miss
-            _LOG.warning("dropping unreadable cache entry %s (%s: %s)",
-                         path, type(exc).__name__, exc)
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass
+            # Intact bytes but no longer loadable (e.g. a class moved);
+            # same contract as corruption: drop, miss, never raise.
+            self._drop_corrupt(path, f"{type(exc).__name__}: {exc}")
             telemetry.count(f"runtime.cache_miss.{self.namespace}")
             return default
         telemetry.count(f"runtime.cache_hit.{self.namespace}")
@@ -103,9 +149,12 @@ class ResultCache:
         path = self.path(key)
         tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            footer = _FOOTER.pack(_MAGIC, len(payload), zlib.crc32(payload))
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
+                fh.write(footer)
             os.replace(tmp, path)
         except OSError as exc:
             _LOG.warning("cache write failed for %s (%s); continuing "
@@ -118,7 +167,16 @@ class ResultCache:
             telemetry.count(f"runtime.cache_write.{self.namespace}")
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).exists()
+        """Membership is *readability*: True iff ``get`` would hit.
+
+        A poisoned (truncated/bit-flipped) entry therefore can never
+        count as a hit; the integrity footer makes the check cheap
+        (one CRC pass, no unpickling).
+        """
+        try:
+            return self._read_verified(self.path(key)) is not None
+        except OSError:
+            return False
 
     # -------------------------------------------------------------- #
     def prune(self) -> int:

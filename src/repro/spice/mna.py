@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.device.finfet import stack_models
+from repro.errors import ConfigError, NetlistError
 from repro.spice.netlist import GROUND_NAMES, Circuit
 
 __all__ = ["MNASystem"]
@@ -83,7 +84,8 @@ class MNASystem:
 
     def __init__(self, circuit: Circuit, kernel: str = "compiled"):
         if kernel not in ("compiled", "reference"):
-            raise ValueError(f"unknown MNA kernel {kernel!r}")
+            raise ConfigError(f"unknown MNA kernel {kernel!r}",
+                              field="kernel")
         self.kernel = kernel
         self.circuit = circuit
         self.nodes = circuit.node_names()
@@ -221,7 +223,8 @@ class MNASystem:
         try:
             return self._index[node]
         except KeyError:
-            raise KeyError(f"unknown node {node!r}") from None
+            raise NetlistError(f"unknown node {node!r}",
+                               element=node) from None
 
     def _stamp_conductance(
         self, matrix: np.ndarray, n1: str | int, n2: str | int, g: float

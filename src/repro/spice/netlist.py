@@ -10,13 +10,23 @@ Node ``"0"`` (alias ``"gnd"``) is ground.  Supported elements:
 
 The standard-cell generator in :mod:`repro.cells` builds these circuits
 automatically from pull-up/pull-down stack expressions.
+
+Malformed netlists raise :class:`~repro.errors.NetlistError` naming the
+offending element -- at construction time for per-element problems
+(non-finite or out-of-range values, duplicate names) and from
+:meth:`Circuit.validate` for structural ones (dangling nodes,
+zero-width devices), which the solver entry points run before any
+matrix is assembled so a broken circuit can never converge to a
+silently wrong answer through the gmin floor.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.device.finfet import FinFET
+from repro.errors import NetlistError
 from repro.spice.sources import DC
 
 __all__ = [
@@ -42,8 +52,10 @@ class Resistor:
     resistance: float
 
     def __post_init__(self) -> None:
-        if self.resistance <= 0:
-            raise ValueError(f"{self.name}: resistance must be > 0")
+        if not math.isfinite(self.resistance) or self.resistance <= 0:
+            raise NetlistError(
+                f"{self.name}: resistance must be finite and > 0 "
+                f"(got {self.resistance!r})", element=self.name)
 
 
 @dataclass
@@ -56,8 +68,10 @@ class Capacitor:
     capacitance: float
 
     def __post_init__(self) -> None:
-        if self.capacitance < 0:
-            raise ValueError(f"{self.name}: capacitance must be >= 0")
+        if not math.isfinite(self.capacitance) or self.capacitance < 0:
+            raise NetlistError(
+                f"{self.name}: capacitance must be finite and >= 0 "
+                f"(got {self.capacitance!r})", element=self.name)
 
 
 @dataclass
@@ -105,7 +119,8 @@ class Circuit:
     # ------------------------------------------------------------------ #
     def _register(self, name: str) -> None:
         if name in self._names:
-            raise ValueError(f"duplicate element name: {name!r}")
+            raise NetlistError(f"duplicate element name: {name!r}",
+                               element=name)
         self._names.add(name)
 
     def add_resistor(self, name: str, n1: str, n2: str, resistance: float) -> Resistor:
@@ -154,6 +169,70 @@ class Circuit:
             self.add_capacitor(f"{name}_cgd", gate, drain, cg / 2.0)
             self.add_capacitor(f"{name}_cdb", drain, "0", model.drain_capacitance())
         return fet
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Reject structurally broken circuits with a typed error.
+
+        Checks (all raise :class:`~repro.errors.NetlistError` naming the
+        offending element or node):
+
+        * zero/negative-width FinFETs (``nfin <= 0`` or non-positive
+          gate length) -- a "device" that conducts nothing;
+        * non-finite source values at ``t = 0`` (a NaN drive poisons
+          every RHS it touches);
+        * dangling nodes: a non-ground node referenced by exactly one
+          element pin, where that pin belongs to a *conductive* element
+          (resistor or FinFET) and the node is not held by a voltage
+          source.  The gmin floor would quietly pin such a node near
+          0 V, which is the *silent wrong answer* failure mode -- so it
+          is rejected up front.  (A capacitor-only floating node stays
+          legal: gmin holding it at 0 V in DC is documented behavior.)
+
+        The solver entry points call this before assembling anything;
+        the check is O(elements) and costs microseconds.
+        """
+        for f in self.finfets:
+            p = f.model.params
+            if int(getattr(p, "nfin", 0)) <= 0:
+                raise NetlistError(
+                    f"{f.name}: zero-width device (nfin={p.nfin!r})",
+                    element=f.name)
+            if not math.isfinite(p.lgate) or p.lgate <= 0:
+                raise NetlistError(
+                    f"{f.name}: non-physical gate length "
+                    f"(lgate={p.lgate!r})", element=f.name)
+        for v in self.sources:
+            if not math.isfinite(v.value(0.0)):
+                raise NetlistError(
+                    f"{v.name}: non-finite source value at t=0",
+                    element=v.name)
+        pins: dict[str, int] = {}
+        conductive: set[str] = set()
+        held: set[str] = set()
+        for r in self.resistors:
+            for n in (r.n1, r.n2):
+                pins[n] = pins.get(n, 0) + 1
+                conductive.add(n)
+        for c in self.capacitors:
+            for n in (c.n1, c.n2):
+                pins[n] = pins.get(n, 0) + 1
+        for v in self.sources:
+            for n in (v.pos, v.neg):
+                pins[n] = pins.get(n, 0) + 1
+                held.add(n)
+        for f in self.finfets:
+            for n in (f.drain, f.gate, f.source):
+                pins[n] = pins.get(n, 0) + 1
+                conductive.add(n)
+        for node, count in pins.items():
+            if node in GROUND_NAMES or node in held:
+                continue
+            if count == 1 and node in conductive:
+                raise NetlistError(
+                    f"dangling node {node!r}: referenced by exactly one "
+                    "element pin and not held by any source",
+                    element=node)
 
     # ------------------------------------------------------------------ #
     def node_names(self) -> list[str]:

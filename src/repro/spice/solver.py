@@ -44,7 +44,7 @@ import numpy as np
 from scipy.linalg import LinAlgWarning, lu_factor, lu_solve
 
 from repro import telemetry
-from repro.errors import SolverBudgetError, SolverError
+from repro.errors import ConfigError, SolverBudgetError, SolverError
 from repro.spice.mna import GMIN_DEFAULT, MNASystem
 from repro.spice.netlist import Circuit
 from repro.spice.waveform import Waveform
@@ -64,6 +64,12 @@ _GMIN_LADDER = (1e-3, 1e-5, 1e-7, 1e-9, GMIN_DEFAULT)
 
 #: Source-stepping continuation ladder (fraction of full source value).
 _SOURCE_LADDER = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0)
+
+#: Hard ceiling on transient steps: a t_stop/dt pair implying more is an
+#: oversized input (one recorded float64 per node per step -- past this
+#: the run would grind or OOM long before producing science), rejected
+#: with a typed ConfigError instead of an allocation failure.
+_MAX_TRANSIENT_STEPS = 5_000_000
 
 
 class ConvergenceError(SolverError):
@@ -467,6 +473,7 @@ def dc_operating_point(
     ``"reference"`` (the retained seed path, used by equivalence tests
     and benchmarks).
     """
+    circuit.validate()
     system = _make_system(circuit, kernel)
     x0 = np.zeros(system.dim)
     tracker = budget.tracker() if budget is not None else None
@@ -530,10 +537,18 @@ def transient(
         ``"compiled"`` (vectorized assembly + Jacobian reuse across
         timesteps, default) or ``"reference"`` (retained seed path).
     """
-    if dt <= 0 or t_stop <= 0:
-        raise ValueError("t_stop and dt must be positive")
+    if not np.isfinite(dt) or not np.isfinite(t_stop) \
+            or dt <= 0 or t_stop <= 0:
+        raise ConfigError("t_stop and dt must be finite and positive",
+                          field="dt")
     if method not in ("be", "trap"):
-        raise ValueError(f"unknown integration method {method!r}")
+        raise ConfigError(f"unknown integration method {method!r}",
+                          field="method")
+    if t_stop / dt > _MAX_TRANSIENT_STEPS:
+        raise ConfigError(
+            f"oversized transient: t_stop/dt = {t_stop / dt:.3g} steps "
+            f"exceeds the {_MAX_TRANSIENT_STEPS} cap", field="dt")
+    circuit.validate()
     system = _make_system(circuit, kernel)
     record = system.nodes if record is None else record
     record_idx = [system.index(node) for node in record]  # validate early

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.errors import NetlistError
+
 __all__ = ["Gate", "Macro", "GateNetlist", "CONST0", "CONST1"]
 
 CONST0 = "const0"
@@ -89,7 +91,8 @@ class GateNetlist:
 
     def add_input(self, net: str) -> str:
         if net in self._drivers:
-            raise ValueError(f"net {net!r} already driven")
+            raise NetlistError(f"net {net!r} already driven",
+                                   element=net)
         self.inputs.append(net)
         self._drivers[net] = "@input"
         return net
@@ -112,9 +115,11 @@ class GateNetlist:
         output = output or self.new_net(cell.split("_")[0].lower())
         name = name or f"g{len(self.gates)}"
         if name in self.gates or name in self.macros:
-            raise ValueError(f"duplicate instance name {name!r}")
+            raise NetlistError(f"duplicate instance name {name!r}",
+                               element=name)
         if output in self._drivers:
-            raise ValueError(f"net {output!r} already driven")
+            raise NetlistError(f"net {output!r} already driven",
+                               element=output)
         gate = Gate(name=name, cell=cell, pins=dict(pins), output=output,
                     module=module)
         self.gates[name] = gate
@@ -125,11 +130,13 @@ class GateNetlist:
 
     def add_macro(self, macro: Macro) -> None:
         if macro.name in self.macros or macro.name in self.gates:
-            raise ValueError(f"duplicate instance name {macro.name!r}")
+            raise NetlistError(f"duplicate instance name {macro.name!r}",
+                               element=macro.name)
         self.macros[macro.name] = macro
         for net in macro.outputs:
             if net in self._drivers:
-                raise ValueError(f"net {net!r} already driven")
+                raise NetlistError(f"net {net!r} already driven",
+                                   element=net)
             self._drivers[net] = macro.name
         for net in macro.inputs:
             self._loads.setdefault(net, []).append((macro.name, "@macro_in"))
@@ -210,9 +217,9 @@ class GateNetlist:
                     ready.append(dep)
         if len(order) != len(comb):
             stuck = [n for n, d in indeg.items() if d > 0][:5]
-            raise ValueError(
-                f"combinational loop detected involving {stuck} ..."
-            )
+            raise NetlistError(
+                f"combinational loop detected involving {stuck} ...",
+                element=stuck[0] if stuck else "")
         return order
 
     def sequential_gates(self, library) -> list[Gate]:

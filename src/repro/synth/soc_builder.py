@@ -52,6 +52,18 @@ class SoCConfig:
     sram_clk_to_out: float = 420e-12
     sram_input_setup: float = 60e-12
 
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigError
+
+        for name in ("l1i_kib", "l1d_kib", "l2_kib", "line_bytes"):
+            value = getattr(self, name)
+            if value <= 0 or (value & (value - 1)):
+                raise ConfigError(
+                    f"{name} must be a positive power of two "
+                    f"(got {value!r})", field=name)
+        if self.adder not in ("carry_select", "ripple"):
+            raise ConfigError(f"unknown adder {self.adder!r}", field="adder")
+
     def tag_bits(self, size_kib: int) -> int:
         import math
 

@@ -1,0 +1,86 @@
+"""The corpus registry and the campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assault import (
+    TIERS,
+    AssaultConfig,
+    all_scenarios,
+    run_assault,
+    run_scenario,
+    scenarios_for,
+)
+from repro.errors import ConfigError
+from repro.provenance.fidelity import PASS
+
+
+class TestCorpus:
+    def test_every_tier_populated(self):
+        for tier in TIERS:
+            assert scenarios_for(tier), f"tier {tier} is empty"
+
+    def test_names_unique(self):
+        names = [s.name for s in all_scenarios()]
+        assert len(names) == len(set(names))
+
+    def test_every_scenario_described(self):
+        for s in all_scenarios():
+            assert s.description, s.name
+            assert s.tier in TIERS, s.name
+
+    def test_unknown_tier_is_typed(self):
+        with pytest.raises(ConfigError, match="unknown tier"):
+            scenarios_for("apocalypse")
+
+
+class TestAssaultConfig:
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError, match="unknown tier"):
+            AssaultConfig(tiers=("smoke", "apocalypse"))
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            AssaultConfig(tiers=())
+
+
+class TestRunner:
+    def test_smoke_tier_passes_clean_repo(self, tmp_path):
+        reports = run_assault(AssaultConfig(tiers=("smoke",),
+                                            workdir=str(tmp_path)))
+        assert len(reports) == 1
+        assert reports[0].tier == "smoke"
+        assert reports[0].verdict == PASS
+        assert len(reports[0].results) == len(scenarios_for("smoke"))
+
+    def test_edge_tier_passes_clean_repo(self, tmp_path):
+        reports = run_assault(AssaultConfig(tiers=("edge",),
+                                            workdir=str(tmp_path)))
+        assert reports[0].verdict == PASS
+
+    def test_campaign_is_deterministic(self, tmp_path):
+        def statuses(run_dir):
+            reports = run_assault(AssaultConfig(
+                tiers=("edge",), seed=777, workdir=str(run_dir)))
+            return [(r.name, r.status) for r in reports[0].results]
+
+        assert statuses(tmp_path / "a") == statuses(tmp_path / "b")
+
+    def test_single_scenario_replay(self, tmp_path):
+        spec = scenarios_for("smoke")[0]
+        first = run_scenario(spec, tmp_path / "x", seed=5)
+        second = run_scenario(spec, tmp_path / "y", seed=5)
+        assert first.status == second.status == PASS
+
+    def test_failing_scenario_is_graded_not_raised(self, tmp_path):
+        from repro.assault import ScenarioSpec, expect_clean
+
+        def explode(ctx):
+            raise ZeroDivisionError("boom")
+
+        spec = ScenarioSpec(name="explode", tier="smoke", description="",
+                            run=explode, expect=expect_clean())
+        result = run_scenario(spec, tmp_path, seed=1)
+        assert result.status == "FAIL"
+        assert result.error_type == "ZeroDivisionError"

@@ -1,0 +1,117 @@
+"""Tier reports, ledger integration, and the ``repro assault`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assault import (
+    ScenarioResult,
+    TierReport,
+    record_tier_report,
+    render_reports,
+)
+from repro.errors import ConfigError
+from repro.provenance import RunLedger, build_report
+from repro.provenance.fidelity import FAIL, PASS, WARN
+
+
+def _report(*statuses):
+    results = tuple(
+        ScenarioResult(name=f"s{i}", tier="smoke", status=st)
+        for i, st in enumerate(statuses)
+    )
+    return TierReport(tier="smoke", results=results, wall_s=1.5, seed=9)
+
+
+class TestTierReport:
+    def test_verdict_is_worst(self):
+        assert _report(PASS, PASS).verdict == PASS
+        assert _report(PASS, WARN).verdict == WARN
+        assert _report(WARN, FAIL, PASS).verdict == FAIL
+
+    def test_counts(self):
+        assert _report(PASS, WARN, FAIL, PASS).counts() == {
+            PASS: 2, WARN: 1, FAIL: 1}
+
+    def test_roundtrip(self):
+        report = _report(PASS, FAIL)
+        clone = TierReport.from_dict(report.to_dict())
+        assert clone == report
+
+    def test_render_text_marks_failures(self):
+        text = render_reports([_report(PASS, FAIL)], "text")
+        assert "tier smoke: FAIL" in text
+        assert "[!] s1" in text
+        assert "assault campaign: FAIL" in text
+
+    def test_render_json_parses(self):
+        payload = json.loads(render_reports([_report(PASS)], "json"))
+        assert payload["verdict"] == PASS
+        assert payload["tiers"][0]["tier"] == "smoke"
+
+    def test_render_unknown_format_is_typed(self):
+        with pytest.raises(ConfigError, match="format"):
+            render_reports([_report(PASS)], "yaml")
+
+
+class TestLedgerIntegration:
+    def test_record_lands_with_assault_kind(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        record = record_tier_report(_report(PASS, WARN), ledger)
+        assert record.kind == "assault"
+        stored = ledger.records(kind="assault")
+        assert len(stored) == 1
+        assert stored[0].experiment == "assault_smoke"
+        assert stored[0].metrics["scenarios"] == 2.0
+        assert stored[0].fidelity["verdict"] == WARN
+
+    def test_build_report_ignores_assault_records(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        record_tier_report(_report(FAIL), ledger)
+        # Assault outcomes must not leak into the paper-fidelity verdict.
+        assert build_report(ledger)["verdict"] != FAIL
+
+
+class TestCLI:
+    def test_smoke_strict_exits_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out_json = tmp_path / "tier_report.json"
+        code = main(["assault", "--tier", "smoke", "--strict",
+                     "--runs-dir", str(tmp_path / "runs"),
+                     "--report-json", str(out_json)])
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["verdict"] == PASS
+        stored = RunLedger(tmp_path / "runs").records(kind="assault")
+        assert [r.experiment for r in stored] == ["assault_smoke"]
+
+    def test_unknown_tier_exits_two(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["assault", "--tier", "apocalypse",
+                     "--runs-dir", str(tmp_path)]) == 2
+
+    def test_strict_fails_on_fail_verdict(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+        from repro.assault import runner as runner_mod
+
+        def fake_run(config):
+            return [_report(FAIL)]
+
+        monkeypatch.setattr(runner_mod, "run_assault", fake_run)
+        monkeypatch.setattr("repro.assault.run_assault", fake_run)
+        code = main(["assault", "--tier", "smoke", "--strict",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 1
+
+    def test_no_ledger_skips_append(self, tmp_path):
+        from repro.__main__ import main
+
+        runs = tmp_path / "runs"
+        code = main(["assault", "--tier", "smoke", "--no-ledger",
+                     "--runs-dir", str(runs)])
+        assert code == 0
+        assert not (runs / "ledger.jsonl").exists()

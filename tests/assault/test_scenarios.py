@@ -1,0 +1,101 @@
+"""Grading semantics: the PASS/WARN/FAIL contract matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assault import (
+    ScenarioContext,
+    ScenarioResult,
+    ScenarioSpec,
+    expect_clean,
+    expect_error,
+    grade,
+)
+from repro.errors import ConfigError, NetlistError, ReproError
+from repro.provenance.fidelity import FAIL, PASS, WARN
+
+
+def _spec(expect):
+    return ScenarioSpec(name="t", tier="smoke", description="",
+                        run=lambda ctx: None, expect=expect)
+
+
+class TestGradeErrorExpectation:
+    def test_expected_typed_error_passes(self):
+        status, note = grade(_spec(expect_error(NetlistError)), None,
+                             NetlistError("bad r", element="r1"))
+        assert status == PASS
+        assert "NetlistError" in note
+
+    def test_wrong_typed_error_warns(self):
+        status, _ = grade(_spec(expect_error(NetlistError)), None,
+                          ConfigError("bad field", field="x"))
+        assert status == WARN
+
+    def test_untyped_error_fails(self):
+        status, note = grade(_spec(expect_error(NetlistError)), None,
+                             KeyError("raw"))
+        assert status == FAIL
+        assert "KeyError" in note
+
+    def test_silent_acceptance_fails(self):
+        status, note = grade(_spec(expect_error(NetlistError)),
+                             {"fine": True}, None)
+        assert status == FAIL
+        assert "NetlistError" in note
+
+    def test_expect_error_requires_types(self):
+        with pytest.raises(ValueError, match="at least one"):
+            expect_error()
+
+
+class TestGradeCleanExpectation:
+    def test_clean_no_check_passes(self):
+        assert grade(_spec(expect_clean()), {"x": 1}, None)[0] == PASS
+
+    def test_check_true_passes(self):
+        spec = _spec(expect_clean(lambda obs: obs["x"] == 1))
+        assert grade(spec, {"x": 1}, None)[0] == PASS
+
+    def test_check_string_warns_with_note(self):
+        spec = _spec(expect_clean(lambda obs: "degraded but alive"))
+        status, note = grade(spec, {}, None)
+        assert status == WARN
+        assert note == "degraded but alive"
+
+    def test_check_false_fails(self):
+        spec = _spec(expect_clean(lambda obs: False))
+        assert grade(spec, {}, None)[0] == FAIL
+
+    def test_check_raising_fails(self):
+        spec = _spec(expect_clean(lambda obs: obs["missing"]))
+        status, note = grade(spec, {}, None)
+        assert status == FAIL
+        assert "KeyError" in note
+
+    def test_any_error_on_clean_expectation(self):
+        # Typed -> WARN (handled degradation), untyped -> FAIL.
+        spec = _spec(expect_clean())
+        assert grade(spec, None, ReproError("typed"))[0] == WARN
+        assert grade(spec, None, ZeroDivisionError())[0] == FAIL
+
+
+class TestScenarioResult:
+    def test_roundtrip(self):
+        r = ScenarioResult(name="n", tier="storm", status=WARN,
+                           note="x", error_type="ConfigError", wall_s=0.5)
+        assert ScenarioResult.from_dict(r.to_dict()) == r
+
+
+class TestScenarioContext:
+    def test_sandboxes_are_isolated(self, tmp_path):
+        a = ScenarioContext(tmp_path / "a", seed=1)
+        b = ScenarioContext(tmp_path / "b", seed=1)
+        a.cache.put("k", 1)
+        assert b.cache.get("k", None) is None
+
+    def test_seeded_rng_replays(self, tmp_path):
+        draws = [ScenarioContext(tmp_path / str(i), seed=42).rng.random()
+                 for i in range(2)]
+        assert draws[0] == draws[1]

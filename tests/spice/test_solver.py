@@ -132,7 +132,9 @@ class TestTransientLinear:
         c = Circuit()
         c.add_vsource("v1", "a", "0", DC(1.0))
         c.add_resistor("r1", "a", "0", 1.0)
-        with pytest.raises(KeyError, match="unknown node"):
+        from repro.errors import NetlistError
+
+        with pytest.raises(NetlistError, match="unknown node"):
             transient(c, t_stop=1e-9, dt=1e-12, record=["nope"])
 
 
