@@ -14,6 +14,7 @@
     python -m repro report          # latest-vs-paper / drift tables
     python -m repro compare A B     # per-metric deltas of two runs
     python -m repro assault         # hostile-scenario campaign (--tier)
+    python -m repro profile fig2    # sampler+tracer+health deep profile
 
 The command list is *generated* from the experiment registry
 (:mod:`repro.experiments.registry`): every registered
@@ -46,9 +47,21 @@ Observability flags (global):
 * ``-v`` / ``--quiet`` raise/suppress diagnostic logging (the package
   logs through the stdlib ``repro`` logger hierarchy);
 * ``--trace`` enables span tracing and prints the timing tree at exit;
-  ``--trace FILE`` writes the full trace as JSONL instead -- on
-  parallel runs, worker spans are merged back into one tree;
+  ``--trace FILE`` writes the full trace to FILE -- on parallel runs,
+  worker spans are merged back into one tree.  ``--trace-format
+  chrome|jsonl`` picks the encoding: ``chrome`` is Chrome/Perfetto
+  ``trace_event`` JSON (open it at ``ui.perfetto.dev``), ``jsonl`` the
+  flat span-per-line form;
 * ``--metrics`` prints the flat metrics-registry summary at exit.
+
+Deep observability (:mod:`repro.observe`): ``repro profile <exp>`` runs
+one registered experiment under the resource sampler, the tracer and
+executor health monitoring, prints a self-time attribution table (top
+span names by exclusive wall time) plus resource peaks, writes a
+Perfetto trace, and appends a ``kind="profile"`` RunRecord.  Every
+experiment invocation additionally runs the sampler, so RunRecords
+carry peak RSS / CPU utilization and ``repro report`` renders a
+resource table.
 
 Reports go through :func:`_report` (a thin ``logging`` wrapper), so
 ``--quiet`` silences everything below WARNING with no print() to chase.
@@ -115,12 +128,19 @@ def _build_study(args):
 # ---------------------------------------------------------------------- #
 # Registry-driven command set.
 # ---------------------------------------------------------------------- #
+#: Commands that dispatch on their own rather than expanding to
+#: experiment specs through the registry ("all" expands, so it is not
+#: one of these).
+BUILTIN_COMMANDS = ("stats", "run", "report", "compare", "assault",
+                    "profile")
+
+
 def _commands() -> list[str]:
     """Every accepted command: specs, groups, and the builtins."""
     from repro.experiments import registry
 
     return (registry.names() + sorted(registry.groups())
-            + ["stats", "all", "run", "report", "compare", "assault"])
+            + ["all", *BUILTIN_COMMANDS])
 
 
 def _expand(command: str):
@@ -148,12 +168,19 @@ def _ledger(args):
 
 
 def _execute_recorded(spec, study, config):
-    """Run one experiment; return its report text and its RunRecord."""
+    """Run one experiment; return its report text and its RunRecord.
+
+    Every execution runs under a :class:`~repro.observe.ResourceSampler`
+    so the record carries peak RSS / CPU utilization -- the resource
+    column ``repro report`` renders.
+    """
+    from repro.observe import ResourceSampler
     from repro.provenance import RunRecord, telemetry_snapshot
 
     start_ts = telemetry.iso_ts(time.time())
     t0 = time.perf_counter()
-    result = spec.run_result(study, config)
+    with ResourceSampler() as sampler:
+        result = spec.run_result(study, config)
     wall_s = time.perf_counter() - t0
     text = spec.report(result)
     fidelity = spec.check_fidelity(result)
@@ -163,6 +190,7 @@ def _execute_recorded(spec, study, config):
         wall_s=wall_s,
         config_digest=config.config_digest() if config is not None else None,
         telemetry=telemetry_snapshot(study if spec.needs_study else None),
+        resources=sampler.summary(),
         metrics=fidelity.metrics if fidelity is not None else {},
         fidelity=fidelity.to_dict() if fidelity is not None else None,
     )
@@ -275,28 +303,84 @@ def _reliability_probe() -> None:
     )
 
 
+def _sleepy_task(i: int) -> int:
+    """Stats executor probe payload (module-level: pickles if needed)."""
+    time.sleep(0.002 * (1 + i % 3))
+    return i * i
+
+
+def _executor_probe() -> None:
+    """A small heartbeat-monitored fan-out for the health section."""
+    from repro.runtime import get_executor
+
+    get_executor(2, "thread").map(_sleepy_task, list(range(8)))
+
+
+def _health_lines(summary: dict) -> str:
+    """Render a health-monitor summary as the stats/profile section."""
+    if not summary:
+        return "executor health: no heartbeats recorded"
+    lines = [
+        f"executor health: {summary.get('workers', 0)} worker(s), "
+        f"{summary.get('tasks_completed', 0)}/"
+        f"{summary.get('tasks_started', 0)} tasks completed, "
+        f"{summary.get('active', 0)} active"
+    ]
+    if "task_p50_s" in summary:
+        lines.append(
+            f"  task wall: p50 {summary['task_p50_s'] * 1e3:.2f} ms, "
+            f"p99 {summary['task_p99_s'] * 1e3:.2f} ms"
+        )
+    if "straggler_skew" in summary:
+        flag = (" (STRAGGLERS)" if summary.get("stragglers_flagged")
+                else "")
+        lines.append(
+            f"  straggler skew (p99/median): "
+            f"{summary['straggler_skew']:.2f}{flag}"
+        )
+    stalls = summary.get("stall_events", [])
+    if stalls:
+        lines.append(f"  STALLED: {len(stalls)} event(s), e.g. "
+                     f"{stalls[0]['worker']} stuck on {stalls[0]['task']} "
+                     f"for {stalls[0]['age_s']:.1f} s")
+    else:
+        lines.append(f"  no stalls (timeout "
+                     f"{summary.get('stall_timeout_s', 0):.1f} s)")
+    return "\n".join(lines)
+
+
 def _run_stats(args) -> None:
     """The ``repro stats`` command: trace one pass through the stack."""
+    from repro.observe import health
+
     study = _build_study(args)
-    with telemetry.span("repro.stats", fast=not args.calibrated):
-        # Flow stages trace themselves (flow.libraries, flow.soc_model,
-        # flow.timing...); accessing timing forces the chain.
-        study.timing
-        study.knn_cycles(20)
-        with telemetry.span("stats.spice_probe"):
-            _spice_probe(study)
-        with telemetry.span("stats.reliability_probe"):
-            _reliability_probe()
+    health.enable()
+    try:
+        with telemetry.span("repro.stats", fast=not args.calibrated):
+            # Flow stages trace themselves (flow.libraries,
+            # flow.soc_model, flow.timing...); timing forces the chain.
+            study.timing
+            study.knn_cycles(20)
+            with telemetry.span("stats.spice_probe"):
+                _spice_probe(study)
+            with telemetry.span("stats.reliability_probe"):
+                _reliability_probe()
+            with telemetry.span("stats.executor_probe"):
+                _executor_probe()
+        health_summary = health.summary()
+    finally:
+        health.disable()
     if args.json:
         # Machine-readable twin of the text report: the full span trees
-        # (nested dicts), the stage-cache ledger and the flat metrics
-        # summary, so CI and the run ledger consume stats without
-        # scraping the table.
+        # (nested dicts), the stage-cache ledger, the flat metrics
+        # summary and the executor-health summary, so CI and the run
+        # ledger consume stats without scraping the table.
         payload = {
             "mode": "calibrated" if args.calibrated else "fast",
             "spans": [root.to_dict() for root in telemetry.trace_roots()],
             "stage_cache": study.stage_cache_stats(),
             "metrics": telemetry.metrics_summary(),
+            "health": health_summary,
         }
         _report(json.dumps(payload, indent=2, sort_keys=True, default=str))
         return
@@ -311,14 +395,23 @@ def _run_stats(args) -> None:
     _report("stage cache accounting: "
             + "  ".join(f"{name}={ev['hits']}h/{ev['misses']}m"
                         for name, ev in cache.items()))
+    _report()
+    _report(_health_lines(health_summary))
 
 
 # ---------------------------------------------------------------------- #
 def _emit_telemetry(args) -> None:
     """Flush --trace/--metrics output after the commands ran."""
     if args.trace is not None and args.trace != "-":
-        n = telemetry.export_jsonl(args.trace)
-        _report(f"wrote {n} spans to {args.trace}")
+        if args.trace_format == "chrome":
+            from repro.observe import write_chrome_trace
+
+            n = write_chrome_trace(args.trace, telemetry.trace_roots())
+            _report(f"wrote {n} trace events to {args.trace} "
+                    "(open at ui.perfetto.dev)")
+        else:
+            n = telemetry.export_jsonl(args.trace)
+            _report(f"wrote {n} spans to {args.trace}")
     elif args.trace == "-" and args.command != "stats":
         # stats already printed its tree.
         _report(telemetry.render_tree(min_duration_s=1e-4, max_depth=3))
@@ -367,6 +460,58 @@ def _run_compare(args) -> int:
         return 2
     fmt = "json" if args.json else "text"
     _report(render_compare(compare_records(a, b), fmt))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro profile: one experiment under sampler + tracer + health.
+# ---------------------------------------------------------------------- #
+def _run_profile(args) -> int:
+    from repro.errors import ConfigError
+    from repro.experiments import registry
+    from repro.observe import run_profile
+
+    if len(args.targets) != 1:
+        _LOG.error("usage: repro profile <experiment> "
+                   "(known: %s)", ", ".join(registry.names()))
+        return 2
+    name = args.targets[0]
+    if name not in registry.names():
+        _LOG.error("unknown experiment %r (known: %s)", name,
+                   ", ".join(registry.names()))
+        return 2
+    trace_path = args.trace if args.trace not in (None, "-") else None
+    try:
+        profile = run_profile(
+            name,
+            _default_config(args),
+            interval_s=args.sample_interval,
+            trace_format=args.trace_format or "chrome",
+            trace_path=trace_path,
+        )
+    except ConfigError as exc:
+        _LOG.error("%s", exc)
+        return 2
+    _report(profile.report_text)
+    _report()
+    _report(profile.attribution)
+    _report()
+    res = profile.resources
+    if res:
+        _report(
+            f"resources: peak RSS {res['peak_rss_bytes'] / 1e6:.1f} MB, "
+            f"CPU utilization {res['cpu_utilization']:.2f}, "
+            f"peak threads {res['peak_threads']}, "
+            f"peak fds {res['peak_fds']} "
+            f"({res['samples']} samples at {res['interval_s'] * 1e3:.0f} ms)"
+        )
+    _report(_health_lines(profile.health))
+    _report(f"{profile.trace_format} trace: {profile.trace_path} "
+            f"({profile.trace_events} events"
+            + (", open at ui.perfetto.dev)"
+               if profile.trace_format == "chrome" else ")"))
+    _report()
+    _report_verdict(profile.record, _ledger(args))
     return 0
 
 
@@ -448,7 +593,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", nargs="?", const="-", default=None, metavar="FILE",
         help="enable span tracing; print the timing tree at exit, or "
-             "write the trace as JSONL to FILE",
+             "write the trace to FILE (see --trace-format)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["chrome", "jsonl"], default=None,
+        help="trace file encoding: Chrome/Perfetto trace_event JSON "
+             "(opens at ui.perfetto.dev) or flat JSONL (default: jsonl; "
+             "profile defaults to chrome)",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=0.05, metavar="SEC",
+        help="profile: resource-sampler period in seconds "
+             "(default: 0.05)",
     )
     parser.add_argument("--metrics", action="store_true",
                         help="enable metrics; print the registry summary "
@@ -492,6 +648,11 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.reset()
         telemetry.enable()
 
+    if args.command == "profile":
+        # profile owns its own telemetry lifecycle (reset+enable); the
+        # global --trace flag only contributes the output path.
+        return _run_profile(args)
+
     if args.command == "assault":
         code = _run_assault(args)
         _emit_telemetry(args)
@@ -509,11 +670,10 @@ def main(argv: list[str] | None = None) -> int:
             _LOG.error("usage: repro run <experiment>")
             return 2
         command = args.targets[0]
-        builtins = ("run", "report", "compare", "stats", "assault")
-        if command not in _commands() or command in builtins:
+        if command not in _commands() or command in BUILTIN_COMMANDS:
             _LOG.error("unknown experiment %r (known: %s)", command,
                        ", ".join(n for n in _commands()
-                                 if n not in builtins))
+                                 if n not in BUILTIN_COMMANDS))
             return 2
 
     ledger = _ledger(args)

@@ -104,6 +104,16 @@ def _square(x):
     return x * x
 
 
+def _stall_on_three(x):
+    """A hostile task: item 3 wedges its worker far past the stall
+    timeout the scenario configures; everything else is instant."""
+    import time
+
+    if x == 3:
+        time.sleep(0.8)
+    return x * x
+
+
 def _rc_divider():
     """A linear divider: mid node must land at exactly 0.5 V."""
     from repro.spice import Circuit
@@ -472,6 +482,45 @@ def _executor_worker_death(ctx):
     assassin = ctx.chaos.worker_assassin(_square, kill_items={3, 5})
     results = get_executor(2, "process").map(assassin, items, chunksize=2)
     return {"results": results, "expected": [_square(i) for i in items]}
+
+
+def _check_stalled_worker(obs):
+    if obs["results"] != obs["expected"]:
+        return "stalled fan-out returned wrong results"
+    if obs["completed"] != len(obs["expected"]):
+        return (f"heartbeats lost tasks: {obs['completed']} completed "
+                f"of {len(obs['expected'])}")
+    if obs["stalls"] < 1:
+        return "the wedged worker never tripped the stall detector"
+    return True
+
+
+@scenario("executor_stalled_worker", tier="storm",
+          description="a worker wedged mid-map trips the heartbeat "
+                      "stall detector while the fan-out still returns "
+                      "correct, complete results",
+          expect=expect_clean(_check_stalled_worker))
+def _executor_stalled_worker(ctx):
+    from repro.observe import health
+    from repro.runtime import get_executor
+
+    items = list(range(8))
+    # The watchdog (interval stall_timeout/4) must flag the wedged
+    # worker *while* the map is still running -- that is the whole
+    # point of live heartbeats over post-hoc span analysis.
+    health.enable(stall_timeout_s=0.2, watchdog=True)
+    try:
+        results = get_executor(2, "thread").map(
+            _stall_on_three, items, chunksize=1)
+        summary = health.summary()
+    finally:
+        health.disable()
+    return {
+        "results": results,
+        "expected": [_square(i) for i in items],
+        "stalls": len(summary["stall_events"]),
+        "completed": summary["tasks_completed"],
+    }
 
 
 @scenario("solver_budget_exhaustion", tier="storm",

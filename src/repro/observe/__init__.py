@@ -1,0 +1,55 @@
+"""repro.observe: deep observability on top of :mod:`repro.telemetry`.
+
+Telemetry (PR 2) answers "how long did each stage take"; this package
+answers the three questions that layer cannot:
+
+* **What did the run cost?**  :mod:`repro.observe.sampler` -- a
+  background thread sampling ``/proc/self`` (RSS, CPU, threads, FDs)
+  into a bounded timeseries whose peaks fold into every
+  :class:`~repro.provenance.records.RunRecord`.
+* **Where does wall-clock go, visually?**
+  :mod:`repro.observe.perfetto` -- the span tree (worker subtrees
+  included) exported as Chrome/Perfetto ``trace_event`` JSON that
+  opens in ``ui.perfetto.dev``.
+* **Are the workers healthy?**  :mod:`repro.observe.health` --
+  per-task heartbeats from thread/process workers, live stall
+  detection, and p99/median straggler skew.
+
+``repro profile <experiment>`` (:mod:`repro.observe.profile`) runs all
+three at once and prints a self-time attribution table.
+
+Everything is stdlib-only and off by default, matching the telemetry
+layer's one-branch-when-disabled discipline.  This is the layer the
+future ``repro.serve`` middleware and multi-host ledger merge plug
+into: the sampler/heartbeat summaries are plain dicts designed to
+cross process and host boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.observe import health
+from repro.observe.perfetto import trace_events, write_chrome_trace
+from repro.observe.profile import (
+    ProfileResult,
+    run_profile,
+    self_time_rows,
+    self_time_table,
+)
+from repro.observe.sampler import (
+    ResourceSample,
+    ResourceSampler,
+    read_sample,
+)
+
+__all__ = [
+    "ProfileResult",
+    "ResourceSample",
+    "ResourceSampler",
+    "health",
+    "read_sample",
+    "run_profile",
+    "self_time_rows",
+    "self_time_table",
+    "trace_events",
+    "write_chrome_trace",
+]

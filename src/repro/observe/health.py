@@ -1,0 +1,348 @@
+"""Executor health: per-task heartbeats, stall and straggler detection.
+
+The runtime's pooled backends (:mod:`repro.runtime.executor`) fan work
+out to threads or processes that the caller never sees individually --
+a worker wedged on a pathological solve looks identical to a long
+queue.  This module gives the fan-out a pulse:
+
+* every task execution emits a **start** and an **end** heartbeat
+  (:class:`HeartbeatFn` wraps the mapped function; thread workers beat
+  straight into the shared monitor, process workers through a managed
+  queue drained by the parent -- the :class:`ProcessChannel`);
+* the :class:`HealthMonitor` keeps per-worker state (last beat, open
+  task, completed count) and a bounded task-duration series;
+* a watchdog thread flags **stalled** workers -- an open task older
+  than ``stall_timeout_s`` -- the moment it happens (counter
+  ``runtime.health.stall_events``, gauge
+  ``runtime.health.stalled_workers``), not after the map returns;
+* **stragglers** surface as the p99/median task-duration skew
+  (``runtime.health.straggler_skew``), the classic tail-latency smell
+  of an uneven shard.
+
+Like telemetry, the layer is a module-level façade that is off by
+default: :func:`enabled` is one branch on the executor's hot path, and
+``repro profile`` / ``repro stats`` turn it on for the duration of a
+run.  The summary lands in ``repro stats`` and, via
+:mod:`repro.observe.profile`, in the run ledger.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro import telemetry
+
+__all__ = [
+    "HealthMonitor",
+    "HeartbeatFn",
+    "ProcessChannel",
+    "disable",
+    "enable",
+    "enabled",
+    "monitor",
+    "summary",
+]
+
+#: Default seconds an open task may run before its worker is stalled.
+DEFAULT_STALL_TIMEOUT_S = 5.0
+
+#: Default p99/median skew beyond which the tail is flagged.
+DEFAULT_STRAGGLER_SKEW = 4.0
+
+#: Task-duration observations kept for percentile math.
+_MAX_DURATIONS = 10_000
+
+#: Drainer shutdown sentinel (must pickle).
+_STOP = ("__stop__", "", "", 0.0, 0.0)
+
+
+class _WorkerState:
+    __slots__ = ("last_beat", "task", "task_start", "completed")
+
+    def __init__(self):
+        self.last_beat = 0.0
+        self.task: str | None = None
+        self.task_start = 0.0
+        self.completed = 0
+
+
+class HealthMonitor:
+    """Aggregates heartbeats; see the module docstring."""
+
+    def __init__(self, stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+                 straggler_skew: float = DEFAULT_STRAGGLER_SKEW):
+        if not stall_timeout_s > 0:
+            raise ValueError(
+                f"stall_timeout_s must be > 0, got {stall_timeout_s!r}")
+        self.stall_timeout_s = float(stall_timeout_s)
+        self.straggler_skew = float(straggler_skew)
+        self._lock = threading.Lock()
+        self._workers: dict[str, _WorkerState] = {}
+        self._durations: list[float] = []
+        self._tasks_started = 0
+        self._tasks_completed = 0
+        self._stall_events: list[dict] = []
+        self._flagged: set[tuple[str, str]] = set()
+
+    # -------------------------------------------------------------- #
+    # Beat ingestion.  Beats are plain tuples so they cross the
+    # process boundary through a managed queue unchanged:
+    # (phase, worker, task, wall, duration_s).
+    # -------------------------------------------------------------- #
+    def record(self, beat: tuple) -> None:
+        phase, worker, task, wall, duration_s = beat
+        with self._lock:
+            state = self._workers.get(worker)
+            if state is None:
+                state = self._workers[worker] = _WorkerState()
+            state.last_beat = wall
+            if phase == "start":
+                state.task = task
+                state.task_start = wall
+                self._tasks_started += 1
+            elif phase == "end":
+                state.task = None
+                state.completed += 1
+                self._tasks_completed += 1
+                self._durations.append(duration_s)
+                if len(self._durations) > _MAX_DURATIONS:
+                    del self._durations[:_MAX_DURATIONS // 2]
+
+    def record_start(self, worker: str, task: str,
+                     wall: float | None = None) -> None:
+        self.record(("start", worker, task,
+                     time.time() if wall is None else wall, 0.0))
+
+    def record_end(self, worker: str, task: str, duration_s: float,
+                   wall: float | None = None) -> None:
+        self.record(("end", worker, task,
+                     time.time() if wall is None else wall, duration_s))
+
+    # -------------------------------------------------------------- #
+    # Detection
+    # -------------------------------------------------------------- #
+    def stalled(self, now: float | None = None) -> list[dict]:
+        """Workers whose open task exceeds the stall timeout, now."""
+        now = time.time() if now is None else now
+        out = []
+        with self._lock:
+            for worker, state in self._workers.items():
+                if state.task is None:
+                    continue
+                age = now - state.task_start
+                if age > self.stall_timeout_s:
+                    out.append({"worker": worker, "task": state.task,
+                                "age_s": age})
+        return out
+
+    def check(self, now: float | None = None) -> list[dict]:
+        """One detector pass: flag new stalls, refresh the gauges.
+
+        Each (worker, task) stall is counted once however many passes
+        observe it; the returned list is the *newly* flagged set.
+        """
+        stalled = self.stalled(now)
+        fresh = []
+        with self._lock:
+            for event in stalled:
+                key = (event["worker"], event["task"])
+                if key in self._flagged:
+                    continue
+                self._flagged.add(key)
+                self._stall_events.append(dict(event))
+                fresh.append(event)
+        for _ in fresh:
+            telemetry.count("runtime.health.stall_events")
+        telemetry.gauge("runtime.health.stalled_workers", len(stalled))
+        skew = self._skew()
+        if skew is not None:
+            telemetry.gauge("runtime.health.straggler_skew", skew)
+        telemetry.gauge("runtime.health.workers", len(self._workers))
+        telemetry.gauge("runtime.health.tasks_completed",
+                        self._tasks_completed)
+        return fresh
+
+    def _percentile(self, ordered: list[float], q: float) -> float:
+        k = min(len(ordered) - 1,
+                max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[k]
+
+    def _skew(self) -> float | None:
+        with self._lock:
+            if len(self._durations) < 4:
+                return None
+            ordered = sorted(self._durations)
+        median = self._percentile(ordered, 50)
+        p99 = self._percentile(ordered, 99)
+        if median <= 0:
+            return None
+        return p99 / median
+
+    # -------------------------------------------------------------- #
+    def summary(self) -> dict:
+        """The health section ``repro stats`` / ``repro profile`` print."""
+        skew = self._skew()
+        with self._lock:
+            durations = sorted(self._durations)
+            active = sum(1 for s in self._workers.values()
+                         if s.task is not None)
+            out = {
+                "workers": len(self._workers),
+                "active": active,
+                "tasks_started": self._tasks_started,
+                "tasks_completed": self._tasks_completed,
+                "stall_events": list(self._stall_events),
+                "stall_timeout_s": self.stall_timeout_s,
+            }
+        if durations:
+            out["task_p50_s"] = self._percentile(durations, 50)
+            out["task_p99_s"] = self._percentile(durations, 99)
+        if skew is not None:
+            out["straggler_skew"] = skew
+            out["stragglers_flagged"] = skew > self.straggler_skew
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# The picklable heartbeat wrapper the executor wraps mapped fns in.
+# ---------------------------------------------------------------------- #
+def _worker_id() -> str:
+    return f"pid{os.getpid()}-t{threading.get_ident() & 0xFFFF:04x}"
+
+
+class HeartbeatFn:
+    """Wraps ``fn`` so every call beats start/end around the work.
+
+    With ``queue=None`` beats land directly in this process's monitor
+    (thread workers share the address space); with a managed queue they
+    are shipped to the parent, which drains them on a
+    :class:`ProcessChannel` thread.  Pickles iff ``fn`` does: managed
+    queue proxies reconnect on unpickle in the worker.
+    """
+
+    def __init__(self, fn, queue=None):
+        self.fn = fn
+        self.queue = queue
+
+    def _emit(self, beat: tuple) -> None:
+        if self.queue is not None:
+            try:
+                self.queue.put(beat)
+            except Exception:  # noqa: BLE001 - a dead channel never
+                pass           # takes the work down with it
+        else:
+            mon = monitor()
+            if mon is not None:
+                mon.record(beat)
+
+    def __call__(self, item):
+        worker = _worker_id()
+        task = repr(item)
+        if len(task) > 80:
+            task = task[:77] + "..."
+        start = time.time()
+        self._emit(("start", worker, task, start, 0.0))
+        result = self.fn(item)
+        end = time.time()
+        self._emit(("end", worker, task, end, end - start))
+        return result
+
+
+class ProcessChannel:
+    """Parent-side heartbeat channel for one process-pool fan-out.
+
+    Owns a ``multiprocessing.Manager`` queue (proxy objects pickle into
+    workers, unlike raw ``mp.Queue``) and a drainer thread feeding the
+    monitor live -- stalls are visible *while* the map runs.
+    """
+
+    def __init__(self, mon: HealthMonitor):
+        import multiprocessing
+
+        self._monitor = mon
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-health-drain", daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                beat = self.queue.get(timeout=0.25)
+            except Exception:  # noqa: BLE001 - timeout or closed manager
+                if self._manager is None:
+                    return
+                continue
+            if beat[0] == _STOP[0]:
+                return
+            self._monitor.record(beat)
+
+    def close(self) -> None:
+        try:
+            self.queue.put(_STOP)
+        except Exception:  # noqa: BLE001 - manager already gone
+            pass
+        self._thread.join(timeout=2.0)
+        manager, self._manager = self._manager, None
+        manager.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Module-level façade (mirrors repro.telemetry's enable/disable shape).
+# ---------------------------------------------------------------------- #
+_MONITOR: HealthMonitor | None = None
+_WATCHDOG: threading.Thread | None = None
+_WATCHDOG_STOP = threading.Event()
+
+
+def enabled() -> bool:
+    """Whether heartbeat collection is on (one branch, executor-hot)."""
+    return _MONITOR is not None
+
+
+def monitor() -> HealthMonitor | None:
+    """The live monitor, if any."""
+    return _MONITOR
+
+
+def enable(stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+           straggler_skew: float = DEFAULT_STRAGGLER_SKEW,
+           watchdog: bool = True) -> HealthMonitor:
+    """Start a fresh monitor (and its stall watchdog); returns it."""
+    global _MONITOR, _WATCHDOG
+    disable()
+    _MONITOR = HealthMonitor(stall_timeout_s=stall_timeout_s,
+                             straggler_skew=straggler_skew)
+    if watchdog:
+        _WATCHDOG_STOP.clear()
+        interval = max(0.02, min(0.5, stall_timeout_s / 4.0))
+        _WATCHDOG = threading.Thread(
+            target=_watch, args=(_MONITOR, interval),
+            name="repro-health-watchdog", daemon=True)
+        _WATCHDOG.start()
+    return _MONITOR
+
+
+def disable() -> None:
+    """Stop collecting; the last monitor's data is dropped."""
+    global _MONITOR, _WATCHDOG
+    _MONITOR = None
+    if _WATCHDOG is not None:
+        _WATCHDOG_STOP.set()
+        _WATCHDOG.join(timeout=2.0)
+        _WATCHDOG = None
+
+
+def _watch(mon: HealthMonitor, interval: float) -> None:
+    while not _WATCHDOG_STOP.wait(interval):
+        if _MONITOR is not mon:
+            return
+        mon.check()
+
+
+def summary() -> dict:
+    """The live monitor's summary ({} while disabled)."""
+    return _MONITOR.summary() if _MONITOR is not None else {}

@@ -1,0 +1,225 @@
+"""Background resource sampler: what a run *costs*, not just how long.
+
+The telemetry layer (PR 2) times spans; this module watches the process
+itself while those spans run.  A :class:`ResourceSampler` is a daemon
+thread that wakes on a configurable interval and reads ``/proc/self``
+(RSS, cumulative CPU time, thread count, open file descriptors) into a
+bounded in-memory timeseries.  On hosts without ``/proc`` it degrades
+to the stdlib ``resource``/``os.times`` view -- always dependency-free,
+never a hard failure.
+
+Two consumers:
+
+* :meth:`ResourceSampler.summary` -- scalar peaks and rates (peak RSS,
+  mean CPU utilization, peak thread/FD counts) that the provenance
+  layer folds into every :class:`~repro.provenance.records.RunRecord`
+  and ``repro report`` renders as the resource column;
+* :meth:`ResourceSampler.samples` -- the raw timeseries, which the
+  Perfetto exporter (:mod:`repro.observe.perfetto`) turns into counter
+  tracks so memory/CPU draw under the span tree in ``ui.perfetto.dev``.
+
+The sampler holds no locks shared with the measured code and allocates
+one small tuple per tick, so leaving it on costs well under the 2 %
+overhead budget ``benchmarks/test_bench_observe.py`` pins.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["ResourceSample", "ResourceSampler", "read_sample"]
+
+#: Default wall-clock seconds between samples.
+DEFAULT_INTERVAL_S = 0.05
+
+#: Default timeseries bound (ring buffer semantics: oldest dropped).
+DEFAULT_MAX_SAMPLES = 4096
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+_CLK_TCK = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One observation of the process, stamped with wall-clock time."""
+
+    wall: float
+    """Epoch seconds the sample was taken."""
+    rss_bytes: int
+    """Resident set size."""
+    cpu_s: float
+    """Cumulative process CPU time (user + system), seconds."""
+    threads: int
+    """Live thread count."""
+    fds: int
+    """Open file descriptors (0 where unreadable)."""
+
+    def to_dict(self) -> dict:
+        return {
+            "wall": self.wall,
+            "rss_bytes": self.rss_bytes,
+            "cpu_s": self.cpu_s,
+            "threads": self.threads,
+            "fds": self.fds,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# One-shot readers.  /proc when available, stdlib fallback otherwise.
+# ---------------------------------------------------------------------- #
+def _read_proc() -> tuple[int, float, int]:
+    """(rss_bytes, cpu_s, threads) from ``/proc/self/stat``.
+
+    The comm field (2nd) may contain spaces/parens, so fields are
+    counted from the *last* ``)``; utime/stime are fields 14/15 and
+    num_threads field 20 (1-indexed per proc(5)).
+    """
+    with open("/proc/self/stat", "rb") as fh:
+        raw = fh.read().decode("ascii", "replace")
+    rest = raw[raw.rindex(")") + 2:].split()
+    # rest[0] is field 3 ("state"): utime=rest[11], stime=rest[12],
+    # num_threads=rest[17], rss pages=rest[21].
+    cpu_s = (int(rest[11]) + int(rest[12])) / _CLK_TCK
+    threads = int(rest[17])
+    rss_bytes = int(rest[21]) * _PAGE_SIZE
+    return rss_bytes, cpu_s, threads
+
+
+def _read_fallback() -> tuple[int, float, int]:
+    """Portable stand-in when ``/proc`` is unavailable."""
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS; Linux has /proc, so
+    # the KiB interpretation only matters as a lower-fidelity fallback.
+    rss_bytes = int(usage.ru_maxrss) * 1024
+    times = os.times()
+    return rss_bytes, times.user + times.system, threading.active_count()
+
+
+def _count_fds() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+def read_sample() -> ResourceSample:
+    """One immediate observation of the current process."""
+    try:
+        rss, cpu, threads = _read_proc()
+    except (OSError, ValueError, IndexError):
+        rss, cpu, threads = _read_fallback()
+    return ResourceSample(
+        wall=time.time(),
+        rss_bytes=rss,
+        cpu_s=cpu,
+        threads=threads,
+        fds=_count_fds(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The sampler thread
+# ---------------------------------------------------------------------- #
+class ResourceSampler:
+    """Periodic :func:`read_sample` into a bounded timeseries.
+
+    Use as a context manager (or ``start()``/``stop()``)::
+
+        with ResourceSampler(interval_s=0.05) as sampler:
+            run_experiment()
+        print(sampler.summary()["peak_rss_bytes"])
+
+    ``stop()`` always takes one final sample, so even a run shorter
+    than the interval yields a start/end pair and a meaningful CPU
+    utilization.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S,
+                 max_samples: int = DEFAULT_MAX_SAMPLES):
+        if not interval_s > 0.0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s!r}")
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples!r}")
+        self.interval_s = float(interval_s)
+        self.max_samples = int(max_samples)
+        self._samples: list[ResourceSample] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._dropped = 0
+
+    # -------------------------------------------------------------- #
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._record(read_sample())
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "ResourceSampler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._record(read_sample())
+        return self
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # -------------------------------------------------------------- #
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._record(read_sample())
+
+    def _record(self, sample: ResourceSample) -> None:
+        self._samples.append(sample)
+        if len(self._samples) > self.max_samples:
+            # Drop every other retained sample: the series stays bounded
+            # and evenly thinned instead of forgetting the run's start.
+            self._samples = self._samples[::2]
+            self._dropped += 1
+
+    # -------------------------------------------------------------- #
+    @property
+    def samples(self) -> list[ResourceSample]:
+        """The retained timeseries, oldest first (snapshot copy)."""
+        return list(self._samples)
+
+    def summary(self) -> dict:
+        """Scalar peaks/rates for the run ledger; {} with no samples."""
+        samples = self._samples
+        if not samples:
+            return {}
+        first, last = samples[0], samples[-1]
+        wall_s = max(0.0, last.wall - first.wall)
+        cpu_delta = max(0.0, last.cpu_s - first.cpu_s)
+        return {
+            "peak_rss_bytes": max(s.rss_bytes for s in samples),
+            "mean_rss_bytes": int(
+                sum(s.rss_bytes for s in samples) / len(samples)),
+            "cpu_s": cpu_delta,
+            "cpu_utilization": cpu_delta / wall_s if wall_s > 0 else 0.0,
+            "peak_threads": max(s.threads for s in samples),
+            "peak_fds": max(s.fds for s in samples),
+            "wall_s": wall_s,
+            "samples": len(samples),
+            "interval_s": self.interval_s,
+            "thinned": self._dropped,
+        }

@@ -10,6 +10,8 @@ invocation produce, on what, and was it still the paper?":
   (platform/python/cpu count);
 * telemetry -- a compact snapshot of the spans/counters/stage-cache
   state collected while the run executed (empty when telemetry is off);
+* resources -- the :mod:`repro.observe` sampler's peaks (peak RSS, CPU
+  utilization, thread/FD high-water marks; empty when no sampler ran);
 * science -- the experiment's numeric figures of merit and the
   serialized :class:`~repro.provenance.fidelity.FidelityReport`.
 
@@ -83,7 +85,7 @@ class RunRecord:
     experiment: str
     kind: str = "experiment"
     """``"experiment"`` for registry runs, ``"bench"`` for ingested
-    benchmark summaries."""
+    benchmark summaries, ``"profile"`` for ``repro profile`` runs."""
     run_id: str = field(default_factory=new_run_id)
     start_ts: str = ""
     """ISO-8601 UTC wall-clock time the run started."""
@@ -92,6 +94,9 @@ class RunRecord:
     package_version: str = __version__
     host: dict = field(default_factory=host_info)
     telemetry: dict = field(default_factory=dict)
+    resources: dict = field(default_factory=dict)
+    """Resource-sampler peaks (:mod:`repro.observe.sampler`): peak RSS,
+    CPU utilization and friends; empty when the run was unsampled."""
     metrics: dict = field(default_factory=dict)
     """Numeric figures of merit, by metric name."""
     fidelity: dict | None = None
@@ -118,6 +123,7 @@ class RunRecord:
             "package_version": self.package_version,
             "host": self.host,
             "telemetry": self.telemetry,
+            "resources": self.resources,
             "metrics": self.metrics,
             "fidelity": self.fidelity,
         }
@@ -139,6 +145,7 @@ class RunRecord:
             package_version=data.get("package_version", "?"),
             host=data.get("host", {}),
             telemetry=data.get("telemetry", {}),
+            resources=data.get("resources", {}),
             metrics=data.get("metrics", {}),
             fidelity=data.get("fidelity"),
             schema=int(data.get("schema", SCHEMA_VERSION)),

@@ -102,6 +102,7 @@ def build_report(ledger: RunLedger,
             "config_digest": latest.config_digest,
             "verdict": latest.verdict,
             "checks": (latest.fidelity or {}).get("checks", []),
+            "resources": dict(latest.resources),
             "previous": None,
         }
         if latest.verdict:
@@ -123,6 +124,9 @@ def build_report(ledger: RunLedger,
             "run_id": latest.run_id,
             "start_ts": latest.start_ts,
             "benches": len(latest.metrics),
+            # Per-bench p50/p95/p99 wall times, recorded at ingestion
+            # (repro.provenance.store.ingest_bench_summary).
+            "percentiles": latest.telemetry.get("bench_percentiles", {}),
             "previous": None,
         }
         if len(bench_history) > 1:
@@ -239,8 +243,36 @@ def _render_report_tables(report: dict, markdown: bool) -> str:
         "Latest vs previous run (drift)",
     ))
 
+    resource_rows = []
+    for entry in report["experiments"]:
+        res = entry.get("resources") or {}
+        if not res:
+            continue
+        resource_rows.append([
+            entry["experiment"],
+            f"{res.get('peak_rss_bytes', 0) / 1e6:.1f} MB",
+            f"{res.get('cpu_utilization', 0.0):.2f}",
+            str(res.get("peak_threads", "-")),
+            str(res.get("peak_fds", "-")),
+            str(res.get("samples", "-")),
+        ])
+    if resource_rows:
+        sections.append(table(
+            ["experiment", "peak RSS", "CPU util", "threads", "fds",
+             "samples"],
+            resource_rows,
+            "Latest run resources (repro.observe sampler)",
+        ))
+
     bench = report["bench"]
     if bench is not None:
+        percentiles = bench.get("percentiles", {})
+
+        def pcts(name: str) -> list[str]:
+            p = percentiles.get(name, {})
+            return [f"{p[q]:.3f}" if q in p else "-"
+                    for q in ("p50", "p95", "p99")]
+
         if bench["previous"] is None:
             sections.append(
                 f"bench ledger: {bench['benches']} benches in run "
@@ -249,13 +281,15 @@ def _render_report_tables(report: dict, markdown: bool) -> str:
         else:
             rows = [
                 [r["metric"], f"{r['previous']:.3f}", f"{r['latest']:.3f}",
+                 *pcts(r["metric"]),
                  f"{r['pct']:+.1f} %" if r["pct"] is not None else "-",
                  "REGRESSION" if r in bench["previous"]["regressions"]
                  else ""]
                 for r in bench["previous"]["metrics"]
             ]
             sections.append(table(
-                ["bench", "previous (s)", "latest (s)", "change", ""],
+                ["bench", "previous (s)", "latest (s)", "p50", "p95",
+                 "p99", "change", ""],
                 rows,
                 "Benchmark wall times, latest vs previous",
             ))

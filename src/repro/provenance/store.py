@@ -173,10 +173,15 @@ def ingest_bench_summary(source, ledger: RunLedger,
     else:
         summary = source
     metrics: dict[str, float] = {}
+    percentiles: dict[str, dict] = {}
     total = 0.0
     for name, stats in summary.items():
         if isinstance(stats, dict) and "mean" in stats:
             value = float(stats["mean"])
+            tail = {q: float(stats[q]) for q in ("p50", "p95", "p99")
+                    if q in stats}
+            if tail:
+                percentiles[name] = tail
         else:
             value = float(stats)
         metrics[name] = value
@@ -187,6 +192,10 @@ def ingest_bench_summary(source, ledger: RunLedger,
         kind="bench",
         start_ts=start_ts,
         wall_s=total,
+        # The percentile tails ride in the telemetry dict (they are
+        # observations about the run, not figures of merit), where
+        # `repro report` renders them as p50/p95/p99 columns.
+        telemetry={"bench_percentiles": percentiles} if percentiles else {},
         metrics=metrics,
     )
     return ledger.append(record)

@@ -38,6 +38,13 @@ Design points:
   ``--trace`` on a parallel run still shows per-item spans.  Worker
   threads share the (thread-aware) tracer; their root spans are
   re-parented the same way.
+* **Health heartbeats.**  While :mod:`repro.observe.health` monitoring
+  is enabled (``repro profile`` / ``repro stats`` turn it on), every
+  task execution emits start/end heartbeats -- thread workers straight
+  into the shared monitor, process workers through a managed queue the
+  parent drains live -- so stalled workers and stragglers are flagged
+  *during* the fan-out, not after.  Disabled (the default), the cost
+  is one branch per ``map()``.
 """
 
 from __future__ import annotations
@@ -185,6 +192,28 @@ class _PooledExecutor(Executor):
     def _check_picklable(self, fn, items) -> None:
         """Processes only: surface pickle failures *before* the pool."""
 
+    def _heartbeat_channel(self):
+        """(wrapped fn factory, channel) for this fan-out, if any.
+
+        Returns ``(None, None)`` while health monitoring is off -- the
+        one branch the disabled path pays.  Thread workers beat into
+        the in-process monitor directly; process workers need a
+        managed-queue channel whose drainer the caller must close.
+        """
+        from repro.observe import health
+
+        if not health.enabled():
+            return None, None
+        if self.backend != "process":
+            return health.HeartbeatFn, None
+        try:
+            channel = health.ProcessChannel(health.monitor())
+        except Exception as exc:  # noqa: BLE001 - no semaphores etc.
+            _LOG.debug("heartbeat channel unavailable (%s: %s); "
+                       "mapping without beats", type(exc).__name__, exc)
+            return None, None
+        return (lambda fn: health.HeartbeatFn(fn, channel.queue)), channel
+
     def _map(self, fn, items, *, timeout_s, retries, chunksize):
         try:
             self._check_picklable(fn, items)
@@ -197,6 +226,8 @@ class _PooledExecutor(Executor):
             return SerialExecutor().map(
                 fn, items, timeout_s=timeout_s, retries=retries)
 
+        wrap, channel = self._heartbeat_channel()
+        task_fn = wrap(fn) if wrap is not None else fn
         capture = self.backend == "process" and telemetry.enabled()
         parent_span = telemetry.current_span()
         mark = telemetry.tracer.mark()
@@ -205,16 +236,20 @@ class _PooledExecutor(Executor):
         try:
             with pool as ex:
                 futures = {
-                    ex.submit(_run_chunk, fn, chunk, capture): (start, chunk)
+                    ex.submit(_run_chunk, task_fn, chunk, capture):
+                        (start, chunk)
                     for start, chunk in chunks
                 }
                 for future, (start, chunk) in futures.items():
                     budget = (None if timeout_s is None
                               else timeout_s * len(chunk))
                     chunk_results = self._await_chunk(
-                        fn, future, chunk, start, budget, retries, capture)
+                        task_fn, future, chunk, start, budget, retries,
+                        capture)
                     results[start:start + len(chunk)] = chunk_results
         finally:
+            if channel is not None:
+                channel.close()
             if self.backend == "thread":
                 # Worker-thread spans landed as new tracer roots; hang
                 # them under the span that was active at the call site.

@@ -46,7 +46,13 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        # Same lock discipline as Counter.inc/Histogram.observe: the
+        # float conversion can run arbitrary __float__ code, and the
+        # parallel runtime's merge path writes gauges from several
+        # threads -- last-write-wins must mean a *whole* write.
+        value = float(value)
+        with _LOCK:
+            self.value = value
 
 
 class Histogram:
@@ -93,6 +99,7 @@ class Histogram:
             "max": max(self.values),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -168,7 +175,10 @@ class MetricsRegistry:
 
         Counters add (they are deltas from the worker's clean slate),
         histogram observations extend, gauges last-write-win -- the same
-        semantics the instruments would have had in-process.
+        semantics the instruments would have had in-process.  Every
+        mutation goes through the instruments' own locked methods, so
+        concurrent merges from several pool-drain threads interleave
+        whole writes.
         """
         for name, value in data.get("counters", {}).items():
             self.counter(name).inc(value)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.__main__ import _commands, _expand
+from repro.__main__ import BUILTIN_COMMANDS, _commands, _expand
 from repro.experiments import registry
 from repro.experiments.registry import ExperimentSpec, experiment
 
@@ -61,7 +61,7 @@ class TestCLIIntegration:
         groups = registry.groups()
         for command in _commands():
             # Builtins dispatch on their own, not through the registry.
-            if command in ("stats", "run", "report", "compare", "assault"):
+            if command in BUILTIN_COMMANDS:
                 continue
             specs = _expand(command)
             assert specs, command

@@ -1,0 +1,157 @@
+"""Health monitor: beats, stall/straggler detection, façade, executor."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.observe import health
+from repro.observe.health import HealthMonitor, HeartbeatFn
+from repro.runtime import get_executor
+
+
+class TestHealthMonitor:
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(stall_timeout_s=0.0)
+
+    def test_counts_tasks_per_worker(self):
+        mon = HealthMonitor()
+        for i in range(3):
+            mon.record_start("w1", f"t{i}")
+            mon.record_end("w1", f"t{i}", 0.01)
+        s = mon.summary()
+        assert s["workers"] == 1
+        assert s["tasks_started"] == s["tasks_completed"] == 3
+        assert s["active"] == 0
+
+    def test_open_task_is_active(self):
+        mon = HealthMonitor()
+        mon.record_start("w1", "slow")
+        assert mon.summary()["active"] == 1
+
+    def test_stall_detected_and_flagged_once(self):
+        mon = HealthMonitor(stall_timeout_s=0.05)
+        mon.record_start("w1", "wedged", wall=time.time() - 1.0)
+        now = time.time()
+        assert mon.stalled(now)
+        first = mon.check(now)
+        assert [e["worker"] for e in first] == ["w1"]
+        # A second detector pass must not double-count the same stall.
+        assert mon.check(now) == []
+        assert len(mon.summary()["stall_events"]) == 1
+
+    def test_completed_task_is_not_stalled(self):
+        mon = HealthMonitor(stall_timeout_s=0.05)
+        mon.record_start("w1", "t", wall=time.time() - 1.0)
+        mon.record_end("w1", "t", 1.0)
+        assert mon.stalled() == []
+
+    def test_straggler_skew(self):
+        mon = HealthMonitor(straggler_skew=4.0)
+        for i in range(20):
+            mon.record_start("w1", f"t{i}")
+            mon.record_end("w1", f"t{i}", 0.01)
+        mon.record_start("w1", "tail")
+        mon.record_end("w1", "tail", 1.0)
+        s = mon.summary()
+        assert s["task_p99_s"] == pytest.approx(1.0)
+        assert s["straggler_skew"] > 4.0
+        assert s["stragglers_flagged"] is True
+
+    def test_check_refreshes_gauges(self):
+        telemetry.enable()
+        mon = HealthMonitor(stall_timeout_s=0.05)
+        mon.record_start("w1", "wedged", wall=time.time() - 1.0)
+        mon.check()
+        assert telemetry.registry.counter(
+            "runtime.health.stall_events").value == 1
+        assert telemetry.registry.gauge(
+            "runtime.health.stalled_workers").value == 1
+
+
+class TestHeartbeatFn:
+    def test_beats_land_in_enabled_monitor(self):
+        mon = health.enable(watchdog=False)
+        try:
+            wrapped = HeartbeatFn(lambda x: x * 2)
+            assert wrapped(21) == 42
+            s = mon.summary()
+            assert s["tasks_started"] == s["tasks_completed"] == 1
+        finally:
+            health.disable()
+
+    def test_noop_while_disabled(self):
+        assert HeartbeatFn(lambda x: x + 1)(1) == 2
+
+    def test_long_task_labels_are_truncated(self):
+        labels = []
+        mon = health.enable(watchdog=False)
+        original = mon.record
+        mon.record = lambda beat: (labels.append(beat[2]), original(beat))
+        try:
+            HeartbeatFn(lambda x: x)("y" * 500)
+        finally:
+            health.disable()
+        assert labels and all(len(label) <= 80 for label in labels)
+
+
+class TestFacade:
+    def test_enable_disable_cycle(self):
+        assert not health.enabled()
+        assert health.summary() == {}
+        mon = health.enable(watchdog=False)
+        assert health.enabled()
+        assert health.monitor() is mon
+        health.disable()
+        assert not health.enabled()
+
+    def test_watchdog_flags_live_stall(self):
+        mon = health.enable(stall_timeout_s=0.1)
+        try:
+            mon.record_start("w1", "wedged")
+            deadline = time.time() + 2.0
+            while (not mon.summary()["stall_events"]
+                   and time.time() < deadline):
+                time.sleep(0.02)
+            assert mon.summary()["stall_events"], \
+                "watchdog never flagged the stalled worker"
+        finally:
+            health.disable()
+
+
+def _beat_square(x):
+    return x * x
+
+
+class TestExecutorIntegration:
+    def test_thread_map_emits_heartbeats(self):
+        mon = health.enable(watchdog=False)
+        try:
+            results = get_executor(2, "thread").map(
+                _beat_square, range(6), chunksize=1)
+            s = mon.summary()
+        finally:
+            health.disable()
+        assert results == [i * i for i in range(6)]
+        assert s["tasks_completed"] == 6
+
+    def test_process_map_emits_heartbeats(self):
+        ex = get_executor(2, "process")
+        if ex.backend != "process":  # pragma: no cover - sandboxed CI
+            pytest.skip("process backend unavailable")
+        mon = health.enable(watchdog=False)
+        try:
+            results = ex.map(_beat_square, range(6), chunksize=2)
+            s = mon.summary()
+        finally:
+            health.disable()
+        assert results == [i * i for i in range(6)]
+        assert s["tasks_completed"] == 6
+
+    def test_disabled_map_records_nothing(self):
+        results = get_executor(2, "thread").map(_beat_square, range(4))
+        assert results == [i * i for i in range(4)]
+        assert health.summary() == {}

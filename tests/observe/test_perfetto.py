@@ -1,0 +1,103 @@
+"""Chrome/Perfetto trace export: event shapes, lanes, counters."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+from repro import telemetry
+from repro.observe import read_sample, trace_events, write_chrome_trace
+from repro.telemetry.spans import Span
+
+
+def _tree():
+    """outer > [inner, inner] recorded through the real tracer."""
+    telemetry.enable()
+    with telemetry.span("outer", stage="test"):
+        with telemetry.span("inner"):
+            time.sleep(0.002)
+        with telemetry.span("inner"):
+            time.sleep(0.002)
+    return telemetry.trace_roots()
+
+
+def _overlapping_tree():
+    """A parent with two children occupying the same time range --
+    the shape a merged parallel fan-out produces."""
+    parent = Span.from_dict({
+        "name": "map", "attrs": {}, "start_wall": 100.0,
+        "duration_s": 1.0,
+        "children": [
+            {"name": "w0", "attrs": {}, "start_wall": 100.0,
+             "duration_s": 0.9, "children": []},
+            {"name": "w1", "attrs": {}, "start_wall": 100.05,
+             "duration_s": 0.9, "children": []},
+        ],
+    })
+    return [parent]
+
+
+class TestTraceEvents:
+    def test_complete_events_have_ts_and_dur(self):
+        events = trace_events(_tree())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for e in complete:
+            assert e["ts"] > 0
+            assert e["dur"] >= 0
+            assert e["pid"] == 1
+
+    def test_span_attrs_become_args(self):
+        events = trace_events(_tree())
+        outer = next(e for e in events if e.get("name") == "outer")
+        assert outer["args"] == {"stage": "test"}
+
+    def test_metadata_names_process_and_threads(self):
+        events = trace_events(_tree())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name"} <= names
+
+    def test_serial_children_share_a_lane(self):
+        events = trace_events(_tree())
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert len(tids) == 1
+
+    def test_overlapping_children_fan_out_to_lanes(self):
+        events = trace_events(_overlapping_tree())
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["w0"]["tid"] != by_name["w1"]["tid"]
+        # Every lane is labeled for the viewer.
+        labeled = {e["tid"] for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {e["tid"] for e in events if e["ph"] == "X"} <= labeled
+
+    def test_counter_events_from_samples(self):
+        samples = [read_sample(), read_sample()]
+        events = trace_events(_tree(), samples=samples)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"rss_mb", "cpu_s",
+                                                "threads"}
+        assert len(counters) == 3 * len(samples)
+
+
+class TestWriteChromeTrace:
+    def test_document_roundtrips_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(str(path), _tree())
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["otherData"]["producer"] == "repro.observe"
+
+    def test_accepts_open_handle(self):
+        buf = io.StringIO()
+        n = write_chrome_trace(buf, _tree())
+        assert len(json.loads(buf.getvalue())["traceEvents"]) == n
+
+    def test_empty_trace_is_valid(self):
+        buf = io.StringIO()
+        write_chrome_trace(buf, [])
+        doc = json.loads(buf.getvalue())
+        # Metadata only, but still a loadable document.
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])

@@ -1,0 +1,85 @@
+"""Resource sampler: one-shot reads, the thread, bounds and summary."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.observe import ResourceSampler, read_sample
+from repro.observe.sampler import _read_fallback
+
+
+class TestReadSample:
+    def test_fields_are_sane(self):
+        s = read_sample()
+        assert s.rss_bytes > 0
+        assert s.cpu_s >= 0.0
+        assert s.threads >= 1
+        assert s.fds >= 0
+        assert abs(s.wall - time.time()) < 5.0
+
+    def test_to_dict_roundtrips_json(self):
+        import json
+
+        d = read_sample().to_dict()
+        assert set(d) == {"wall", "rss_bytes", "cpu_s", "threads", "fds"}
+        json.dumps(d)
+
+    def test_fallback_reader_works(self):
+        """The no-/proc path must stay healthy even where /proc exists."""
+        rss, cpu, threads = _read_fallback()
+        assert rss > 0
+        assert cpu >= 0.0
+        assert threads >= 1
+
+
+class TestResourceSampler:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval_s=0.0)
+        with pytest.raises(ValueError):
+            ResourceSampler(max_samples=1)
+
+    def test_context_manager_collects(self):
+        with ResourceSampler(interval_s=0.01) as sampler:
+            assert sampler.running
+            time.sleep(0.05)
+        assert not sampler.running
+        # initial + final samples bracket the ticks in between.
+        assert len(sampler.samples) >= 2
+
+    def test_short_run_still_has_start_end_pair(self):
+        with ResourceSampler(interval_s=10.0) as sampler:
+            pass
+        assert len(sampler.samples) >= 2
+
+    def test_summary_shape(self):
+        with ResourceSampler(interval_s=0.01) as sampler:
+            time.sleep(0.04)
+        summary = sampler.summary()
+        for key in ("peak_rss_bytes", "mean_rss_bytes", "cpu_s",
+                    "cpu_utilization", "peak_threads", "peak_fds",
+                    "wall_s", "samples", "interval_s", "thinned"):
+            assert key in summary, key
+        assert summary["peak_rss_bytes"] >= summary["mean_rss_bytes"] > 0
+        assert summary["samples"] == len(sampler.samples)
+        assert summary["wall_s"] >= 0.0
+
+    def test_empty_summary(self):
+        assert ResourceSampler().summary() == {}
+
+    def test_timeseries_stays_bounded(self):
+        sampler = ResourceSampler(interval_s=1.0, max_samples=8)
+        for _ in range(100):
+            sampler._record(read_sample())
+        assert len(sampler._samples) <= 8
+        assert sampler.summary()["thinned"] > 0
+
+    def test_start_is_idempotent(self):
+        sampler = ResourceSampler(interval_s=0.01).start()
+        try:
+            assert sampler.start() is sampler
+        finally:
+            sampler.stop()
+        assert sampler.stop() is sampler
