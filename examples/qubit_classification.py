@@ -11,12 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.classify import (
-    HDCClassifier,
-    HDCEncoder,
-    KNNClassifier,
-    evaluate_accuracy,
-)
+from repro.classify import HDCEncoder, evaluate_accuracy, get_classifier
 from repro.core import CryoStudy, StudyConfig
 from repro.experiments import fig7_scaling, table2_cycles
 from repro.quantum import falcon_backend, generate_dataset
@@ -34,9 +29,10 @@ def main() -> None:
         f"measurements, T2 = {backend.t2 * 1e6:.0f} us"
     )
 
-    knn = KNNClassifier(dataset.calibration_centers)
+    knn = get_classifier("knn").from_centers(dataset.calibration_centers)
     encoder = HDCEncoder.random(seed=2023)
-    hdc = HDCClassifier.calibrate(encoder, dataset.calibration_centers)
+    hdc = get_classifier("hdc").from_centers(
+        dataset.calibration_centers, encoder=encoder)
     for name, clf in (("kNN", knn), ("HDC", hdc)):
         acc = evaluate_accuracy(
             clf.classify(qubit, points), truth, qubit, backend.n_qubits

@@ -15,6 +15,7 @@
     python -m repro compare A B     # per-metric deltas of two runs
     python -m repro assault         # hostile-scenario campaign (--tier)
     python -m repro profile fig2    # sampler+tracer+health deep profile
+    python -m repro serve           # batched classification service
 
 The command list is *generated* from the experiment registry
 (:mod:`repro.experiments.registry`): every registered
@@ -132,7 +133,7 @@ def _build_study(args):
 #: experiment specs through the registry ("all" expands, so it is not
 #: one of these).
 BUILTIN_COMMANDS = ("stats", "run", "report", "compare", "assault",
-                    "profile")
+                    "profile", "serve")
 
 
 def _commands() -> list[str]:
@@ -562,6 +563,53 @@ def _run_assault(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# repro serve: the async batched classification service (repro.serve).
+# ---------------------------------------------------------------------- #
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import ConfigError
+    from repro.serve import ClassifierServer, ModelRegistry, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_queue=args.max_queue,
+        )
+    except ConfigError as exc:
+        _LOG.error("%s", exc)
+        return 2
+    registry = ModelRegistry.calibrated(jobs=args.jobs)
+    server = ClassifierServer(registry, config, ledger=_ledger(args))
+
+    async def run() -> None:
+        await server.start()
+        _report(f"serving {', '.join(registry.names())} on "
+                f"{server.host}:{server.port} "
+                f"(batch window {config.batch_window_ms:g} ms, "
+                f"queue {config.max_queue})")
+        for name, digest in registry.digests().items():
+            _report(f"  model {name}: digest {digest}")
+        try:
+            await server.serve_forever()
+        finally:
+            record = await server.stop()
+            _report(f"serve session {record.run_id}: "
+                    f"{record.metrics.get('serve.requests', 0)} "
+                    f"request(s), "
+                    f"{record.metrics.get('serve.rejected', 0)} rejected, "
+                    f"{record.metrics.get('serve.shots', 0)} shot(s)")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.runtime import resolve_jobs
 
@@ -636,6 +684,20 @@ def main(argv: list[str] | None = None) -> int:
         "--report-json", default=None, metavar="FILE",
         help="assault: also write the tier report as JSON to FILE",
     )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8742,
+                        help="serve: TCP port (default: 8742; 0 = OS "
+                             "pick)")
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="serve: micro-batch coalescing window (default: 2.0)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="serve: admitted-request cap before 429 back-pressure "
+             "(default: 64)",
+    )
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
 
@@ -657,6 +719,9 @@ def main(argv: list[str] | None = None) -> int:
         code = _run_assault(args)
         _emit_telemetry(args)
         return code
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "stats":
         _run_stats(args)

@@ -712,3 +712,179 @@ def _executor_retry_storm(ctx):
     except ExecutorError:
         typed_failure = True
     return {"recovered": recovered, "typed_failure": typed_failure}
+
+
+# ---------------------------------------------------------------------- #
+# Serving-layer storms (repro.serve): the classification service under
+# request floods and hostile clients.
+# ---------------------------------------------------------------------- #
+def _storm_registry(slow_s: float = 0.0):
+    """A tiny warm registry (+ untouched reference model).
+
+    ``slow_s`` > 0 throttles the served model's predict so a request
+    flood reliably overruns a small admission queue; the reference
+    stays fast for computing expected labels.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.classify import get_classifier
+    from repro.serve import ModelRegistry
+
+    centers = np.array([[[-1.0, 0.0], [1.0, 0.0]],
+                        [[0.0, -1.0], [0.0, 1.0]]])
+    model = get_classifier("knn").from_centers(centers)
+    reference = get_classifier("knn").from_centers(centers)
+    if slow_s:
+        base = model.predict
+
+        def slow_predict(iq, qubit=None):
+            _time.sleep(slow_s)
+            return base(iq, qubit=qubit)
+
+        model.predict = slow_predict
+    return ModelRegistry({"knn": model}), reference
+
+
+def _check_request_storm(obs):
+    if obs["wrong_labels"]:
+        return (f"{obs['wrong_labels']} served label(s) differed from "
+                f"direct predict")
+    if obs["untyped_errors"]:
+        return (f"{obs['untyped_errors']} failure(s) were not the typed "
+                f"ServeOverloadError: {obs['error_types']}")
+    if not obs["rejected"]:
+        return "the flood never tripped the 429 back-pressure path"
+    if obs["rejected_counter"] < obs["rejected"]:
+        return (f"serve.rejected counter ({obs['rejected_counter']}) "
+                f"missed observed 429s ({obs['rejected']})")
+    if not obs["recovered"]:
+        return "a post-storm request failed: the server did not recover"
+    return True
+
+
+@scenario("serve_request_storm", tier="storm",
+          description="a concurrent request flood against a tiny "
+                      "admission queue: immediate typed 429s, zero "
+                      "wrong labels, full recovery after the flood",
+          expect=expect_clean(_check_request_storm))
+def _serve_request_storm(ctx):
+    import threading
+
+    import numpy as np
+
+    from repro.errors import ServeOverloadError
+    from repro.serve import ServeClient, ServeConfig, ServerThread
+
+    registry, reference = _storm_registry(slow_s=0.05)
+    config = ServeConfig(max_queue=2, batch_window_ms=1.0,
+                         default_deadline_ms=10_000.0)
+    rng = np.random.default_rng(ctx.seed)
+    points = rng.uniform(-1.5, 1.5, (40, 2))
+    expected = reference.predict(points)
+
+    served = 0
+    rejected = 0
+    wrong = 0
+    error_types: list[str] = []
+    lock = threading.Lock()
+    with ServerThread(registry, config) as handle:
+        def flood():
+            nonlocal served, rejected, wrong
+            try:
+                with ServeClient(handle.host, handle.port) as client:
+                    labels = client.classify("knn", points)
+            except ServeOverloadError:
+                with lock:
+                    rejected += 1
+                return
+            except Exception as exc:  # noqa: BLE001 - graded below
+                with lock:
+                    error_types.append(type(exc).__name__)
+                return
+            with lock:
+                served += 1
+                if not np.array_equal(labels, expected):
+                    wrong += 1
+
+        threads = [threading.Thread(target=flood) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # The flood is over; one clean request must succeed.
+        with ServeClient(handle.host, handle.port) as client:
+            recovered = np.array_equal(
+                client.classify("knn", points), expected)
+        stats = dict(handle.server.stats)
+    return {
+        "served": served,
+        "rejected": rejected,
+        "wrong_labels": wrong,
+        "untyped_errors": len(error_types),
+        "error_types": error_types,
+        "rejected_counter": stats["serve.rejected"],
+        "recovered": recovered,
+    }
+
+
+def _check_slow_client(obs):
+    if not obs["disconnects"]:
+        return ("the stalled reader was never evicted "
+                "(serve.slow_client_disconnects stayed 0)")
+    if not obs["healthy_ok"]:
+        return ("a healthy client got wrong labels (or none) while the "
+                "stalled one was being evicted")
+    return True
+
+
+@scenario("serve_slow_client", tier="storm",
+          description="a client that floods requests but never reads "
+                      "responses is evicted by the write-drain timeout "
+                      "while healthy clients keep getting exact labels",
+          expect=expect_clean(_check_slow_client))
+def _serve_slow_client(ctx):
+    import socket as socketlib
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve import ServeClient, ServeConfig, ServerThread
+    from repro.serve.protocol import encode_request
+
+    registry, reference = _storm_registry()
+    config = ServeConfig(batch_window_ms=1.0, write_timeout_s=0.3,
+                         sndbuf_bytes=8192, max_queue=256,
+                         default_deadline_ms=30_000.0)
+    rng = np.random.default_rng(ctx.seed ^ 0xC11E)
+    points = rng.uniform(-1.5, 1.5, (1000, 2))
+    with ServerThread(registry, config) as handle:
+        stalled = socketlib.socket()
+        stalled.setsockopt(
+            socketlib.SOL_SOCKET, socketlib.SO_RCVBUF, 4096)
+        stalled.connect((handle.host, handle.port))
+        payload = b"".join(
+            encode_request(i, "knn", points) for i in range(200))
+        try:
+            # Never read a byte back: the responses must jam the
+            # (deliberately tiny) send path until the drain times out.
+            stalled.sendall(payload)
+        except OSError:
+            pass  # eviction mid-send resets the socket: expected
+        deadline = _time.monotonic() + 10.0
+        while (_time.monotonic() < deadline
+               and not handle.server.stats[
+                   "serve.slow_client_disconnects"]):
+            _time.sleep(0.05)
+        with ServeClient(handle.host, handle.port) as client:
+            healthy_ok = np.array_equal(
+                client.classify("knn", points[:50]),
+                reference.predict(points[:50]))
+        stats = dict(handle.server.stats)
+        stalled.close()
+    return {
+        "disconnects": stats["serve.slow_client_disconnects"],
+        "healthy_ok": healthy_ok,
+        "served": stats["serve.requests"],
+    }

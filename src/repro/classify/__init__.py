@@ -3,9 +3,16 @@
 Python reference implementations of the two classifiers the paper runs on
 the SoC; the RV64 kernels in :mod:`repro.soc.programs` implement the same
 algorithms and tests assert bit-identical labels.
+
+Both models implement the unified :class:`~repro.classify.base.Classifier`
+protocol -- ``calibrate(shots_0, shots_1)`` / ``predict(iq)`` /
+``to_dict``/``from_dict`` / ``model_digest`` -- and are registered by
+name (:func:`get_classifier`), which is what the serving layer
+(:mod:`repro.serve`) and the experiments consume.
 """
 
 from repro.classify.accuracy import AccuracyReport, evaluate_accuracy
+from repro.classify.base import Classifier, validate_points, validate_shots
 from repro.classify.hdc import (
     DIMENSION,
     HDCClassifier,
@@ -14,14 +21,25 @@ from repro.classify.hdc import (
     popcount64,
 )
 from repro.classify.knn import KNNClassifier
+from repro.classify.registry import (
+    classifier_from_dict,
+    classifier_names,
+    get_classifier,
+)
 
 __all__ = [
     "AccuracyReport",
+    "Classifier",
     "DIMENSION",
     "HDCClassifier",
     "HDCEncoder",
     "KNNClassifier",
     "LEVELS",
+    "classifier_from_dict",
+    "classifier_names",
     "evaluate_accuracy",
+    "get_classifier",
     "popcount64",
+    "validate_points",
+    "validate_shots",
 ]

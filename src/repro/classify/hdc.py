@@ -9,13 +9,22 @@ precomputation trick of Eq. 4 (the ``X_{C xor x-hat}`` tables that cost
 
 This module is the Python reference; :mod:`repro.soc.programs` runs the
 same algorithm on the RV64 ISS, and tests assert label agreement.
+:class:`HDCClassifier` implements the unified
+:class:`~repro.classify.base.Classifier` protocol and is registered as
+``"hdc"``; the historical ``calibrate(encoder, centers)`` call form
+still works behind a ``DeprecationWarning`` shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.classify.base import Classifier, validate_points, validate_shots
+from repro.classify.registry import register_classifier
+from repro.errors import ValidationError
 
 __all__ = ["HDCClassifier", "HDCEncoder", "popcount64"]
 
@@ -95,21 +104,45 @@ class HDCEncoder:
         return np.clip(idx, 0, LEVELS - 1).astype(int)
 
     def encode(self, points: np.ndarray) -> np.ndarray:
-        """Encode points (n, 2) into hypervectors (n, WORDS) -- Eq. 3."""
-        points = np.atleast_2d(np.asarray(points, dtype=float))
+        """Encode points (n, 2) into hypervectors (n, WORDS) -- Eq. 3.
+
+        Malformed points (wrong shape, NaN/inf I/Q) are rejected with a
+        typed :class:`~repro.errors.ValidationError` up front instead of
+        quantizing garbage into silently wrong prototypes.
+        """
+        points = validate_points("points", points)
         xq = self.quantize(points[:, 0])
         yq = self.quantize(points[:, 1])
         return self.x_items[xq] ^ self.y_items[yq]
 
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "x_items": self.x_items.tolist(),
+            "y_items": self.y_items.tolist(),
+        }
 
-class HDCClassifier:
+    @classmethod
+    def from_dict(cls, data: dict) -> "HDCEncoder":
+        return cls(
+            x_items=np.asarray(data["x_items"], dtype=np.uint64),
+            y_items=np.asarray(data["y_items"], dtype=np.uint64),
+        )
+
+
+@register_classifier
+class HDCClassifier(Classifier):
     """Per-qubit HDC classifier with the Eq.-4 precomputation."""
+
+    kind = "hdc"
 
     def __init__(self, encoder: HDCEncoder, prototypes: np.ndarray):
         """``prototypes``: (n_qubits, 2, WORDS) class hypervectors."""
         prototypes = np.asarray(prototypes, dtype=np.uint64)
         if prototypes.ndim != 3 or prototypes.shape[1] != 2:
-            raise ValueError("prototypes must have shape (n_qubits, 2, WORDS)")
+            raise ValidationError(
+                f"prototypes must have shape (n_qubits, 2, WORDS), "
+                f"got {prototypes.shape}")
         self.encoder = encoder
         self.prototypes = prototypes
         # Eq. 4: precompute X_{C xor x-hat} per class and x level.
@@ -123,16 +156,75 @@ class HDCClassifier:
         return self.prototypes.shape[0]
 
     @classmethod
-    def calibrate(
-        cls, encoder: HDCEncoder, centers: np.ndarray
-    ) -> "HDCClassifier":
-        """Encode the per-qubit calibration centers into prototypes."""
+    def calibrate(cls, shots_0, shots_1=None, *, encoder: HDCEncoder
+                  | None = None, seed: int = 42) -> "HDCClassifier":
+        """Train from |0>/|1> calibration shots (the unified protocol).
+
+        ``shots_0``/``shots_1``: (n_qubits, n_shots, 2) calibration
+        shots; centers are their per-qubit means, encoded into
+        prototypes.  The item memory defaults to the seeded
+        :meth:`HDCEncoder.random` ("constant and generated once").
+
+        The historical form ``calibrate(encoder, centers)`` still works
+        but warns: pass the encoder by keyword and train from shots, or
+        use :meth:`from_centers` for pre-estimated centers.
+        """
+        if isinstance(shots_0, HDCEncoder):
+            warnings.warn(
+                "HDCClassifier.calibrate(encoder, centers) is deprecated; "
+                "use HDCClassifier.calibrate(shots_0, shots_1, "
+                "encoder=...) or HDCClassifier.from_centers(centers, "
+                "encoder=...)",
+                DeprecationWarning, stacklevel=2)
+            return cls.from_centers(shots_1, encoder=shots_0)
+        s0 = validate_shots("shots_0", shots_0)
+        s1 = validate_shots("shots_1", shots_1)
+        if s0.shape[0] != s1.shape[0]:
+            raise ValidationError(
+                f"shots_0/shots_1 disagree on qubit count: "
+                f"{s0.shape[0]} != {s1.shape[0]}")
+        centers = np.stack([s0.mean(axis=1), s1.mean(axis=1)], axis=1)
+        return cls.from_centers(centers, encoder=encoder, seed=seed)
+
+    @classmethod
+    def from_centers(cls, centers, *, encoder: HDCEncoder | None = None,
+                     seed: int = 42) -> "HDCClassifier":
+        """Encode per-qubit calibration centers into prototypes."""
         centers = np.asarray(centers, dtype=float)
+        if centers.ndim != 3 or centers.shape[1:] != (2, 2):
+            raise ValidationError(
+                f"centers must have shape (n_qubits, 2, 2), "
+                f"got {centers.shape}")
+        if encoder is None:
+            encoder = HDCEncoder.random(seed=seed)
         protos = np.stack(
-            [encoder.encode(centers[:, 0, :]), encoder.encode(centers[:, 1, :])],
+            [encoder.encode(centers[:, 0, :]),
+             encoder.encode(centers[:, 1, :])],
             axis=1,
         )
         return cls(encoder, protos)
+
+    # ------------------------------------------------------------------ #
+    # The unified Classifier protocol
+    # ------------------------------------------------------------------ #
+    def predict(self, iq, qubit=None) -> np.ndarray:
+        """Vectorized labels; ``qubit=None`` = interleaved layout."""
+        pts = validate_points("iq", iq)
+        return self.classify(self.resolve_qubit(pts, qubit), pts)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "encoder": self.encoder.to_dict(),
+            "prototypes": self.prototypes.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HDCClassifier":
+        return cls(
+            HDCEncoder.from_dict(data["encoder"]),
+            np.asarray(data["prototypes"], dtype=np.uint64),
+        )
 
     # ------------------------------------------------------------------ #
     def hamming_distances(

@@ -5,16 +5,28 @@ classification assigns each I/Q measurement the label of the nearer
 center.  The radicand shortcut ("comparing the radicands is sufficient...
 the computationally expensive square root operation is unnecessary and
 removed") is exposed explicitly so the ABL-2 ablation can quantify it.
+
+:class:`KNNClassifier` implements the unified
+:class:`~repro.classify.base.Classifier` protocol (``calibrate`` /
+``predict`` / ``to_dict`` / ``from_dict`` / ``model_digest``) and is
+registered as ``"knn"`` in :mod:`repro.classify.registry`; the
+per-qubit ``classify`` methods remain the kernel-facing API the SoC
+tests pin bit-identical labels against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.classify.base import Classifier, validate_points, validate_shots
+from repro.classify.registry import register_classifier
+from repro.errors import ValidationError
+
 __all__ = ["KNNClassifier"]
 
 
-class KNNClassifier:
+@register_classifier
+class KNNClassifier(Classifier):
     """Per-qubit nearest-centroid classifier.
 
     Parameters
@@ -23,10 +35,16 @@ class KNNClassifier:
         Array of shape (n_qubits, 2, 2): [qubit][class][i/q component].
     """
 
+    kind = "knn"
+
     def __init__(self, centers: np.ndarray):
         centers = np.asarray(centers, dtype=float)
         if centers.ndim != 3 or centers.shape[1:] != (2, 2):
-            raise ValueError("centers must have shape (n_qubits, 2, 2)")
+            raise ValidationError(
+                f"centers must have shape (n_qubits, 2, 2), "
+                f"got {centers.shape}")
+        if not np.isfinite(centers).all():
+            raise ValidationError("centers contain non-finite components")
         self.centers = centers
 
     @property
@@ -41,12 +59,41 @@ class KNNClassifier:
 
         ``shots_0``/``shots_1``: arrays (n_qubits, n_shots, 2) measured
         with every qubit prepared in |0> / |1> -- exactly the paper's
-        calibration procedure (Section II).
+        calibration procedure (Section II).  Malformed inputs (wrong
+        rank, empty, non-finite I/Q) are rejected up front with a typed
+        :class:`~repro.errors.ValidationError` naming the field.
         """
-        c0 = np.asarray(shots_0, dtype=float).mean(axis=1)
-        c1 = np.asarray(shots_1, dtype=float).mean(axis=1)
-        return cls(np.stack([c0, c1], axis=1))
+        s0 = validate_shots("shots_0", shots_0)
+        s1 = validate_shots("shots_1", shots_1)
+        if s0.shape[0] != s1.shape[0]:
+            raise ValidationError(
+                f"shots_0/shots_1 disagree on qubit count: "
+                f"{s0.shape[0]} != {s1.shape[0]}")
+        return cls(np.stack([s0.mean(axis=1), s1.mean(axis=1)], axis=1))
 
+    @classmethod
+    def from_centers(cls, centers) -> "KNNClassifier":
+        """Build from already-estimated (n_qubits, 2, 2) centers."""
+        return cls(centers)
+
+    # ------------------------------------------------------------------ #
+    # The unified Classifier protocol
+    # ------------------------------------------------------------------ #
+    def predict(self, iq, qubit=None) -> np.ndarray:
+        """Vectorized labels; ``qubit=None`` = interleaved layout."""
+        pts = validate_points("iq", iq)
+        return self.classify(self.resolve_qubit(pts, qubit), pts)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "centers": self.centers.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KNNClassifier":
+        return cls(np.asarray(data["centers"], dtype=float))
+
+    # ------------------------------------------------------------------ #
+    # Kernel-facing per-qubit API (what the SoC programs mirror)
+    # ------------------------------------------------------------------ #
     def distances(
         self, qubit: np.ndarray, points: np.ndarray, sqrt: bool = False
     ) -> np.ndarray:

@@ -1,0 +1,62 @@
+"""The classifier registry: name -> :class:`~repro.classify.base.Classifier`.
+
+Mirrors :mod:`repro.experiments.registry`: registering a model class is
+the single step that plugs it into everything downstream -- the serving
+layer's warm model registry (:mod:`repro.serve.models`), the CLI, and
+deserialization (:func:`classifier_from_dict` dispatches on the
+``kind`` tag ``to_dict`` embeds).
+
+    from repro.classify import get_classifier
+
+    knn = get_classifier("knn").calibrate(shots_0, shots_1)
+    hdc = get_classifier("hdc").calibrate(shots_0, shots_1)
+"""
+
+from __future__ import annotations
+
+from repro.classify.base import Classifier
+from repro.errors import ConfigError
+
+__all__ = [
+    "classifier_from_dict",
+    "classifier_names",
+    "get_classifier",
+    "register_classifier",
+]
+
+_REGISTRY: dict[str, type[Classifier]] = {}
+
+
+def register_classifier(cls: type[Classifier]) -> type[Classifier]:
+    """Register a classifier class under its ``kind`` (decorator)."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must declare a non-empty kind")
+    if cls.kind in _REGISTRY:
+        raise ValueError(f"classifier {cls.kind!r} already registered")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def get_classifier(name: str) -> type[Classifier]:
+    """The registered classifier class for ``name`` ("knn", "hdc")."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"no classifier {name!r} registered (known: {known})",
+            field="model",
+        ) from None
+
+
+def classifier_names() -> list[str]:
+    """Registered model names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def classifier_from_dict(data: dict) -> Classifier:
+    """Rebuild any serialized classifier from its ``kind`` tag."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConfigError(
+            "serialized classifier needs a 'kind' tag", field="kind")
+    return get_classifier(data["kind"]).from_dict(data)

@@ -27,7 +27,7 @@ from repro.cells import (
     TechModels,
     build_library,
 )
-from repro.classify import HDCClassifier, HDCEncoder, KNNClassifier
+from repro.classify import HDCEncoder, get_classifier
 from repro.core.feasibility import (
     COOLING_BUDGET_10K,
     ScalingPoint,
@@ -300,9 +300,10 @@ class CryoStudy:
             backend, n_shots=self.config.shots,
             n_calibration_shots=256, seed=self.config.seed + 1,
         )
-        knn = KNNClassifier(dataset.calibration_centers)
         encoder = HDCEncoder.random(seed=self.config.seed)
-        hdc = HDCClassifier.calibrate(encoder, dataset.calibration_centers)
+        knn = get_classifier("knn").from_centers(dataset.calibration_centers)
+        hdc = get_classifier("hdc").from_centers(
+            dataset.calibration_centers, encoder=encoder)
         return backend, dataset, knn, hdc
 
     def knn_cycles(self, n_qubits: int, with_sqrt: bool = False):

@@ -31,6 +31,14 @@ tagged by layer:
     naming the field).  Both also derive from ``ValueError`` so
     pre-existing ``except ValueError`` call sites (and tests) keep
     working.
+``ServeError``
+    The classification service (:mod:`repro.serve`) could not serve a
+    request: the bounded queue was full
+    (:class:`ServeOverloadError`, the 429-style back-pressure signal)
+    or the request's deadline expired before its labels were delivered
+    (:class:`DeadlineError`, the 408 path).  A malformed wire request
+    is a :class:`ServeProtocolError`, which stays under
+    ``ValidationError`` like every other bad-input rejection.
 """
 
 from __future__ import annotations
@@ -38,9 +46,13 @@ from __future__ import annotations
 __all__ = [
     "CharacterizationError",
     "ConfigError",
+    "DeadlineError",
     "HangError",
     "NetlistError",
     "ReproError",
+    "ServeError",
+    "ServeOverloadError",
+    "ServeProtocolError",
     "SolverBudgetError",
     "SolverError",
     "ValidationError",
@@ -103,6 +115,42 @@ class ConfigError(ValidationError):
         super().__init__(message)
         self.field = field
         """The offending config field name (may be empty)."""
+
+
+class ServeError(ReproError):
+    """The classification service could not serve a request."""
+
+    #: HTTP-style status code carried on the wire (subclasses override).
+    code = 500
+
+
+class ServeOverloadError(ServeError):
+    """The bounded request queue was full; the request was rejected
+    immediately (429-style back-pressure, never a hang)."""
+
+    code = 429
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before its labels were delivered
+    (queued too long, or the client stalled reading its response)."""
+
+    code = 408
+
+
+class ServeProtocolError(ValidationError):
+    """A malformed wire request was rejected before classification.
+
+    Stays under :class:`ValidationError` (bad input, typed, names the
+    offender) -- the 400 path of the service.
+    """
+
+    code = 400
+
+    def __init__(self, message: str, field: str = ""):
+        super().__init__(message)
+        self.field = field
+        """The offending request field name (may be empty)."""
 
 
 class WorkloadError(ReproError):

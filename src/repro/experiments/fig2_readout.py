@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.classify import KNNClassifier, evaluate_accuracy
+from repro.classify import evaluate_accuracy, get_classifier
 from repro.core.report import format_table
 from repro.quantum import falcon_backend, generate_dataset
 
@@ -20,8 +20,8 @@ def run(n_shots: int = 256, seed: int = 27) -> dict:
     backend = falcon_backend(seed=seed)
     dataset = generate_dataset(backend, n_shots=n_shots)
     qubit, truth, points = dataset.interleaved()
-    clf = KNNClassifier(dataset.calibration_centers)
-    labels = clf.classify(qubit, points)
+    clf = get_classifier("knn").from_centers(dataset.calibration_centers)
+    labels = clf.predict(points, qubit=qubit)
     accuracy = evaluate_accuracy(labels, truth, qubit, backend.n_qubits)
 
     times = np.linspace(0.0, 125e-6, 26)
@@ -29,6 +29,7 @@ def run(n_shots: int = 256, seed: int = 27) -> dict:
 
     return {
         "n_qubits": backend.n_qubits,
+        "model_digest": clf.model_digest,
         "centers": dataset.calibration_centers,
         "points": points,
         "labels": labels,

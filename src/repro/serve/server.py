@@ -1,0 +1,483 @@
+"""The asyncio classification server: admission, deadlines, telemetry.
+
+Architecture (one event loop, a small predict thread pool)::
+
+    asyncio.start_server
+      └─ one reader task per connection (line-delimited JSON)
+           └─ one task per request line
+                └─ middleware pipeline
+                     telemetry ─ admission ─ deadline ─ micro-batcher
+
+The pipeline stages are plain ``handler -> handler`` wrappers over
+:class:`RequestContext`, so every request -- served or rejected --
+lands in the same spans and counters:
+
+``telemetry``
+    Wraps the request in a ``serve.request`` span, bumps
+    ``serve.requests`` / ``serve.shots`` / per-code rejection counters,
+    and feeds the latency histogram the session record summarizes.
+``admission``
+    Bounded-queue back-pressure.  If ``max_queue`` requests are already
+    admitted (parsed, not yet answered), the request is rejected
+    *immediately* with :class:`~repro.errors.ServeOverloadError` (429)
+    -- the client gets a typed error in microseconds, never a hang,
+    and ``serve.rejected`` counts it.
+``deadline``
+    Every request carries a deadline (its own ``deadline_ms`` or the
+    server default); expiry resolves to
+    :class:`~repro.errors.DeadlineError` (408) whether the time went
+    to queueing or to a stalled client.
+
+Slow *readers* are handled on the write side: each response drain is
+bounded by ``write_timeout_s``, and a client that stalls its socket
+long enough is disconnected (``serve.slow_client_disconnects``)
+instead of parking a connection task forever.
+
+Every server session appends one ``kind="serve"`` RunRecord to the
+provenance ledger: request/rejection/shot totals, latency quantiles,
+throughput, and the digests of the models it served.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.classify import Classifier
+from repro.errors import (
+    ConfigError,
+    DeadlineError,
+    ServeError,
+    ServeOverloadError,
+    ServeProtocolError,
+    ValidationError,
+)
+from repro.provenance import RunLedger, RunRecord
+from repro.serve.batcher import MicroBatcher
+from repro.serve.models import ModelRegistry
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ParsedRequest,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["ClassifierServer", "RequestContext", "ServeConfig",
+           "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server session (validated up front)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = let the OS pick (the test/bench harness reads it back)."""
+    batch_window_ms: float = 2.0
+    """How long the micro-batcher holds a request for company."""
+    max_batch_shots: int = 8192
+    """Early-flush threshold: fused shots per predict call."""
+    max_queue: int = 64
+    """Admitted-but-unanswered request cap; beyond it -> 429."""
+    default_deadline_ms: float = 1000.0
+    """Deadline for requests that do not carry their own."""
+    write_timeout_s: float = 5.0
+    """Per-response drain budget before a stalled reader is dropped."""
+    predict_workers: int = 2
+    """Threads running the vectorized predict calls."""
+    sndbuf_bytes: int | None = None
+    """Shrink per-connection send buffering (socket ``SO_SNDBUF`` plus
+    the transport high-water mark); ``None`` keeps OS defaults.  The
+    slow-client assault scenario sets this so a stalled reader trips
+    the drain timeout deterministically instead of hiding behind
+    megabytes of kernel buffer."""
+
+    def __post_init__(self):
+        for name in ("batch_window_ms", "max_batch_shots", "max_queue",
+                     "default_deadline_ms", "write_timeout_s",
+                     "predict_workers"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigError(
+                    f"{name} must be positive, got {value!r}", field=name)
+        if self.sndbuf_bytes is not None and not self.sndbuf_bytes > 0:
+            raise ConfigError(
+                f"sndbuf_bytes must be positive or None, got "
+                f"{self.sndbuf_bytes!r}", field="sndbuf_bytes")
+
+
+@dataclass
+class RequestContext:
+    """What the middleware pipeline threads through one request."""
+
+    request: ParsedRequest
+    model: Classifier
+    qubit: np.ndarray
+    t0: float
+    deadline_s: float | None = None
+    labels: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    batch_size: int = 0
+
+
+class ClassifierServer:
+    """Async batched classification over warm models (module docstring)."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: ServeConfig | None = None,
+                 ledger: RunLedger | None = None):
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.ledger = ledger
+        self.host = self.config.host
+        self.port = self.config.port
+        self.stats: dict[str, int] = {
+            "serve.connections": 0,
+            "serve.requests": 0,
+            "serve.shots": 0,
+            "serve.rejected": 0,
+            "serve.deadline_expired": 0,
+            "serve.bad_requests": 0,
+            "serve.unknown_model": 0,
+            "serve.slow_client_disconnects": 0,
+        }
+        self._latencies_ms: list[float] = []
+        self._inflight = 0
+        self._started_s = 0.0
+        self._start_ts = ""
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: MicroBatcher | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        # telemetry(admission(deadline(batcher))) -- every request,
+        # served or rejected, crosses the same instrumented pipeline.
+        self._pipeline = self._telemetry_middleware(
+            self._admission_middleware(
+                self._deadline_middleware(self._classify)))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        cfg = self.config
+        self._batcher = MicroBatcher(
+            window_s=cfg.batch_window_ms / 1e3,
+            max_batch_shots=cfg.max_batch_shots,
+            workers=cfg.predict_workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port,
+            limit=MAX_LINE_BYTES)
+        self.host, self.port = \
+            self._server.sockets[0].getsockname()[:2]
+        self._started_s = time.perf_counter()
+        self._start_ts = telemetry.iso_ts(time.time())
+        telemetry.gauge("serve.models", len(self.registry))
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> RunRecord:
+        """Close the socket, flush the session record to the ledger."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+            self._conn_tasks.clear()
+        if self._batcher is not None:
+            self._batcher.close()
+        record = self.session_record()
+        if self.ledger is not None:
+            self.ledger.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Connection + request plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn_task = asyncio.current_task()
+        self._conn_tasks.add(conn_task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._conn_tasks.discard(conn_task)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.stats["serve.connections"] += 1
+        telemetry.count("serve.connections")
+        if self.config.sndbuf_bytes:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                self.config.sndbuf_bytes)
+            writer.transport.set_write_buffer_limits(
+                high=self.config.sndbuf_bytes)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.stats["serve.bad_requests"] += 1
+                    await self._send(writer, write_lock, error_response(
+                        None, ServeProtocolError(
+                            f"request line exceeds {MAX_LINE_BYTES} "
+                            f"bytes", field="iq")))
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                # One task per line: requests from a single connection
+                # can overlap inside the batch window and coalesce.
+                # Responses may come back out of order; clients match
+                # on the echoed id.
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, TimeoutError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        payload = await self._process(line)
+        await self._send(writer, write_lock, payload)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, payload: bytes) -> None:
+        """Write one response; drop clients that stall their reads."""
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(payload)
+            try:
+                await asyncio.wait_for(
+                    writer.drain(), self.config.write_timeout_s)
+            except (TimeoutError, asyncio.TimeoutError, ConnectionError):
+                self.stats["serve.slow_client_disconnects"] += 1
+                telemetry.count("serve.slow_client_disconnects")
+                writer.transport.abort()
+
+    async def _process(self, line: bytes) -> bytes:
+        """Parse, pipeline, encode: every outcome becomes a response."""
+        t0 = time.perf_counter()
+        req_id = None
+        try:
+            request = parse_request(line)
+            req_id = request.req_id
+            model = self.registry.get(request.model)
+            try:
+                qubit = model.resolve_qubit(request.iq, request.qubit)
+            except ValidationError as exc:
+                raise ServeProtocolError(str(exc), field="qubit") from exc
+            ctx = RequestContext(request, model, qubit, t0)
+            await self._pipeline(ctx)
+        except (ServeError, ServeProtocolError) as exc:
+            key = {404: "serve.unknown_model",
+                   400: "serve.bad_requests"}.get(
+                int(getattr(exc, "code", 500)))
+            if key is not None:
+                self.stats[key] += 1
+                telemetry.count(key)
+            return error_response(req_id, exc)
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            return error_response(req_id, ServeError(
+                f"internal error: {type(exc).__name__}: {exc}"))
+        return ok_response(
+            req_id, ctx.labels, model_digest=ctx.model.model_digest,
+            batch_size=ctx.batch_size,
+            queue_ms=(time.perf_counter() - t0) * 1e3)
+
+    # ------------------------------------------------------------------ #
+    # The middleware pipeline
+    # ------------------------------------------------------------------ #
+    def _telemetry_middleware(self, nxt):
+        async def run(ctx: RequestContext) -> None:
+            with telemetry.span("serve.request", model=ctx.request.model,
+                                shots=ctx.request.n_shots) as sp:
+                try:
+                    await nxt(ctx)
+                except ServeOverloadError:
+                    self.stats["serve.rejected"] += 1
+                    telemetry.count("serve.rejected")
+                    raise
+                except DeadlineError:
+                    self.stats["serve.deadline_expired"] += 1
+                    telemetry.count("serve.deadline_expired")
+                    raise
+                finally:
+                    latency_ms = (time.perf_counter() - ctx.t0) * 1e3
+                    self._latencies_ms.append(latency_ms)
+                    telemetry.observe("serve.latency_ms", latency_ms)
+                    sp.set(latency_ms=round(latency_ms, 3))
+            self.stats["serve.requests"] += 1
+            self.stats["serve.shots"] += ctx.request.n_shots
+            telemetry.count("serve.requests")
+            telemetry.count("serve.shots", ctx.request.n_shots)
+
+        return run
+
+    def _admission_middleware(self, nxt):
+        async def run(ctx: RequestContext) -> None:
+            if self._inflight >= self.config.max_queue:
+                raise ServeOverloadError(
+                    f"queue full ({self.config.max_queue} requests in "
+                    f"flight); retry later")
+            self._inflight += 1
+            try:
+                await nxt(ctx)
+            finally:
+                self._inflight -= 1
+
+        return run
+
+    def _deadline_middleware(self, nxt):
+        async def run(ctx: RequestContext) -> None:
+            deadline_ms = ctx.request.deadline_ms \
+                or self.config.default_deadline_ms
+            ctx.deadline_s = ctx.t0 + deadline_ms / 1e3
+            remaining = ctx.deadline_s - time.perf_counter()
+            if remaining <= 0:
+                raise DeadlineError(
+                    f"deadline of {deadline_ms:g} ms expired before "
+                    f"classification started")
+            try:
+                await asyncio.wait_for(nxt(ctx), remaining)
+            except (TimeoutError, asyncio.TimeoutError):
+                raise DeadlineError(
+                    f"deadline of {deadline_ms:g} ms expired in the "
+                    f"batch queue") from None
+
+        return run
+
+    async def _classify(self, ctx: RequestContext) -> None:
+        ctx.labels, ctx.batch_size = await self._batcher.submit(
+            ctx.request.model, ctx.model, ctx.request.iq, ctx.qubit,
+            ctx.deadline_s)
+
+    # ------------------------------------------------------------------ #
+    # Session provenance
+    # ------------------------------------------------------------------ #
+    def session_record(self) -> RunRecord:
+        """One ``kind="serve"`` ledger line summarizing the session."""
+        wall_s = max(time.perf_counter() - self._started_s, 1e-9)
+        lat = np.asarray(self._latencies_ms, dtype=float)
+        metrics: dict[str, float] = dict(self.stats)
+        metrics["serve.batches"] = \
+            self._batcher.batches if self._batcher else 0
+        metrics["serve.shots_per_sec"] = \
+            round(self.stats["serve.shots"] / wall_s, 1)
+        if len(lat):
+            metrics["serve.latency_p50_ms"] = \
+                round(float(np.percentile(lat, 50)), 3)
+            metrics["serve.latency_p99_ms"] = \
+                round(float(np.percentile(lat, 99)), 3)
+        return RunRecord(
+            experiment="serve",
+            kind="serve",
+            start_ts=self._start_ts,
+            wall_s=round(wall_s, 3),
+            telemetry={"models": self.registry.digests(),
+                       "config": {
+                           "batch_window_ms": self.config.batch_window_ms,
+                           "max_batch_shots": self.config.max_batch_shots,
+                           "max_queue": self.config.max_queue,
+                       }},
+            metrics=metrics,
+        )
+
+
+class ServerThread:
+    """A :class:`ClassifierServer` on a private loop in a daemon thread.
+
+    The harness tests, benchmarks and assault scenarios use: enter the
+    context, read ``host``/``port``, hammer it from sync clients, exit
+    and receive the session :class:`~repro.provenance.RunRecord`.
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 config: ServeConfig | None = None,
+                 ledger: RunLedger | None = None):
+        self.server = ClassifierServer(registry, config, ledger)
+        self.record: RunRecord | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # pragma: no cover - bind errors
+                self._failure = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise ServeError(
+                f"server failed to start: {self._failure}") \
+                from self._failure
+        return self
+
+    def stop(self) -> RunRecord:
+        if self._loop is None:
+            raise ServeError("server thread was never started")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop)
+        self.record = future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        return self.record
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

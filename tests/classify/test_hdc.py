@@ -76,7 +76,7 @@ class TestClassifier:
         centers = np.array(
             [[[-1.0, 0.0], [1.0, 0.0]], [[0.0, -1.0], [0.0, 1.0]]]
         )
-        return HDCClassifier.calibrate(encoder, centers)
+        return HDCClassifier.from_centers(centers, encoder=encoder)
 
     def test_prototype_points_classify_to_themselves(self, clf):
         for qubit in range(2):
@@ -140,7 +140,7 @@ class TestAccuracyComparison:
             axis=1,
         )
         knn = KNNClassifier(centers)
-        hdc = HDCClassifier.calibrate(encoder, centers)
+        hdc = HDCClassifier.from_centers(centers, encoder=encoder)
 
         qubit = np.repeat(np.arange(n_qubits), shots)
         truth = rng.integers(0, 2, len(qubit))

@@ -1,0 +1,212 @@
+"""Serving equivalence: the service is invisible in the labels.
+
+The acceptance bar of the serve subsystem: labels fetched through the
+socket -- batched, concurrent, mixed-model -- are bit-identical to
+calling ``Classifier.predict`` directly, and the warm models survive a
+``to_dict``/``from_dict`` round trip with their digest (version)
+intact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classify import classifier_from_dict
+from repro.errors import DeadlineError, ServeOverloadError
+from repro.quantum import falcon_backend, generate_dataset
+from repro.serve import (
+    ModelRegistry,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+
+N_QUBITS = 5
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ModelRegistry.calibrated(
+        n_qubits=N_QUBITS, n_calibration_shots=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def points():
+    backend = falcon_backend(n_qubits=N_QUBITS, seed=11)
+    dataset = generate_dataset(backend, n_shots=80)
+    _, _, pts = dataset.interleaved()
+    return pts
+
+
+@pytest.fixture(scope="module")
+def server(registry):
+    with ServerThread(registry, ServeConfig(batch_window_ms=1.0)) as h:
+        yield h
+
+
+def test_single_request_equivalence(server, registry, points):
+    with ServeClient(server.host, server.port) as client:
+        for name in registry.names():
+            served = client.classify(name, points)
+            direct = registry.get(name).predict(points)
+            np.testing.assert_array_equal(served, direct)
+
+
+def test_explicit_qubit_equivalence(server, registry, points):
+    rng = np.random.default_rng(3)
+    qubit = rng.integers(0, N_QUBITS, len(points))
+    with ServeClient(server.host, server.port) as client:
+        served = client.classify("knn", points, qubit=qubit)
+    direct = registry.get("knn").predict(points, qubit=qubit)
+    np.testing.assert_array_equal(served, direct)
+
+
+def test_pipelined_requests_coalesce_bit_identically(server, registry,
+                                                     points):
+    """Many overlapping requests on one connection fuse into shared
+    batches; each still gets exactly its own labels."""
+    chunks = [points[i * 8:(i + 1) * 8] for i in range(10)]
+    with ServeClient(server.host, server.port) as client:
+        out = client.pipeline(
+            [{"model": "knn", "iq": chunk} for chunk in chunks])
+    assert any(doc["batch_size"] > 1 for doc in out), \
+        "pipelined requests never coalesced into a batch"
+    for doc, chunk in zip(out, chunks):
+        np.testing.assert_array_equal(
+            np.asarray(doc["labels"]),
+            registry.get("knn").predict(chunk))
+
+
+def test_concurrent_mixed_model_equivalence(server, registry, points):
+    """Concurrent clients mixing knn and hdc: every response is
+    bit-identical to the direct call despite shared batch windows."""
+    failures: list[str] = []
+
+    def hammer(name: str, offset: int):
+        chunk = points[offset:offset + 16]
+        direct = registry.get(name).predict(chunk)
+        with ServeClient(server.host, server.port) as client:
+            for _ in range(3):
+                if not np.array_equal(
+                        client.classify(name, chunk), direct):
+                    failures.append(f"{name}@{offset}")
+
+    threads = [
+        threading.Thread(target=hammer,
+                         args=(name, 16 * i))
+        for i, name in enumerate(["knn", "hdc", "knn", "hdc"])
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert failures == []
+
+
+def test_model_round_trip_preserves_digest(registry):
+    for name in registry.names():
+        model = registry.get(name)
+        clone = classifier_from_dict(model.to_dict())
+        assert clone.model_digest == model.model_digest
+        assert type(clone) is type(model)
+
+
+def test_round_tripped_model_serves_identically(registry, points):
+    """A from_dict(to_dict(m)) clone behind a fresh server gives the
+    same labels as the original -- the digest is an honest version."""
+    clones = ModelRegistry({
+        name: classifier_from_dict(registry.get(name).to_dict())
+        for name in registry.names()})
+    with ServerThread(clones, ServeConfig(batch_window_ms=1.0)) as h:
+        with ServeClient(h.host, h.port) as client:
+            for name in registry.names():
+                np.testing.assert_array_equal(
+                    client.classify(name, points),
+                    registry.get(name).predict(points))
+
+
+def test_response_reports_model_digest(server, registry, points):
+    with ServeClient(server.host, server.port) as client:
+        doc = client.request("hdc", points[:4])
+    assert doc["model_digest"] == registry.get("hdc").model_digest
+
+
+def test_backpressure_is_typed_and_recoverable(registry, points):
+    """A tiny queue behind a throttled model: floods get immediate
+    429s, never hangs, never wrong labels; the server recovers."""
+    import time
+
+    model = registry.get("knn")
+    direct = model.predict(points)
+    slow = ModelRegistry({"knn": model})
+    base = model.predict
+
+    def slow_predict(iq, qubit=None):
+        time.sleep(0.05)
+        return base(iq, qubit=qubit)
+
+    model.predict = slow_predict
+    try:
+        config = ServeConfig(max_queue=2, batch_window_ms=1.0,
+                             default_deadline_ms=10_000.0)
+        served, rejected, wrong = 0, 0, 0
+        lock = threading.Lock()
+        with ServerThread(slow, config) as handle:
+            def worker():
+                nonlocal served, rejected, wrong
+                try:
+                    with ServeClient(handle.host, handle.port) as c:
+                        labels = c.classify("knn", points)
+                except ServeOverloadError:
+                    with lock:
+                        rejected += 1
+                    return
+                with lock:
+                    served += 1
+                    if not np.array_equal(labels, direct):
+                        wrong += 1
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServeClient(handle.host, handle.port) as c:
+                recovered = np.array_equal(
+                    c.classify("knn", points), direct)
+        assert wrong == 0
+        assert rejected > 0
+        assert served > 0
+        assert recovered
+        assert handle.record.metrics["serve.rejected"] == rejected
+    finally:
+        model.predict = base
+
+
+def test_expired_deadline_is_typed(server, points):
+    with ServeClient(server.host, server.port) as client:
+        with pytest.raises(DeadlineError):
+            client.classify("knn", points, deadline_ms=1e-6)
+
+
+def test_session_record(registry, points, tmp_path):
+    from repro.provenance import RunLedger
+
+    ledger = RunLedger(tmp_path / "runs")
+    with ServerThread(registry, ServeConfig(batch_window_ms=1.0),
+                      ledger=ledger) as handle:
+        with ServeClient(handle.host, handle.port) as client:
+            client.classify("knn", points)
+            client.classify("hdc", points)
+    record = handle.record
+    assert record.kind == "serve"
+    assert record.metrics["serve.requests"] == 2
+    assert record.metrics["serve.shots"] == 2 * len(points)
+    assert record.metrics["serve.latency_p99_ms"] > 0
+    assert record.telemetry["models"] == registry.digests()
+    stored = ledger.records(kind="serve")
+    assert [r.run_id for r in stored] == [record.run_id]

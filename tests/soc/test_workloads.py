@@ -65,7 +65,7 @@ class TestHDCKernel:
         centers = rng.normal(0.0, 0.8, (n_qubits, 2, 2))
         meas = rng.normal(0.0, 0.8, (shots * n_qubits, 2))
         encoder = HDCEncoder.random(seed=5)
-        clf = HDCClassifier.calibrate(encoder, centers)
+        clf = HDCClassifier.from_centers(centers, encoder=encoder)
         pre = pack_hdc_tables(
             encoder.y_items, xc0=clf.xc_tables[:, 0], xc1=clf.xc_tables[:, 1]
         )
