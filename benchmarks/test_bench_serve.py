@@ -13,10 +13,17 @@ shots/sec and keep request p99 under ``P99_BOUND_S`` -- the paper's
 ``BUDGET_SCALE``x for a batched, JSON-over-socket host service (wire
 encode/decode of ~30 kB request lines dominates; the SoC kernel
 latency figures live in the table1/table2 benches).
+
+A scraper thread polls the in-band ``{"op": "stats"}`` op *during* the
+load run: introspection must answer promptly and consistently while
+the service is saturated, and the mid-bench snapshot is written to
+``$SERVE_STATS_JSON`` (when set) as a CI artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 
@@ -44,6 +51,19 @@ P99_BOUND_S = DECOHERENCE_BUDGET_S * BUDGET_SCALE
 
 SHOTS_PER_SEC_FLOOR = 50_000
 
+SCRAPE_BOUND_S = 0.25
+"""A stats scrape under full load must answer within this bound."""
+
+
+def _torn(snapshot: dict) -> bool:
+    """True when a snapshot's SLO total disagrees with its counters --
+    the torn-read tripwire (both views are built in one pass on the
+    event loop, so they can never diverge)."""
+    c = snapshot["counters"]
+    return snapshot["slo"]["total"] != (
+        c["serve.requests"] + c["serve.rejected"]
+        + c["serve.deadline_expired"] + c["serve.internal_errors"])
+
 
 @pytest.fixture(scope="module")
 def load_points():
@@ -64,7 +84,13 @@ def test_bench_serve_throughput(bench_record, load_points):
     lock = threading.Lock()
 
     config = ServeConfig(batch_window_ms=1.0, max_queue=256)
-    with ServerThread(registry, config) as handle:
+    # With REPRO_RUNS_DIR set (CI), the session's kind="serve" record
+    # lands in the ledger so `repro report --strict` gates on its SLO.
+    ledger = None
+    if os.environ.get("REPRO_RUNS_DIR", "").strip():
+        from repro.provenance import RunLedger
+        ledger = RunLedger()
+    with ServerThread(registry, config, ledger=ledger) as handle:
         def generate(model: str) -> None:
             mine: list[float] = []
             bad = 0
@@ -80,18 +106,35 @@ def test_bench_serve_throughput(bench_record, load_points):
                 latencies.extend(mine)
                 mislabels[0] += bad
 
+        snapshots: list[dict] = []
+        scrape_s: list[float] = []
+
+        def scrape() -> None:
+            # Mid-bench introspection: poll stats while the load
+            # generators are saturating the service.
+            time.sleep(LOAD_SECONDS / 3)
+            with ServeClient(handle.host, handle.port) as probe:
+                for _ in range(4):
+                    t0 = time.perf_counter()
+                    snapshots.append(probe.stats())
+                    scrape_s.append(time.perf_counter() - t0)
+                    time.sleep(LOAD_SECONDS / 10)
+
         threads = [
             threading.Thread(
                 target=generate,
                 args=("knn" if i % 2 else "hdc",))
             for i in range(CLIENT_THREADS)
         ]
+        scraper = threading.Thread(target=scrape)
         wall_t0 = time.perf_counter()
         for t in threads:
             t.start()
+        scraper.start()
         for t in threads:
             t.join()
         wall_s = time.perf_counter() - wall_t0
+        scraper.join()
         record = handle.server.session_record()
 
     lat = np.asarray(latencies)
@@ -102,6 +145,14 @@ def test_bench_serve_throughput(bench_record, load_points):
     bench_record("serve.latency_p99", p99_s)
     bench_record("serve.shots_per_sec", shots_per_sec)
     bench_record("serve.requests_per_sec", len(lat) / wall_s)
+    bench_record("serve.stats_scrape_max", max(scrape_s))
+
+    # The mid-bench snapshot is the CI artifact: live window rates +
+    # SLO burn as seen while the bench was running.
+    artifact = os.environ.get("SERVE_STATS_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as fh:
+            json.dump(snapshots[-1], fh, indent=2, sort_keys=True)
 
     print(
         f"\nserve: {len(lat)} requests x {SHOTS_PER_REQUEST} shots in "
@@ -115,6 +166,19 @@ def test_bench_serve_throughput(bench_record, load_points):
     # response matched the direct predict, and no request was dropped.
     assert mislabels[0] == 0
     assert record.metrics["serve.requests"] == len(lat)
+    # In-band introspection under load: every scrape answered inside
+    # its bound, saw live traffic, and read a consistent snapshot.
+    assert len(snapshots) == 4
+    assert max(scrape_s) <= SCRAPE_BOUND_S, (
+        f"stats scrape took {max(scrape_s) * 1e3:.1f} ms under load "
+        f"(bound {SCRAPE_BOUND_S * 1e3:.0f} ms)")
+    assert not any(_torn(s) for s in snapshots)
+    assert snapshots[-1]["window"]["requests_per_sec"] > 0
+    assert snapshots[-1]["slo"]["verdict"] in ("PASS", "WARN", "FAIL")
+    # The session record carries the satellite histograms + SLO verdict.
+    assert record.metrics["serve.queue_depth_max"] >= 1
+    assert record.metrics["serve.batch_shots_max"] >= SHOTS_PER_REQUEST
+    assert record.fidelity["kind"] == "slo"
     # Throughput/latency acceptance (see module docstring).
     assert shots_per_sec >= SHOTS_PER_SEC_FLOOR, (
         f"serving throughput {shots_per_sec:,.0f} shots/sec fell below "

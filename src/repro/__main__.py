@@ -16,6 +16,7 @@
     python -m repro assault         # hostile-scenario campaign (--tier)
     python -m repro profile fig2    # sampler+tracer+health deep profile
     python -m repro serve           # batched classification service
+    python -m repro top host:port   # live serving dashboard (stats op)
 
 The command list is *generated* from the experiment registry
 (:mod:`repro.experiments.registry`): every registered
@@ -133,7 +134,7 @@ def _build_study(args):
 #: experiment specs through the registry ("all" expands, so it is not
 #: one of these).
 BUILTIN_COMMANDS = ("stats", "run", "report", "compare", "assault",
-                    "profile", "serve")
+                    "profile", "serve", "top")
 
 
 def _commands() -> list[str]:
@@ -578,6 +579,7 @@ def _run_serve(args) -> int:
             port=args.port,
             batch_window_ms=args.batch_window_ms,
             max_queue=args.max_queue,
+            slo_latency_ms=args.slo_latency_ms,
         )
     except ConfigError as exc:
         _LOG.error("%s", exc)
@@ -590,7 +592,9 @@ def _run_serve(args) -> int:
         _report(f"serving {', '.join(registry.names())} on "
                 f"{server.host}:{server.port} "
                 f"(batch window {config.batch_window_ms:g} ms, "
-                f"queue {config.max_queue})")
+                f"queue {config.max_queue}, SLO p(latency > "
+                f"{config.slo_latency_ms:g} ms) <= "
+                f"{config.slo_error_budget:g})")
         for name, digest in registry.digests().items():
             _report(f"  model {name}: digest {digest}")
         try:
@@ -602,9 +606,79 @@ def _run_serve(args) -> int:
                     f"request(s), "
                     f"{record.metrics.get('serve.rejected', 0)} rejected, "
                     f"{record.metrics.get('serve.shots', 0)} shot(s)")
+            slo = record.fidelity or {}
+            checks = "  ".join(
+                f"{c['name']} burn {c['burn_rate']:.2f}x {c['status']}"
+                for c in slo.get("checks", []))
+            _report(f"SLO [{slo.get('verdict', '?')}]: {checks}")
+            _export_serve_trace(args, server)
 
     try:
         asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _export_serve_trace(args, server) -> None:
+    """Write the session's span trees + tail-sampled request traces.
+
+    ``repro serve --trace trace.json --trace-format chrome`` lands the
+    per-request queue -> batch -> predict -> write spans and the
+    observer's counter timeline in one Perfetto document.
+    """
+    if args.trace in (None, "-"):
+        return
+    roots = list(telemetry.trace_roots()) + server.sampled_traces
+    if (args.trace_format or "chrome") == "chrome":
+        from repro.observe import write_chrome_trace
+
+        n = write_chrome_trace(args.trace, roots,
+                               counters=server.counter_timeline())
+        _report(f"wrote {n} trace events ({len(server.sampled_traces)} "
+                f"tail-sampled request trace(s)) to {args.trace} "
+                "(open at ui.perfetto.dev)")
+    else:
+        n = telemetry.export_jsonl(args.trace)
+        _report(f"wrote {n} spans to {args.trace}")
+
+
+# ---------------------------------------------------------------------- #
+# repro top: poll the in-band stats op, render the live dashboard.
+# ---------------------------------------------------------------------- #
+def _run_top(args) -> int:
+    from repro.errors import ServeError
+    from repro.observe import render_top
+    from repro.serve import ServeClient
+
+    if len(args.targets) != 1 or ":" not in args.targets[0]:
+        _LOG.error("usage: repro top <host:port>")
+        return 2
+    host, _, port_text = args.targets[0].rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        _LOG.error("invalid port %r in %r", port_text, args.targets[0])
+        return 2
+    frames = 0
+    try:
+        with ServeClient(host, port) as client:
+            while True:
+                snapshot = client.stats()
+                if args.json:
+                    _report(json.dumps(snapshot, sort_keys=True))
+                else:
+                    _report(render_top(snapshot,
+                                       endpoint=f"{host}:{port}"))
+                frames += 1
+                if args.count is not None and frames >= args.count:
+                    break
+                time.sleep(args.interval)
+                if not args.json:
+                    _report()
+    except ServeError as exc:
+        _LOG.error("%s", exc)
+        return 1
     except KeyboardInterrupt:
         pass
     return 0
@@ -698,6 +772,20 @@ def main(argv: list[str] | None = None) -> int:
         help="serve: admitted-request cap before 429 back-pressure "
              "(default: 64)",
     )
+    parser.add_argument(
+        "--slo-latency-ms", type=float, default=110.0, metavar="MS",
+        help="serve: declared per-request latency objective (default: "
+             "110.0 -- the paper's 110 us decoherence budget at the "
+             "serving benchmark's wire scale)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SEC",
+        help="top: refresh period between stats scrapes (default: 2.0)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="top: exit after N frames (default: poll until Ctrl-C)",
+    )
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
 
@@ -722,6 +810,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "top":
+        return _run_top(args)
 
     if args.command == "stats":
         _run_stats(args)

@@ -888,3 +888,117 @@ def _serve_slow_client(ctx):
         "healthy_ok": healthy_ok,
         "served": stats["serve.requests"],
     }
+
+
+def _check_stats_scrape_storm(obs):
+    if obs["scrapes"] < obs["expected_scrapes"]:
+        return (f"only {obs['scrapes']} of {obs['expected_scrapes']} "
+                f"stats scrapes were answered during the flood")
+    if obs["slow_scrapes"]:
+        return (f"{obs['slow_scrapes']} scrape(s) exceeded the "
+                f"{obs['scrape_budget_s']:g} s responsiveness budget")
+    if obs["torn"]:
+        return (f"{len(obs['torn'])} internally inconsistent "
+                f"snapshot(s), e.g. {obs['torn'][0]}")
+    if obs["non_monotonic"]:
+        return (f"cumulative counters went backwards between scrapes: "
+                f"{obs['non_monotonic'][0]}")
+    if not obs["flooded"]:
+        return "the flood never actually loaded the server"
+    if not obs["recovered"]:
+        return "a post-storm classify failed: the server did not recover"
+    return True
+
+
+@scenario("serve_stats_scrape_storm", tier="storm",
+          description="in-band {'op': 'stats'} scrapes during a request "
+                      "flood: every scrape answers fast (admission "
+                      "cannot reject it), snapshots are internally "
+                      "consistent (no torn reads), counters stay "
+                      "monotonic, traffic is undisturbed",
+          expect=expect_clean(_check_stats_scrape_storm))
+def _serve_stats_scrape_storm(ctx):
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.errors import ServeError
+    from repro.serve import ServeClient, ServeConfig, ServerThread
+
+    registry, reference = _storm_registry(slow_s=0.01)
+    config = ServeConfig(max_queue=4, batch_window_ms=1.0,
+                         default_deadline_ms=5_000.0)
+    rng = np.random.default_rng(ctx.seed ^ 0x57A7)
+    points = rng.uniform(-1.5, 1.5, (200, 2))
+    expected = reference.predict(points)
+    scrape_budget_s = 1.0
+    n_scrapes = 20
+
+    with ServerThread(registry, config) as handle:
+        stop = threading.Event()
+
+        def flood():
+            with ServeClient(handle.host, handle.port) as client:
+                while not stop.is_set():
+                    try:
+                        client.classify("knn", points)
+                    except ServeError:
+                        continue  # 429/408 are the flood working
+
+        threads = [threading.Thread(target=flood, daemon=True)
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+
+        snapshots = []
+        durations = []
+        with ServeClient(handle.host, handle.port) as scraper:
+            for _ in range(n_scrapes):
+                t0 = _time.perf_counter()
+                snapshots.append(scraper.stats())
+                durations.append(_time.perf_counter() - t0)
+                _time.sleep(0.02)
+        stop.set()
+        for t in threads:
+            t.join(timeout=15)
+
+        with ServeClient(handle.host, handle.port) as client:
+            recovered = np.array_equal(
+                client.classify("knn", points), expected)
+
+    # Consistency: the SLO section of each snapshot must be computed
+    # from the very counters the same snapshot carries -- a torn read
+    # (counters advancing between the two) breaks this identity.
+    torn = []
+    for i, snap in enumerate(snapshots):
+        c = snap["counters"]
+        slo_total = snap["slo"]["total"]
+        expected_total = (c["serve.requests"] + c["serve.rejected"]
+                          + c["serve.deadline_expired"]
+                          + c["serve.internal_errors"])
+        if slo_total != expected_total:
+            torn.append(f"scrape {i}: slo.total {slo_total} != "
+                        f"counter sum {expected_total}")
+        if snap["inflight"] > snap["max_queue"]:
+            torn.append(f"scrape {i}: inflight {snap['inflight']} "
+                        f"over max_queue {snap['max_queue']}")
+    non_monotonic = []
+    for prev, cur in zip(snapshots, snapshots[1:]):
+        for key, value in prev["counters"].items():
+            if cur["counters"][key] < value:
+                non_monotonic.append(
+                    f"{key}: {value} -> {cur['counters'][key]}")
+    final = snapshots[-1]["counters"]
+    return {
+        "scrapes": len(snapshots),
+        "expected_scrapes": n_scrapes,
+        "slow_scrapes": sum(d > scrape_budget_s for d in durations),
+        "scrape_budget_s": scrape_budget_s,
+        "max_scrape_s": round(max(durations), 4),
+        "torn": torn,
+        "non_monotonic": non_monotonic,
+        "flooded": (final["serve.requests"] + final["serve.rejected"]
+                    + final["serve.deadline_expired"]) > 0,
+        "recovered": recovered,
+    }

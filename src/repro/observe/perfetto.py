@@ -30,7 +30,7 @@ from typing import IO, Iterable
 
 from repro.telemetry.spans import Span
 
-__all__ = ["trace_events", "write_chrome_trace"]
+__all__ = ["counter_track_events", "trace_events", "write_chrome_trace"]
 
 #: Synthetic pid for all events: the tree may span real processes, but
 #: by merge time it is one logical trace.
@@ -151,24 +151,49 @@ def _jsonable(value):
 # ---------------------------------------------------------------------- #
 # Public API
 # ---------------------------------------------------------------------- #
-def trace_events(roots: Iterable[Span], samples=None) -> list[dict]:
+def counter_track_events(points: Iterable[tuple[float, dict]]) -> list[dict]:
+    """Generic ``ph="C"`` counter tracks from a (wall, values) series.
+
+    Each point is ``(wall seconds, {counter name: value})``; every named
+    counter becomes its own track.  The serving layer uses this to draw
+    its periodic live-metrics timeline (inflight depth, request rate,
+    windowed p99) under the tail-sampled request spans.
+    """
+    events = []
+    for wall, values in points:
+        ts = wall * 1e6
+        for name, value in values.items():
+            events.append({
+                "name": name, "cat": "live", "ph": "C",
+                "ts": ts, "pid": _PID,
+                "args": {name: _jsonable(value)},
+            })
+    return events
+
+
+def trace_events(roots: Iterable[Span], samples=None,
+                 counters: Iterable[tuple[float, dict]] | None = None
+                 ) -> list[dict]:
     """The full event list (metadata + spans + optional counters)."""
     span_events, track_count = _span_events(roots)
     events = _metadata_events(max(1, track_count)) + span_events
     if samples:
         events += _counter_events(samples)
+    if counters:
+        events += counter_track_events(counters)
     return events
 
 
 def write_chrome_trace(file: str | IO[str], roots: Iterable[Span],
-                       samples=None) -> int:
+                       samples=None, counters=None) -> int:
     """Write a ``trace_event`` JSON document; returns the event count.
 
     ``file`` is a path or an open text handle.  ``samples`` is an
     optional :class:`~repro.observe.sampler.ResourceSampler` timeseries
-    rendered as counter tracks.
+    rendered as counter tracks; ``counters`` an optional
+    ``(wall, {name: value})`` series (see :func:`counter_track_events`).
     """
-    events = trace_events(roots, samples=samples)
+    events = trace_events(roots, samples=samples, counters=counters)
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -1,0 +1,132 @@
+"""Service-level objectives: declared targets, burn-rate verdicts.
+
+An :class:`SLOSpec` declares what the serving layer promises:
+
+* **latency** -- at most an ``error_budget`` fraction of requests may
+  exceed ``latency_ms`` (the paper's per-classification decoherence
+  budget, scaled for the JSON-over-socket host service exactly as the
+  serving benchmark scales it);
+* **errors** -- at most an ``error_budget`` fraction of requests may
+  fail server-side (deadline expiries and internal errors burn budget;
+  client mistakes -- 400/404 -- and typed 429 back-pressure do not:
+  rejecting work *is* the overload contract).
+
+:func:`evaluate` turns observed counts into an :class:`SLOReport` on
+the same PASS/WARN/FAIL scale the fidelity machinery uses, graded by
+**burn rate** -- the ratio of the observed bad fraction to the budget.
+Burn rate <= 1.0 means the budget outlives the session (PASS); above
+1.0 the budget is burning faster than allowed (WARN), and above
+``FAST_BURN`` it is burning so fast the objective is effectively gone
+(FAIL) -- the verdict ``repro report --strict`` gates on.
+
+The same evaluation runs twice per session: over the rolling window
+(the live view in the ``{"op": "stats"}`` snapshot and ``repro top``)
+and over the cumulative session counts folded into the
+``kind="serve"`` RunRecord at shutdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.provenance.fidelity import FAIL, PASS, WARN
+
+__all__ = ["SLOReport", "SLOSpec", "evaluate"]
+
+#: The paper's per-classification decoherence budget (Fig. 2(c)).
+DECOHERENCE_BUDGET_MS = 0.110
+
+#: Wire scale for a batched JSON host service (matches the serving
+#: benchmark's ``BUDGET_SCALE``): 110 us x 1000 = 110 ms per request.
+DEFAULT_LATENCY_MS = DECOHERENCE_BUDGET_MS * 1000
+
+#: Default error budget: 1 % of requests may be slow/failed.
+DEFAULT_ERROR_BUDGET = 0.01
+
+#: Burn rate beyond which an objective FAILs instead of WARNing.
+FAST_BURN = 2.0
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declared objectives of one serving session (validated)."""
+
+    latency_ms: float = DEFAULT_LATENCY_MS
+    """Per-request latency target; requests above it burn budget."""
+    error_budget: float = DEFAULT_ERROR_BUDGET
+    """Allowed fraction of budget-burning requests per objective."""
+
+    def __post_init__(self):
+        if not self.latency_ms > 0:
+            raise ConfigError(
+                f"latency_ms must be positive, got {self.latency_ms!r}",
+                field="latency_ms")
+        if not 0 < self.error_budget < 1:
+            raise ConfigError(
+                f"error_budget must be in (0, 1), got "
+                f"{self.error_budget!r}", field="error_budget")
+
+    def to_dict(self) -> dict:
+        return {"latency_ms": self.latency_ms,
+                "error_budget": self.error_budget}
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Graded objectives; shape mirrors the fidelity report dicts."""
+
+    verdict: str
+    checks: tuple[dict, ...]
+    total: int
+
+    def to_dict(self) -> dict:
+        return {"verdict": self.verdict,
+                "checks": [dict(c) for c in self.checks],
+                "total": self.total}
+
+    def metrics(self) -> dict[str, float]:
+        """Flat burn-rate metrics for RunRecord.metrics."""
+        return {f"serve.slo_{c['name']}_burn_rate": c["burn_rate"]
+                for c in self.checks}
+
+
+def _grade(burn_rate: float, fast_burn: float) -> str:
+    if burn_rate <= 1.0:
+        return PASS
+    if burn_rate <= fast_burn:
+        return WARN
+    return FAIL
+
+
+def evaluate(spec: SLOSpec, *, total: int, latency_violations: int,
+             errors: int, fast_burn: float = FAST_BURN) -> SLOReport:
+    """Grade observed counts against the spec (see module docstring).
+
+    ``total`` requests, of which ``latency_violations`` exceeded the
+    latency target and ``errors`` failed server-side.  Zero traffic is
+    a PASS with zero burn: an idle service has burned nothing.
+    """
+    checks = []
+    worst = PASS
+    for name, bad, objective in (
+        ("latency", latency_violations,
+         f"p(latency > {spec.latency_ms:g} ms) <= {spec.error_budget:g}"),
+        ("errors", errors,
+         f"p(server error) <= {spec.error_budget:g}"),
+    ):
+        fraction = bad / total if total else 0.0
+        burn = fraction / spec.error_budget
+        status = _grade(burn, fast_burn)
+        checks.append({
+            "name": name,
+            "objective": objective,
+            "bad": int(bad),
+            "fraction": round(fraction, 6),
+            "burn_rate": round(burn, 4),
+            "status": status,
+        })
+        order = (PASS, WARN, FAIL)
+        if order.index(status) > order.index(worst):
+            worst = status
+    return SLOReport(verdict=worst, checks=tuple(checks), total=int(total))

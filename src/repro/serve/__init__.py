@@ -18,6 +18,13 @@ warm, calibrated classifiers:
   slow-client eviction, and a ``kind="serve"`` session RunRecord;
 - :mod:`~repro.serve.client` -- the blocking :class:`ServeClient`.
 
+The service is *live-observable* (:mod:`repro.observe.live`): an
+in-band ``{"op": "stats"}`` request (or ``client.stats()`` /
+``repro top host:port``) returns rolling-window metrics, SLO burn
+rates and health without disturbing traffic, and slow/failed requests
+tail-sample their queue -> batch -> predict -> write span trees for
+Perfetto export (``repro serve --trace-format chrome``).
+
 Quick start (in process)::
 
     from repro.serve import ModelRegistry, ServeClient, ServerThread
@@ -35,6 +42,7 @@ from __future__ import annotations
 from repro.serve.batcher import MicroBatcher
 from repro.serve.client import ServeClient
 from repro.serve.models import ModelRegistry, UnknownModelError
+from repro.serve.protocol import ADMIN_OPS, encode_op_request
 from repro.serve.server import (
     ClassifierServer,
     RequestContext,
@@ -43,6 +51,7 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "ADMIN_OPS",
     "ClassifierServer",
     "MicroBatcher",
     "ModelRegistry",
@@ -51,4 +60,5 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "UnknownModelError",
+    "encode_op_request",
 ]

@@ -34,6 +34,8 @@ import numpy as np
 from repro import telemetry
 from repro.classify import Classifier
 from repro.errors import DeadlineError
+from repro.observe.live import LiveMetrics, TraceContext
+from repro.telemetry.spans import Span
 
 __all__ = ["MicroBatcher"]
 
@@ -41,15 +43,19 @@ __all__ = ["MicroBatcher"]
 class _Pending:
     """One admitted request waiting for its batch to flush."""
 
-    __slots__ = ("deadline_s", "enqueued_s", "future", "iq", "qubit")
+    __slots__ = ("deadline_s", "enqueued_s", "enqueued_wall", "future",
+                 "iq", "qubit", "trace")
 
     def __init__(self, iq: np.ndarray, qubit: np.ndarray,
-                 deadline_s: float | None, future: asyncio.Future):
+                 deadline_s: float | None, future: asyncio.Future,
+                 trace: TraceContext | None = None):
         self.iq = iq
         self.qubit = qubit
         self.deadline_s = deadline_s
         self.future = future
+        self.trace = trace
         self.enqueued_s = time.perf_counter()
+        self.enqueued_wall = time.time()
 
 
 class MicroBatcher:
@@ -60,9 +66,11 @@ class MicroBatcher:
     """
 
     def __init__(self, *, window_s: float = 0.002,
-                 max_batch_shots: int = 8192, workers: int = 2):
+                 max_batch_shots: int = 8192, workers: int = 2,
+                 metrics: LiveMetrics | None = None):
         self.window_s = window_s
         self.max_batch_shots = max_batch_shots
+        self.metrics = metrics
         self._pending: dict[str, list[_Pending]] = {}
         self._pending_shots: dict[str, int] = {}
         self._timers: dict[str, asyncio.TimerHandle] = {}
@@ -74,18 +82,21 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------ #
     async def submit(self, name: str, model: Classifier, iq: np.ndarray,
-                     qubit: np.ndarray,
-                     deadline_s: float | None) -> tuple[np.ndarray, int]:
+                     qubit: np.ndarray, deadline_s: float | None,
+                     trace: TraceContext | None = None
+                     ) -> tuple[np.ndarray, int]:
         """Queue one request; resolves to ``(labels, batch_size)``.
 
         ``qubit`` must already be resolved to one index per row (the
-        server does this against the model before admission).
+        server does this against the model before admission).  A
+        ``trace`` receives the ``serve.queue`` / ``serve.batch`` /
+        ``serve.predict`` spans of the batch it rode in.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._models[name] = model
         bucket = self._pending.setdefault(name, [])
-        bucket.append(_Pending(iq, qubit, deadline_s, future))
+        bucket.append(_Pending(iq, qubit, deadline_s, future, trace))
         self._pending_shots[name] = \
             self._pending_shots.get(name, 0) + len(iq)
         if self._pending_shots[name] >= self.max_batch_shots:
@@ -118,6 +129,10 @@ class MicroBatcher:
         for item in batch:
             if item.future.cancelled():
                 continue
+            if item.trace is not None:
+                item.trace.add(
+                    "serve.queue", item.enqueued_wall,
+                    now - item.enqueued_s, shots=len(item.iq))
             if item.deadline_s is not None and now > item.deadline_s:
                 item.future.set_exception(DeadlineError(
                     f"deadline expired after "
@@ -128,17 +143,45 @@ class MicroBatcher:
             return
 
         model = self._models[name]
+        fuse_wall = time.time()
+        fuse_t0 = time.perf_counter()
         fused_iq = np.concatenate([item.iq for item in live])
         fused_qubit = np.concatenate([item.qubit for item in live])
+        fuse_s = time.perf_counter() - fuse_t0
         loop = asyncio.get_running_loop()
         self.batches += 1
         self.batched_requests += len(live)
         telemetry.count("serve.batches")
         telemetry.observe("serve.batch_requests", len(live))
         telemetry.observe("serve.batch_shots", len(fused_iq))
+        if self.metrics is not None:
+            self.metrics.batch_requests.observe(len(live))
+            self.metrics.batch_shots.observe(len(fused_iq))
+
+        # One shared predict span per fused batch: every participating
+        # request's trace adopts the same object, so a sampled tree
+        # shows exactly which batch (and how big) served the request.
+        predict_span = Span("serve.predict", {
+            "model": name, "requests": len(live),
+            "shots": int(len(fused_iq))}, None)
+        # A placeholder start: overwritten when predict actually runs,
+        # but keeps traces finished early (deadline expiry mid-batch)
+        # exporting at a sane timestamp.
+        predict_span.start_wall = fuse_wall
+        for item in live:
+            if item.trace is not None:
+                item.trace.add("serve.batch", fuse_wall, fuse_s,
+                               requests=len(live),
+                               shots=int(len(fused_iq)))
+                item.trace.attach(predict_span)
 
         def run_predict() -> np.ndarray:
-            return model.predict(fused_iq, qubit=fused_qubit)
+            predict_span.start_wall = time.time()
+            t0 = time.perf_counter()
+            try:
+                return model.predict(fused_iq, qubit=fused_qubit)
+            finally:
+                predict_span.duration_s = time.perf_counter() - t0
 
         task = loop.run_in_executor(self._pool, run_predict)
         task.add_done_callback(

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ServeError
 from repro.serve.protocol import (
+    encode_op_request,
     encode_request,
     parse_response,
     raise_for_response,
@@ -63,6 +64,19 @@ class ServeClient:
         doc = raise_for_response(self.request(
             model, iq, qubit=qubit, deadline_ms=deadline_ms))
         return np.asarray(doc["labels"], dtype=int)
+
+    def stats(self) -> dict:
+        """The server's live stats snapshot (``{"op": "stats"}``).
+
+        In-band introspection: the scrape shares the socket and
+        protocol with classification traffic but skips admission on
+        the server, so it answers even when the queue is full.
+        """
+        req_id = next(self._ids)
+        self._file.write(encode_op_request("stats", req_id=req_id))
+        self._file.flush()
+        doc = raise_for_response(self._read_response())
+        return doc.get("stats", {})
 
     def pipeline(self, requests: list[dict]) -> list[dict]:
         """Send every request, then read every response (in request

@@ -26,6 +26,17 @@ rejects malformed input with a typed
 :class:`~repro.errors.ServeProtocolError` *naming the offending field*
 -- wrong-rank or empty ``iq`` arrays, NaN/inf I/Q, negative deadlines
 -- before a single byte reaches a model.
+
+Two observability hooks live at this layer because the wire boundary
+is where a request is born:
+
+* **admin ops** -- ``{"op": "stats"}`` (no model, no shots) asks the
+  server for its live metrics snapshot in-band, on the same protocol;
+  unknown ops are a 400 naming the ``op`` field;
+* **trace minting** -- every successfully parsed classify request
+  carries a :class:`~repro.observe.live.TraceContext` whose root span
+  opens here, so the span tree covers the full server-side lifetime,
+  queue wait included.
 """
 
 from __future__ import annotations
@@ -42,21 +53,29 @@ from repro.errors import (
     ServeProtocolError,
     ValidationError,
 )
+from repro.observe.live import TraceContext
 
 __all__ = [
+    "ADMIN_OPS",
     "MAX_LINE_BYTES",
     "ParsedRequest",
+    "encode_op_request",
     "encode_request",
     "error_response",
     "ok_response",
     "parse_request",
     "parse_response",
     "raise_for_response",
+    "stats_response",
 ]
 
 MAX_LINE_BYTES = 8 * 1024 * 1024
 """Per-line size cap (both directions): bounds a single request to
 roughly 250k shots, which also bounds the server's per-line buffer."""
+
+ADMIN_OPS = frozenset({"stats"})
+"""In-band admin operations the server answers without touching the
+classification pipeline (no admission, no batching, no model)."""
 
 _ERROR_NAMES = {
     400: "bad_request",
@@ -74,21 +93,30 @@ class ParsedRequest:
     index list -- the server resolves it against the target model
     (which knows its qubit count) before batching, so concatenating
     many requests into one ``predict`` call cannot change a label.
+
+    ``op`` is ``"classify"`` for the normal path or an admin op from
+    :data:`ADMIN_OPS` (then ``model``/``iq`` are ``None``); classify
+    requests carry the :class:`~repro.observe.live.TraceContext`
+    minted at parse time in ``trace``.
     """
 
-    __slots__ = ("deadline_ms", "iq", "model", "qubit", "req_id")
+    __slots__ = ("deadline_ms", "iq", "model", "op", "qubit", "req_id",
+                 "trace")
 
-    def __init__(self, req_id, model: str, iq: np.ndarray, qubit,
-                 deadline_ms: float | None):
+    def __init__(self, req_id, model: str | None, iq, qubit,
+                 deadline_ms: float | None, *, op: str = "classify",
+                 trace: TraceContext | None = None):
         self.req_id = req_id
         self.model = model
         self.iq = iq
         self.qubit = qubit
         self.deadline_ms = deadline_ms
+        self.op = op
+        self.trace = trace
 
     @property
     def n_shots(self) -> int:
-        return len(self.iq)
+        return 0 if self.iq is None else len(self.iq)
 
 
 def parse_request(line: bytes | str) -> ParsedRequest:
@@ -120,6 +148,14 @@ def parse_request(line: bytes | str) -> ParsedRequest:
         raise ServeProtocolError(
             "id must be a JSON scalar", field="id")
 
+    op = doc.get("op")
+    if op is not None:
+        if op not in ADMIN_OPS:
+            raise ServeProtocolError(
+                f"unknown op {op!r}; supported: "
+                f"{', '.join(sorted(ADMIN_OPS))}", field="op")
+        return ParsedRequest(req_id, None, None, None, None, op=op)
+
     model = doc.get("model")
     if not isinstance(model, str) or not model:
         raise ServeProtocolError(
@@ -149,7 +185,9 @@ def parse_request(line: bytes | str) -> ParsedRequest:
                 field="deadline_ms")
         deadline_ms = float(deadline_ms)
 
-    return ParsedRequest(req_id, model, iq, qubit, deadline_ms)
+    trace = TraceContext(model=model, shots=len(iq))
+    return ParsedRequest(req_id, model, iq, qubit, deadline_ms,
+                         trace=trace)
 
 
 def encode_request(req_id, model: str, iq, qubit=None,
@@ -161,6 +199,17 @@ def encode_request(req_id, model: str, iq, qubit=None,
         doc["qubit"] = np.asarray(qubit).astype(int).tolist()
     if deadline_ms is not None:
         doc["deadline_ms"] = float(deadline_ms)
+    return (json.dumps(doc) + "\n").encode("utf-8")
+
+
+def encode_op_request(op: str, req_id=None) -> bytes:
+    """Client-side encoder for an admin op (e.g. ``stats``)."""
+    return (json.dumps({"id": req_id, "op": op}) + "\n").encode("utf-8")
+
+
+def stats_response(req_id, snapshot: dict) -> bytes:
+    """Encode the live stats snapshot an ``{"op": "stats"}`` gets."""
+    doc = {"id": req_id, "ok": True, "op": "stats", "stats": snapshot}
     return (json.dumps(doc) + "\n").encode("utf-8")
 
 

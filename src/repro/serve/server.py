@@ -36,6 +36,17 @@ instead of parking a connection task forever.
 Every server session appends one ``kind="serve"`` RunRecord to the
 provenance ledger: request/rejection/shot totals, latency quantiles,
 throughput, and the digests of the models it served.
+
+Live observability (:mod:`repro.observe.live` / ``.slo``) rides the
+same pipeline: every classify request carries a
+:class:`~repro.observe.live.TraceContext` whose queue/batch/predict/
+write spans the server tail-samples when the request was slow or
+failed; rolling-window metrics feed the in-band ``{"op": "stats"}``
+snapshot (answered *before* admission, so scrapes are never rejected
+or queued); a periodic observer task measures event-loop lag and keeps
+the bounded counter timeline the Perfetto export draws; and the
+declared SLOs are graded by burn rate into the session record's
+fidelity verdict.
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ import asyncio
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +70,9 @@ from repro.errors import (
     ServeProtocolError,
     ValidationError,
 )
+from repro.observe import slo as slo_mod
+from repro.observe.health import LagTracker
+from repro.observe.live import LiveMetrics, TraceContext
 from repro.provenance import RunLedger, RunRecord
 from repro.serve.batcher import MicroBatcher
 from repro.serve.models import ModelRegistry
@@ -67,7 +82,9 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
     parse_request,
+    stats_response,
 )
+from repro.telemetry.spans import Span
 
 __all__ = ["ClassifierServer", "RequestContext", "ServeConfig",
            "ServerThread"]
@@ -98,15 +115,36 @@ class ServeConfig:
     slow-client assault scenario sets this so a stalled reader trips
     the drain timeout deterministically instead of hiding behind
     megabytes of kernel buffer."""
+    slo_latency_ms: float = slo_mod.DEFAULT_LATENCY_MS
+    """Declared per-request latency objective (default: the paper's
+    110 us decoherence budget at the serving benchmark's wire scale)."""
+    slo_error_budget: float = slo_mod.DEFAULT_ERROR_BUDGET
+    """Allowed fraction of slow/failed requests per SLO objective."""
+    trace_slow_ms: float | None = None
+    """Tail-sampling threshold: finished requests at least this slow
+    (or failed) keep their span tree; ``None`` = ``slo_latency_ms``."""
+    trace_capacity: int = 64
+    """How many tail-sampled request traces the session retains."""
+    metrics_window_s: float = 10.0
+    """Rolling window the live metrics and stats snapshots cover."""
 
     def __post_init__(self):
         for name in ("batch_window_ms", "max_batch_shots", "max_queue",
                      "default_deadline_ms", "write_timeout_s",
-                     "predict_workers"):
+                     "predict_workers", "slo_latency_ms",
+                     "trace_capacity", "metrics_window_s"):
             value = getattr(self, name)
             if not value > 0:
                 raise ConfigError(
                     f"{name} must be positive, got {value!r}", field=name)
+        if not 0 < self.slo_error_budget < 1:
+            raise ConfigError(
+                f"slo_error_budget must be in (0, 1), got "
+                f"{self.slo_error_budget!r}", field="slo_error_budget")
+        if self.trace_slow_ms is not None and not self.trace_slow_ms > 0:
+            raise ConfigError(
+                f"trace_slow_ms must be positive or None, got "
+                f"{self.trace_slow_ms!r}", field="trace_slow_ms")
         if self.sndbuf_bytes is not None and not self.sndbuf_bytes > 0:
             raise ConfigError(
                 f"sndbuf_bytes must be positive or None, got "
@@ -146,13 +184,30 @@ class ClassifierServer:
             "serve.bad_requests": 0,
             "serve.unknown_model": 0,
             "serve.slow_client_disconnects": 0,
+            "serve.internal_errors": 0,
+            "serve.stats_scrapes": 0,
+            "serve.slo_latency_violations": 0,
         }
+        self.live = LiveMetrics(window_s=self.config.metrics_window_s)
+        self.slo_spec = slo_mod.SLOSpec(
+            latency_ms=self.config.slo_latency_ms,
+            error_budget=self.config.slo_error_budget)
+        self._trace_slow_ms = (
+            self.config.trace_slow_ms
+            if self.config.trace_slow_ms is not None
+            else self.config.slo_latency_ms)
+        self._sampled_traces: deque[Span] = deque(
+            maxlen=self.config.trace_capacity)
+        self._lag = LagTracker()
+        self._counter_timeline: deque[tuple[float, dict]] = deque(
+            maxlen=600)
         self._latencies_ms: list[float] = []
         self._inflight = 0
         self._started_s = 0.0
         self._start_ts = ""
         self._server: asyncio.AbstractServer | None = None
         self._batcher: MicroBatcher | None = None
+        self._observer_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         # telemetry(admission(deadline(batcher))) -- every request,
         # served or rejected, crosses the same instrumented pipeline.
@@ -168,7 +223,8 @@ class ClassifierServer:
         self._batcher = MicroBatcher(
             window_s=cfg.batch_window_ms / 1e3,
             max_batch_shots=cfg.max_batch_shots,
-            workers=cfg.predict_workers)
+            workers=cfg.predict_workers,
+            metrics=self.live)
         self._server = await asyncio.start_server(
             self._handle_connection, cfg.host, cfg.port,
             limit=MAX_LINE_BYTES)
@@ -176,6 +232,7 @@ class ClassifierServer:
             self._server.sockets[0].getsockname()[:2]
         self._started_s = time.perf_counter()
         self._start_ts = telemetry.iso_ts(time.time())
+        self._observer_task = asyncio.ensure_future(self._observe_loop())
         telemetry.gauge("serve.models", len(self.registry))
 
     async def serve_forever(self) -> None:
@@ -186,6 +243,13 @@ class ClassifierServer:
 
     async def stop(self) -> RunRecord:
         """Close the socket, flush the session record to the ledger."""
+        if self._observer_task is not None:
+            self._observer_task.cancel()
+            try:
+                await self._observer_task
+            except asyncio.CancelledError:
+                pass
+            self._observer_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -264,8 +328,36 @@ class ClassifierServer:
 
     async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
                           write_lock: asyncio.Lock) -> None:
-        payload = await self._process(line)
+        payload, trace = await self._process(line)
+        if trace is None:
+            await self._send(writer, write_lock, payload)
+            return
+        write_wall = time.time()
+        write_t0 = time.perf_counter()
         await self._send(writer, write_lock, payload)
+        trace.add("serve.write", write_wall,
+                  time.perf_counter() - write_t0, bytes=len(payload))
+        self._finish_trace(trace)
+
+    def _finish_trace(self, trace: TraceContext) -> None:
+        """Close the request's span tree; tail-sample slow/failed ones."""
+        root = trace.finish()
+        latency_ms = root.duration_s * 1e3
+        root.attrs.setdefault("status", "ok")
+        root.attrs["latency_ms"] = round(latency_ms, 3)
+        if root.attrs["status"] != "ok" \
+                or latency_ms >= self._trace_slow_ms:
+            self._sampled_traces.append(root)
+
+    @property
+    def sampled_traces(self) -> list[Span]:
+        """Tail-sampled request span trees (slow or failed), bounded."""
+        return list(self._sampled_traces)
+
+    def counter_timeline(self) -> list[tuple[float, dict]]:
+        """The observer task's ``(wall, counters)`` series, for the
+        Perfetto counter tracks a session export draws."""
+        return list(self._counter_timeline)
 
     async def _send(self, writer: asyncio.StreamWriter,
                     write_lock: asyncio.Lock, payload: bytes) -> None:
@@ -282,13 +374,25 @@ class ClassifierServer:
                 telemetry.count("serve.slow_client_disconnects")
                 writer.transport.abort()
 
-    async def _process(self, line: bytes) -> bytes:
-        """Parse, pipeline, encode: every outcome becomes a response."""
+    async def _process(self, line: bytes
+                       ) -> tuple[bytes, TraceContext | None]:
+        """Parse, pipeline, encode: every outcome becomes a response.
+
+        Returns ``(payload, trace)``; the trace (classify requests
+        only) is finished by the caller *after* the response write, so
+        the sampled span tree covers the full server-side lifetime.
+        Admin ops answer before the pipeline -- a stats scrape is never
+        admission-rejected and never waits on a batch.
+        """
         t0 = time.perf_counter()
         req_id = None
+        trace = None
         try:
             request = parse_request(line)
             req_id = request.req_id
+            if request.op != "classify":
+                return self._admin_response(request), None
+            trace = request.trace
             model = self.registry.get(request.model)
             try:
                 qubit = model.resolve_qubit(request.iq, request.qubit)
@@ -297,20 +401,93 @@ class ClassifierServer:
             ctx = RequestContext(request, model, qubit, t0)
             await self._pipeline(ctx)
         except (ServeError, ServeProtocolError) as exc:
+            code = int(getattr(exc, "code", 500))
             key = {404: "serve.unknown_model",
-                   400: "serve.bad_requests"}.get(
-                int(getattr(exc, "code", 500)))
+                   400: "serve.bad_requests"}.get(code)
             if key is not None:
                 self.stats[key] += 1
                 telemetry.count(key)
-            return error_response(req_id, exc)
+            if trace is not None:
+                trace.set(status="error", code=code)
+            return error_response(req_id, exc), trace
         except Exception as exc:  # noqa: BLE001 - wire boundary
+            self.stats["serve.internal_errors"] += 1
+            telemetry.count("serve.internal_errors")
+            self.live.errors.add()
+            if trace is not None:
+                trace.set(status="error", code=500)
             return error_response(req_id, ServeError(
-                f"internal error: {type(exc).__name__}: {exc}"))
+                f"internal error: {type(exc).__name__}: {exc}")), trace
+        trace.set(status="ok", code=200)
         return ok_response(
             req_id, ctx.labels, model_digest=ctx.model.model_digest,
             batch_size=ctx.batch_size,
-            queue_ms=(time.perf_counter() - t0) * 1e3)
+            queue_ms=(time.perf_counter() - t0) * 1e3), trace
+
+    # ------------------------------------------------------------------ #
+    # In-band introspection + the observer task
+    # ------------------------------------------------------------------ #
+    def _admin_response(self, request: ParsedRequest) -> bytes:
+        """Answer an admin op (only ``stats`` exists today)."""
+        self.stats["serve.stats_scrapes"] += 1
+        telemetry.count("serve.stats_scrapes")
+        return stats_response(request.req_id, self.stats_snapshot())
+
+    def stats_snapshot(self) -> dict:
+        """The live stats document (also the ``repro top`` payload).
+
+        Built in one pass on the event loop thread, so the counters,
+        windowed metrics and SLO grades describe the same instant --
+        a scrape can never see a torn half-updated view.
+        """
+        now = time.time()
+        return {
+            "endpoint": f"{self.host}:{self.port}",
+            "uptime_s": round(
+                max(time.perf_counter() - self._started_s, 0.0), 3),
+            "inflight": self._inflight,
+            "max_queue": self.config.max_queue,
+            "models": self.registry.digests(),
+            "counters": dict(self.stats),
+            "window": self.live.snapshot(now),
+            "slo": self._slo_report().to_dict(),
+            "health": {
+                **self._lag.summary(),
+                "sampled_traces": len(self._sampled_traces),
+            },
+        }
+
+    def _slo_report(self) -> slo_mod.SLOReport:
+        """Grade the session-cumulative counts against the SLO spec."""
+        total = (self.stats["serve.requests"]
+                 + self.stats["serve.rejected"]
+                 + self.stats["serve.deadline_expired"]
+                 + self.stats["serve.internal_errors"])
+        return slo_mod.evaluate(
+            self.slo_spec, total=total,
+            latency_violations=self.stats["serve.slo_latency_violations"],
+            errors=(self.stats["serve.deadline_expired"]
+                    + self.stats["serve.internal_errors"]))
+
+    async def _observe_loop(self, interval_s: float = 0.25) -> None:
+        """Periodic self-observation on the serving loop itself.
+
+        Each tick measures how late the loop woke (scheduler lag -- the
+        earliest overload signal) and appends one point to the bounded
+        counter timeline the Perfetto export draws as counter tracks.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            expected = loop.time() + interval_s
+            await asyncio.sleep(interval_s)
+            self._lag.record(loop.time() - expected)
+            now = time.time()
+            self._counter_timeline.append((now, {
+                "inflight": self._inflight,
+                "requests_per_sec": round(self.live.requests.rate(now), 1),
+                "latency_p99_ms": round(
+                    self.live.latency_ms.percentile(99, now), 3),
+            }))
 
     # ------------------------------------------------------------------ #
     # The middleware pipeline
@@ -324,20 +501,28 @@ class ClassifierServer:
                 except ServeOverloadError:
                     self.stats["serve.rejected"] += 1
                     telemetry.count("serve.rejected")
+                    self.live.rejected.add()
                     raise
                 except DeadlineError:
                     self.stats["serve.deadline_expired"] += 1
                     telemetry.count("serve.deadline_expired")
+                    self.live.errors.add()
                     raise
                 finally:
                     latency_ms = (time.perf_counter() - ctx.t0) * 1e3
                     self._latencies_ms.append(latency_ms)
                     telemetry.observe("serve.latency_ms", latency_ms)
                     sp.set(latency_ms=round(latency_ms, 3))
+                    self.live.requests.add()
+                    self.live.latency_ms.observe(latency_ms)
+                    if latency_ms > self.config.slo_latency_ms:
+                        self.stats["serve.slo_latency_violations"] += 1
+                        self.live.latency_violations.add()
             self.stats["serve.requests"] += 1
             self.stats["serve.shots"] += ctx.request.n_shots
             telemetry.count("serve.requests")
             telemetry.count("serve.shots", ctx.request.n_shots)
+            self.live.shots.add(ctx.request.n_shots)
 
         return run
 
@@ -348,6 +533,7 @@ class ClassifierServer:
                     f"queue full ({self.config.max_queue} requests in "
                     f"flight); retry later")
             self._inflight += 1
+            self.live.queue_depth.observe(self._inflight)
             try:
                 await nxt(ctx)
             finally:
@@ -377,13 +563,20 @@ class ClassifierServer:
     async def _classify(self, ctx: RequestContext) -> None:
         ctx.labels, ctx.batch_size = await self._batcher.submit(
             ctx.request.model, ctx.model, ctx.request.iq, ctx.qubit,
-            ctx.deadline_s)
+            ctx.deadline_s, trace=ctx.request.trace)
 
     # ------------------------------------------------------------------ #
     # Session provenance
     # ------------------------------------------------------------------ #
     def session_record(self) -> RunRecord:
-        """One ``kind="serve"`` ledger line summarizing the session."""
+        """One ``kind="serve"`` ledger line summarizing the session.
+
+        Beyond the counters and latency quantiles, the record carries
+        the session's queue-depth and fused-batch-size histogram
+        summaries and the SLO burn-rate report -- its verdict rides in
+        the ``fidelity`` slot, so ``repro report --strict`` gates on
+        serving sessions exactly as it gates on experiment fidelity.
+        """
         wall_s = max(time.perf_counter() - self._started_s, 1e-9)
         lat = np.asarray(self._latencies_ms, dtype=float)
         metrics: dict[str, float] = dict(self.stats)
@@ -396,6 +589,9 @@ class ClassifierServer:
                 round(float(np.percentile(lat, 50)), 3)
             metrics["serve.latency_p99_ms"] = \
                 round(float(np.percentile(lat, 99)), 3)
+        metrics.update(self.live.record_summaries())
+        slo_report = self._slo_report()
+        metrics.update(slo_report.metrics())
         return RunRecord(
             experiment="serve",
             kind="serve",
@@ -406,8 +602,12 @@ class ClassifierServer:
                            "batch_window_ms": self.config.batch_window_ms,
                            "max_batch_shots": self.config.max_batch_shots,
                            "max_queue": self.config.max_queue,
-                       }},
+                       },
+                       "slo": {"spec": self.slo_spec.to_dict(),
+                               **slo_report.to_dict()},
+                       "health": self._lag.summary()},
             metrics=metrics,
+            fidelity={"kind": "slo", **slo_report.to_dict()},
         )
 
 

@@ -63,6 +63,8 @@ def test_optional_fields_default():
     (b'{"model": "knn", "iq": [[0, 0]], "deadline_ms": true}\n',
      "deadline_ms"),
     (b'{"id": {"a": 1}, "model": "knn", "iq": [[0, 0]]}\n', "id"),
+    (b'{"op": "reboot"}\n', "op"),
+    (b'{"op": 3}\n', "op"),
 ], ids=lambda v: repr(v)[:40])
 def test_malformed_requests_name_the_field(line, field):
     with pytest.raises(ServeProtocolError) as err:
@@ -71,6 +73,33 @@ def test_malformed_requests_name_the_field(line, field):
     assert err.value.field == field
     # ServeProtocolError stays a ValueError (the ValidationError base).
     assert isinstance(err.value, ValueError)
+
+
+def test_stats_op_round_trip():
+    from repro.serve.protocol import encode_op_request, stats_response
+
+    req = parse_request(encode_op_request("stats", req_id=11))
+    assert req.op == "stats"
+    assert req.req_id == 11
+    assert req.model is None
+    assert req.n_shots == 0
+    assert req.trace is None  # admin ops are never traced
+    doc = parse_response(stats_response(11, {"counters": {"x": 1}}))
+    assert doc["ok"] is True
+    assert doc["op"] == "stats"
+    assert doc["stats"] == {"counters": {"x": 1}}
+
+
+def test_classify_requests_carry_a_trace():
+    req = parse_request(encode_request(1, "knn", [[0.0, 0.0]]))
+    assert req.op == "classify"
+    assert req.trace is not None
+    assert req.trace.root.name == "serve.request"
+    assert req.trace.root.attrs["model"] == "knn"
+    assert req.trace.root.attrs["shots"] == 1
+    # Distinct requests mint distinct trace ids.
+    other = parse_request(encode_request(2, "knn", [[0.0, 0.0]]))
+    assert other.trace.trace_id != req.trace.trace_id
 
 
 def test_oversized_line_rejected():
