@@ -545,6 +545,49 @@ def _solver_nonconvergence(ctx):
         dc_operating_point(_inverter())
 
 
+@scenario("grid_eviction_storm", tier="storm",
+          description="hostile solver during batched-grid "
+                      "characterization: evictions degrade to the "
+                      "per-point retry ladder -- notes recorded, zero "
+                      "empty tables",
+          expect=expect_clean(lambda obs: obs["notes_recorded"]
+                              and obs["no_empty_tables"]))
+def _grid_eviction_storm(ctx):
+    import numpy as np
+
+    from repro.cells import (
+        CellCharacterizer,
+        CharacterizationConfig,
+        TechModels,
+        cell_by_name,
+    )
+    from repro.device import golden_nfet, golden_pfet
+
+    cfg = CharacterizationConfig(
+        engine="spice",
+        slew_index=(8e-12, 32e-12),
+        load_index=(1e-15, 4e-15),
+    )
+    ch = CellCharacterizer(TechModels(golden_nfet(), golden_pfet()), cfg)
+    cell = cell_by_name("NAND2_X1")
+    notes: list[str] = []
+    # A 1-iteration Newton cap makes every solve hopeless: the batch
+    # evicts all replicas, the per-point ladder fails both rungs, and
+    # every table point must land on its analytic estimate -- with the
+    # degradation recorded in notes and no table left empty.
+    with ctx.chaos.hostile_solver(max_iterations=1):
+        arc = ch._characterize_arc_spice(cell, "A", notes)
+    tables = [arc.cell_rise, arc.cell_fall,
+              arc.rise_transition, arc.fall_transition]
+    return {
+        "notes_recorded": bool(notes),
+        "no_empty_tables": all(
+            np.isfinite(t.values).all() and (t.values > 0).all()
+            for t in tables
+        ),
+    }
+
+
 @scenario("seu_storm_during_characterization", tier="storm",
           description="an SEU campaign hammers the ISS while a library "
                       "characterizes; both finish intact",

@@ -12,6 +12,8 @@ from repro.cells.characterize import (
     CellCharacterizer,
     CharacterizationConfig,
     CharacterizedCell,
+    GridBatch,
+    GridPoint,
     TechModels,
 )
 from repro.cells.library import CellLibrary, build_library
@@ -24,6 +26,8 @@ __all__ = [
     "CellLibrary",
     "CharacterizationConfig",
     "CharacterizedCell",
+    "GridBatch",
+    "GridPoint",
     "NLDMTable",
     "SequentialCell",
     "Stack",

@@ -37,7 +37,13 @@ from repro.cells.stacks import device, series
 from repro.device.finfet import FinFET
 from repro.device.params import FinFETParams
 
-__all__ = ["CharacterizationConfig", "CellCharacterizer", "TechModels"]
+__all__ = [
+    "CharacterizationConfig",
+    "CellCharacterizer",
+    "GridBatch",
+    "GridPoint",
+    "TechModels",
+]
 
 # Analytic-engine constants, fitted against the SPICE engine.
 REFF_GAMMA = 0.443
@@ -62,6 +68,17 @@ SHORT_CIRCUIT_FACTOR = 1.15
 # replace with the analytic estimate than to grind out.
 SPICE_POINT_BUDGET_S = 30.0
 SPICE_RETRY_BUDGET_S = 10.0
+
+# One batched-grid solve covers up to a whole arc's worth of points, so
+# it gets a correspondingly larger wall-clock budget than a single point.
+SPICE_GRID_BUDGET_S = 120.0
+
+GRID_STEP_REPLICA_TAX = 0.04
+"""Marginal per-replica cost of one lockstep Newton step, relative to the
+replica-independent base cost (the compact-model call dominates and its
+cost is nearly size-independent at characterization batch sizes).  Used
+only by the batch planner's cost model when deciding whether merging two
+load rows onto one union time grid is cheaper than solving them apart."""
 
 
 @dataclass(frozen=True)
@@ -104,6 +121,11 @@ class CharacterizationConfig:
     slew_index: tuple[float, ...] = DEFAULT_SLEW_INDEX
     load_index: tuple[float, ...] = DEFAULT_LOAD_INDEX
     engine: str = "analytic"
+    grid_batch: bool = True
+    """SPICE engine only: solve each arc as a handful of batched-grid
+    transients (:func:`repro.spice.transient_grid`) instead of one
+    sequential transient per table point.  ``False`` restores the
+    per-point path (the batched path's reference for benchmarks)."""
 
     def __post_init__(self) -> None:
         from repro.errors import ConfigError
@@ -197,6 +219,60 @@ class CharacterizedCell:
         if not self.arcs:
             return 0.0
         return max(a.worst_delay(16e-12, 2e-15) for a in self.arcs)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One (slew, load, edge) table point scheduled into a grid batch."""
+
+    i: int
+    """Row index into ``slew_index``."""
+    j: int
+    """Column index into ``load_index``."""
+    in_tr: str
+    out_tr: str
+    slew: float
+    load: float
+    est_d: float
+    est_s: float
+    t_stop: float
+    """The point's own stop time (what the sequential path would use)."""
+    dt: float
+    """The point's own step (what the sequential path would use)."""
+    wave_map: dict
+
+    @property
+    def steps(self) -> int:
+        return max(1, int(np.ceil(self.t_stop / self.dt - 1e-9)))
+
+
+@dataclass(frozen=True)
+class GridBatch:
+    """A set of points solved together on one union time grid.
+
+    The grid is the union of the member points' grids: ``t_stop`` is the
+    max over members (every transition completes) and ``dt`` the min
+    (the tightest accuracy requirement wins).
+    """
+
+    points: tuple[GridPoint, ...]
+    t_stop: float
+    dt: float
+
+    @property
+    def steps(self) -> int:
+        return max(1, int(np.ceil(self.t_stop / self.dt - 1e-9)))
+
+    def cost(self) -> float:
+        """Predicted lockstep work, in units of one bare Newton step."""
+        return self.steps * (1.0 + GRID_STEP_REPLICA_TAX * len(self.points))
+
+    def merged(self, other: "GridBatch") -> "GridBatch":
+        return GridBatch(
+            points=self.points + other.points,
+            t_stop=max(self.t_stop, other.t_stop),
+            dt=min(self.dt, other.dt),
+        )
 
 
 class CellCharacterizer:
@@ -467,12 +543,50 @@ class CellCharacterizer:
             telemetry.count("cells.point_fallbacks")
             return None
 
+    def _arc_sense(self, senses: set) -> str:
+        if senses == {("rise", "fall"), ("fall", "rise")}:
+            return "negative_unate"
+        if senses == {("rise", "rise"), ("fall", "fall")}:
+            return "positive_unate"
+        return "non_unate"
+
+    def _finish_arc(self, pin: str, senses: set, tables: dict) -> TimingArc:
+        """Assemble a :class:`TimingArc` from filled slew/load tables."""
+        for a, b in (("cell_rise", "cell_fall"),
+                     ("rise_transition", "fall_transition")):
+            if not tables[a].any():
+                tables[a] = tables[b].copy()
+            if not tables[b].any():
+                tables[b] = tables[a].copy()
+
+        slews = self.config.slew_index
+        loads = self.config.load_index
+
+        def mk(key: str) -> NLDMTable:
+            return NLDMTable(np.asarray(slews), np.asarray(loads), tables[key])
+
+        return TimingArc(
+            related_pin=pin,
+            sense=self._arc_sense(senses),
+            cell_rise=mk("cell_rise"),
+            cell_fall=mk("cell_fall"),
+            rise_transition=mk("rise_transition"),
+            fall_transition=mk("fall_transition"),
+        )
+
     def _characterize_arc_spice(
         self, cell: StandardCell, pin: str, notes: list[str] | None = None
     ) -> TimingArc:
+        notes = [] if notes is None else notes
+        if self.config.grid_batch:
+            return self._characterize_arc_spice_grid(cell, pin, notes)
+        return self._characterize_arc_spice_sequential(cell, pin, notes)
+
+    def _characterize_arc_spice_sequential(
+        self, cell: StandardCell, pin: str, notes: list[str]
+    ) -> TimingArc:
         from repro.spice import DC, propagation_delay, ramp
 
-        notes = [] if notes is None else notes
         cfg = self.config
         side = self._sensitize(cell, pin)
         if side is None:
@@ -532,30 +646,166 @@ class CellCharacterizer:
                         tables[f"cell_{out_tr}"][i, j] = d
                         tables[f"{out_tr}_transition"][i, j] = sl
 
-        if senses == {("rise", "fall"), ("fall", "rise")}:
-            sense = "negative_unate"
-        elif senses == {("rise", "rise"), ("fall", "fall")}:
-            sense = "positive_unate"
-        else:
-            sense = "non_unate"
-        for a, b in (("cell_rise", "cell_fall"),
-                     ("rise_transition", "fall_transition")):
-            if not tables[a].any():
-                tables[a] = tables[b].copy()
-            if not tables[b].any():
-                tables[b] = tables[a].copy()
+        return self._finish_arc(pin, senses, tables)
 
-        def mk(key: str) -> NLDMTable:
-            return NLDMTable(np.asarray(slews), np.asarray(loads), tables[key])
+    # ------------------------------------------------------------------ #
+    # Batched-grid SPICE timing
+    # ------------------------------------------------------------------ #
+    def plan_grid_batches(
+        self,
+        cell: StandardCell,
+        pin: str,
+        side: dict[str, bool] | None = None,
+    ) -> list[GridBatch]:
+        """Schedule an arc's table points into batched-grid transients.
 
-        return TimingArc(
-            related_pin=pin,
-            sense=sense,
-            cell_rise=mk("cell_rise"),
-            cell_fall=mk("cell_fall"),
-            rise_transition=mk("rise_transition"),
-            fall_transition=mk("fall_transition"),
-        )
+        The planning unit is the per-(slew, edge) load row: all seven
+        loads share one input ramp, so they share a union time grid with
+        ``dt = min`` over the row (tightest accuracy requirement) and
+        ``t_stop = max`` (slowest transition completes).  Rows whose
+        union grids are compatible are then greedily merged into wider
+        batches: one lockstep Newton step costs nearly the same for 7
+        replicas as for 49 (the stacked compact-model call dominates and
+        is size-independent at these widths), so the only real cost of a
+        batch is its step count and width is close to free.  Two rows
+        merge whenever the merged union grid's predicted work (steps x a
+        small per-replica tax, see :data:`GRID_STEP_REPLICA_TAX`) does
+        not exceed the rows solved apart.  Rows with clashing grids --
+        e.g. a 2 ps slew row stepping at 67 fs next to a 128 ps row
+        stepping at 500 fs -- stay separate.
+        """
+        from repro.spice import DC, ramp
+
+        cfg = self.config
+        if side is None:
+            side = self._sensitize(cell, pin)
+            if side is None:
+                raise ValueError(
+                    f"{cell.name}: pin {pin!r} cannot toggle output")
+        fn = cell.function()
+
+        rows: list[GridBatch] = []
+        for i, s in enumerate(cfg.slew_index):
+            for in_tr in ("rise", "fall"):
+                v0 = 0.0 if in_tr == "rise" else cfg.vdd
+                v1 = cfg.vdd - v0
+                out0 = fn.evaluate({**side, pin: v0 > cfg.vdd / 2})
+                out1 = fn.evaluate({**side, pin: v1 > cfg.vdd / 2})
+                out_tr = "rise" if (out1 and not out0) else "fall"
+                t_start = 3e-12 + 2 * s
+                ramp_dur = s / 0.8
+                points = []
+                for j, c in enumerate(cfg.load_index):
+                    est = self._arc_timing_analytic(cell, pin, in_tr, s, c)
+                    est_d, est_s = est.get(out_tr, (20e-12, 20e-12))
+                    t_stop = (t_start + ramp_dur + 4 * est_d + 4 * est_s
+                              + 20e-12)
+                    dt = max(min(s / 30.0, est_s / 20.0, 0.5e-12), 0.02e-12)
+                    wave_map: dict[str, object] = {
+                        p: DC(cfg.vdd if val else 0.0)
+                        for p, val in side.items()
+                    }
+                    wave_map[pin] = ramp(t_start, ramp_dur, v0, v1)
+                    points.append(GridPoint(
+                        i=i, j=j, in_tr=in_tr, out_tr=out_tr, slew=s,
+                        load=c, est_d=est_d, est_s=est_s, t_stop=t_stop,
+                        dt=dt, wave_map=wave_map,
+                    ))
+                rows.append(GridBatch(
+                    points=tuple(points),
+                    t_stop=max(p.t_stop for p in points),
+                    dt=min(p.dt for p in points),
+                ))
+
+        # Greedy merge over rows ordered by step size: neighbours in dt
+        # are the rows whose union grids waste the least on each other.
+        rows.sort(key=lambda r: (r.dt, r.t_stop))
+        batches: list[GridBatch] = []
+        for row in rows:
+            if batches:
+                merged = batches[-1].merged(row)
+                if merged.cost() <= batches[-1].cost() + row.cost():
+                    batches[-1] = merged
+                    continue
+            batches.append(row)
+        return batches
+
+    def _characterize_arc_spice_grid(
+        self, cell: StandardCell, pin: str, notes: list[str]
+    ) -> TimingArc:
+        from repro.errors import SolverError
+        from repro.spice import SolverBudget, propagation_delay, transient_grid
+
+        cfg = self.config
+        side = self._sensitize(cell, pin)
+        if side is None:
+            raise ValueError(f"{cell.name}: pin {pin!r} cannot toggle output")
+
+        shape = (len(cfg.slew_index), len(cfg.load_index))
+        tables = {
+            key: np.zeros(shape)
+            for key in ("cell_rise", "cell_fall", "rise_transition",
+                        "fall_transition")
+        }
+        senses = set()
+        record = [pin, cell.output]
+        for batch in self.plan_grid_batches(cell, pin, side):
+            circuits = [
+                self.build_cell_circuit(cell, p.load, p.wave_map)
+                for p in batch.points
+            ]
+            with telemetry.span(
+                "cells.grid_batch",
+                cell=cell.name, pin=pin, replicas=len(circuits),
+                steps=batch.steps,
+            ):
+                try:
+                    results = transient_grid(
+                        circuits, batch.t_stop, batch.dt, record=record,
+                        budget=SolverBudget(max_seconds=SPICE_GRID_BUDGET_S),
+                    )
+                except SolverError as exc:
+                    # The whole batch ran out of budget: every member
+                    # point is replayed through the per-point ladder.
+                    notes.append(
+                        f"arc {pin}: grid batch aborted "
+                        f"({type(exc).__name__}: {exc}); replaying "
+                        f"{len(circuits)} points sequentially"
+                    )
+                    telemetry.count("cells.grid_batch_aborts")
+                    results = [None] * len(circuits)
+
+            for p, circuit, res in zip(batch.points, circuits, results):
+                senses.add((p.in_tr, p.out_tr))
+                if res is not None:
+                    telemetry.count("cells.grid_batched_points")
+                else:
+                    # Evicted from the batch: replay this point alone on
+                    # its own grid through the existing retry ladder.
+                    telemetry.count("cells.grid_fallback_points")
+                    notes.append(
+                        f"arc {pin}: grid eviction at slew={p.slew:.3g} "
+                        f"load={p.load:.3g} {p.in_tr}; replaying per-point"
+                    )
+                    res = self._solve_point_resilient(
+                        cell, pin, circuit, p.t_stop, p.dt, notes
+                    )
+                if res is None:
+                    d, sl = p.est_d, p.est_s
+                else:
+                    win = res.waveform(pin)
+                    wout = res.waveform(cell.output)
+                    d = propagation_delay(
+                        win, wout, cfg.vdd, p.in_tr, p.out_tr
+                    )
+                    sl = wout.transition_time(
+                        0.0, cfg.vdd, direction=p.out_tr
+                    )
+                if d > tables[f"cell_{p.out_tr}"][p.i, p.j]:
+                    tables[f"cell_{p.out_tr}"][p.i, p.j] = d
+                    tables[f"{p.out_tr}_transition"][p.i, p.j] = sl
+
+        return self._finish_arc(pin, senses, tables)
 
     # ------------------------------------------------------------------ #
     # Leakage and energy
@@ -611,7 +861,8 @@ class CellCharacterizer:
             self._stage_input_cap(ref, "A")
         )
 
-        def clk_to_q(slew: float, load: float, tr: str) -> tuple[float, float]:
+        def clk_to_q(slew, load, tr: str):
+            """Two-stage clock-to-Q map; slew/load broadcast together."""
             d1, s1 = self._stage_delay_slew(internal, tr, slew, internal_load)
             stage_load = self._stage_parasitic_cap(ref) + load
             d2, s2 = self._stage_delay_slew(ref, tr, s1, stage_load)
@@ -622,12 +873,15 @@ class CellCharacterizer:
         loads = np.asarray(self.config.load_index)
 
         def table(tr: str, want_slew: bool) -> NLDMTable:
-            vals = np.zeros((len(slews), len(loads)))
-            for i, s in enumerate(slews):
-                for j, c in enumerate(loads):
-                    d, sl = clk_to_q(float(s), float(c), tr)
-                    vals[i, j] = sl if want_slew else d
-            return NLDMTable(slews, loads, vals)
+            # The stage-delay model is affine in (slew, load), so both
+            # maps mesh-evaluate in one broadcast instead of 49 scalar
+            # clk_to_q calls per table.
+            d, sl = clk_to_q(slews[:, None], loads[None, :], tr)
+            vals = sl if want_slew else d
+            shape = (len(slews), len(loads))
+            return NLDMTable(
+                slews, loads, np.array(np.broadcast_to(vals, shape))
+            )
 
         arc = TimingArc(
             related_pin=cell.clock_pin,

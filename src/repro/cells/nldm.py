@@ -45,29 +45,39 @@ class NLDMTable:
         if np.any(np.diff(self.slews) <= 0) or np.any(np.diff(self.loads) <= 0):
             raise ValueError("table indices must strictly increase")
 
-    def lookup(self, slew: float, load: float) -> float:
+    def lookup(self, slew, load):
         """Bilinear interpolation; clamps outside the characterized box.
 
         Clamping (rather than extrapolating) matches signoff-tool behaviour
         for mildly out-of-range queries and keeps STA robust.
+
+        Accepts scalars (returns ``float``) or array-valued slew/load
+        queries (broadcast together; returns an ``ndarray``), so callers
+        with many queries against one table -- the STA hot loop, the
+        library QA sweeps -- pay one ``searchsorted`` per axis instead
+        of one Python call per point.
         """
-        s = float(np.clip(slew, self.slews[0], self.slews[-1]))
-        c = float(np.clip(load, self.loads[0], self.loads[-1]))
-        i = int(np.clip(np.searchsorted(self.slews, s) - 1, 0,
-                        len(self.slews) - 2))
-        j = int(np.clip(np.searchsorted(self.loads, c) - 1, 0,
-                        len(self.loads) - 2))
+        scalar = np.ndim(slew) == 0 and np.ndim(load) == 0
+        s = np.clip(slew, self.slews[0], self.slews[-1])
+        c = np.clip(load, self.loads[0], self.loads[-1])
+        i = np.clip(np.searchsorted(self.slews, s) - 1, 0,
+                    len(self.slews) - 2)
+        j = np.clip(np.searchsorted(self.loads, c) - 1, 0,
+                    len(self.loads) - 2)
         s0, s1 = self.slews[i], self.slews[i + 1]
         c0, c1 = self.loads[j], self.loads[j + 1]
         fs = (s - s0) / (s1 - s0)
         fc = (c - c0) / (c1 - c0)
         v = self.values
-        return float(
+        out = (
             v[i, j] * (1 - fs) * (1 - fc)
             + v[i + 1, j] * fs * (1 - fc)
             + v[i, j + 1] * (1 - fs) * fc
             + v[i + 1, j + 1] * fs * fc
         )
+        if scalar:
+            return float(out)
+        return np.asarray(out)
 
     @classmethod
     def from_function(
@@ -109,12 +119,16 @@ class TimingArc:
     when: str = ""
     """Optional state condition the arc was characterized under."""
 
-    def delay(self, transition: str, slew: float, load: float) -> float:
-        """Arc delay for an output ``"rise"`` or ``"fall"``, in seconds."""
+    def delay(self, transition: str, slew, load):
+        """Arc delay for an output ``"rise"`` or ``"fall"``, in seconds.
+
+        Like :meth:`NLDMTable.lookup`, slew/load may be scalars or
+        broadcastable arrays.
+        """
         table = self.cell_rise if transition == "rise" else self.cell_fall
         return table.lookup(slew, load)
 
-    def output_slew(self, transition: str, slew: float, load: float) -> float:
+    def output_slew(self, transition: str, slew, load):
         """Output transition time for an output rise/fall, in seconds."""
         table = (
             self.rise_transition if transition == "rise" else self.fall_transition

@@ -6,6 +6,7 @@ resistors, capacitors, waveform-driven voltage sources and FinFET compact
 backward-Euler transient analysis.
 """
 
+from repro.spice.mna import MNASystem, ReplicatedMNASystem
 from repro.spice.netlist import (
     Capacitor,
     Circuit,
@@ -22,8 +23,9 @@ from repro.spice.solver import (
     TransientResult,
     dc_operating_point,
     transient,
+    transient_grid,
 )
-from repro.spice.sources import DC, PWL, Pulse, ramp
+from repro.spice.sources import DC, PWL, Pulse, ramp, waveform_values
 from repro.spice.waveform import Waveform, propagation_delay
 
 __all__ = [
@@ -33,9 +35,11 @@ __all__ = [
     "ConvergenceError",
     "DC",
     "FinFETElement",
+    "MNASystem",
     "OperatingPoint",
     "PWL",
     "Pulse",
+    "ReplicatedMNASystem",
     "Resistor",
     "SolverBudget",
     "SolverStats",
@@ -46,4 +50,6 @@ __all__ = [
     "propagation_delay",
     "ramp",
     "transient",
+    "transient_grid",
+    "waveform_values",
 ]

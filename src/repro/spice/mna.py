@@ -37,7 +37,7 @@ from repro.device.finfet import stack_models
 from repro.errors import ConfigError, NetlistError
 from repro.spice.netlist import GROUND_NAMES, Circuit
 
-__all__ = ["MNASystem"]
+__all__ = ["MNASystem", "ReplicatedMNASystem"]
 
 #: Finite-difference step for device linearization (V).
 _DERIV_STEP = 1e-5
@@ -541,3 +541,317 @@ class MNASystem:
             for name, current in zip(grp.names, ids[grp.sl]):
                 out[name] = float(current)
         return out
+
+
+class ReplicatedMNASystem:
+    """G structurally identical circuits tiled into one batched system.
+
+    The replicas of one characterization row (same cell, same stimulus
+    edge, different load caps) share one topology, so the compiled
+    scatter indices of the single-circuit :class:`MNASystem` are built
+    **once** and offset per replica: the system matrix is the
+    block-diagonal stack ``A`` of shape ``(G, dim, dim)`` (each block is
+    exactly the matrix the single system would assemble for its
+    circuit), the RHS is ``(G, dim)``, and every per-replica quantity
+    (cap values, source waveforms) lives in a ``(G, ...)`` array.
+
+    All FinFETs across *all replicas* are folded into one
+    :class:`~repro.device.finfet._StackedFinFET` (``tile=G`` replicates
+    the per-device parameter layout replica-major), so each Newton
+    iteration of the batched driver makes ONE compact-model call for the
+    whole grid -- the same trick :class:`MNASystem` plays across devices,
+    now played across simulations.
+
+    Replica blocks never couple: every method below is elementwise per
+    replica, which is what lets the driver evict a failing replica
+    without perturbing the others.
+    """
+
+    def __init__(self, circuits: list[Circuit]):
+        if not circuits:
+            raise ConfigError("ReplicatedMNASystem needs at least one "
+                              "circuit", field="circuits")
+        base = MNASystem(circuits[0], kernel="compiled")
+        self.base = base
+        self.circuits = list(circuits)
+        self._check_structure(circuits)
+        g = len(circuits)
+        self.n_replicas = g
+        self.dim = base.dim
+        self.n_nodes = base.n_nodes
+        self.n_sources = base.n_sources
+        self.n_fets = base.n_fets
+        self.nodes = base.nodes
+        self.temperature_k = circuits[0].temperature_k
+
+        #: Batched-Jacobian reuse state installed by the solver.
+        self.jacobian_cache = None
+        self._baked = None
+
+        dim = self.dim
+        block = dim * dim
+        # Per-replica static stamps: same topology as the base system,
+        # per-replica element values (the additions run in the identical
+        # order as MNASystem.__init__, so block r is bit-equal to the
+        # single system built from circuits[r]).
+        self._static = np.zeros((g, dim, dim))
+        for r, circ in enumerate(circuits):
+            a = self._static[r]
+            for res in circ.resistors:
+                base._stamp_conductance(a, res.n1, res.n2,
+                                        1.0 / res.resistance)
+            for k, src in enumerate(circ.sources):
+                row = self.n_nodes + k
+                for node, sign in ((src.pos, 1.0), (src.neg, -1.0)):
+                    i = base.index(node)
+                    if i >= 0:
+                        a[i, row] += sign
+                        a[row, i] += sign
+
+        #: (G, n_caps) capacitances -- the per-replica load values.
+        self._cap_c = np.array(
+            [[c.capacitance for c in circ.capacitors] for circ in circuits]
+        ).reshape(g, len(circuits[0].capacitors))
+        self._sources = [circ.sources for circ in circuits]
+
+        # Offset the base scatter arrays per replica: matrix-flat indices
+        # shift by r*dim*dim into the raveled (G, dim, dim) stack, RHS
+        # rows by r*dim, and per-element gather keys (device index, cap
+        # index) by r*(count) into the replica-major value arrays.
+        def _tile(idx: np.ndarray, stride: int) -> np.ndarray:
+            return (np.tile(idx, g)
+                    + np.repeat(np.arange(g) * stride, idx.size))
+
+        n_caps = self._cap_c.shape[1]
+        self._cap_mat_flat = _tile(base._cap_mat_flat, block)
+        self._cap_mat_sign = np.tile(base._cap_mat_sign, g)
+        self._cap_mat_k = _tile(base._cap_mat_k, n_caps)
+        self._cap_rhs_row = _tile(base._cap_rhs_row, dim)
+        self._cap_rhs_sign = np.tile(base._cap_rhs_sign, g)
+        self._cap_rhs_k = _tile(base._cap_rhs_k, n_caps)
+        self._fet_mat_flat = _tile(base._fet_mat_flat, block)
+        self._fet_mat_cgm = np.tile(base._fet_mat_cgm, g)
+        self._fet_mat_cgds = np.tile(base._fet_mat_cgds, g)
+        self._fet_mat_k = _tile(base._fet_mat_k, base.n_fets)
+        self._fet_rhs_row = _tile(base._fet_rhs_row, dim)
+        self._fet_rhs_sign = np.tile(base._fet_rhs_sign, g)
+        self._fet_rhs_k = _tile(base._fet_rhs_k, base.n_fets)
+        self._src_rows = base._src_rows
+
+        # One stacked evaluator across all replicas: tile=G repeats the
+        # base per-device parameter layout replica-major; tile=3*G serves
+        # the [base | vgs+step | vds+step] finite-difference layout for
+        # the whole grid in one call.
+        if base.n_fets:
+            models = [grp.model for grp in base._groups]
+            counts = [grp.sl.stop - grp.sl.start for grp in base._groups]
+            self._stack1 = stack_models(models, counts, tile=g)
+            self._stack3 = stack_models(models, counts, tile=3 * g)
+        else:
+            self._stack1 = self._stack3 = None
+
+    def _check_structure(self, circuits: list[Circuit]) -> None:
+        """Replicas must be element-for-element the same topology."""
+        ref = circuits[0]
+        ref_nodes = ref.node_names()
+        for r, circ in enumerate(circuits[1:], start=1):
+            if circ.temperature_k != ref.temperature_k:
+                raise NetlistError(
+                    f"replica {r} temperature {circ.temperature_k} K != "
+                    f"replica 0 {ref.temperature_k} K", element=circ.title)
+            if circ.node_names() != ref_nodes:
+                raise NetlistError(
+                    f"replica {r} node set differs from replica 0",
+                    element=circ.title)
+            pairs = [
+                (ref.resistors, circ.resistors,
+                 lambda e: (e.name, e.n1, e.n2)),
+                (ref.capacitors, circ.capacitors,
+                 lambda e: (e.name, e.n1, e.n2)),
+                (ref.sources, circ.sources,
+                 lambda e: (e.name, e.pos, e.neg)),
+                (ref.finfets, circ.finfets,
+                 lambda e: (e.name, e.drain, e.gate, e.source)),
+            ]
+            for ref_elems, elems, keyfn in pairs:
+                if [keyfn(e) for e in ref_elems] != [keyfn(e) for e in elems]:
+                    raise NetlistError(
+                        f"replica {r} element structure differs from "
+                        f"replica 0", element=circ.title)
+            for ref_fet, fet in zip(ref.finfets, circ.finfets):
+                if fet.model is not ref_fet.model:
+                    raise NetlistError(
+                        f"replica {r} device {fet.name} uses a different "
+                        f"model object than replica 0 (replicas must "
+                        f"share models for stacked evaluation)",
+                        element=fet.name)
+
+    # ------------------------------------------------------------------ #
+    def _extended(self, x: np.ndarray) -> np.ndarray:
+        """(G, dim+1) view with a trailing 0.0 so index -1 reads ground."""
+        return np.concatenate(
+            [x, np.zeros((self.n_replicas, 1))], axis=1)
+
+    def source_values(self, t: float) -> np.ndarray:
+        """(G, n_sources) source values at time ``t``."""
+        return np.array(
+            [[src.value(t) for src in srcs] for srcs in self._sources]
+        ).reshape(self.n_replicas, self.n_sources)
+
+    def source_grid(self, times: np.ndarray) -> np.ndarray:
+        """(n_times, G, n_sources) source values over a whole time grid.
+
+        Waveform objects shared across replicas (the common case: only
+        the load differs within a characterization row) are evaluated
+        once.  Precomputing the grid up front removes every per-iteration
+        Python waveform call from the batched transient driver.
+        """
+        from repro.spice.sources import waveform_values
+
+        times = np.asarray(times, dtype=float)
+        out = np.empty((times.size, self.n_replicas, self.n_sources))
+        cache: dict[int, np.ndarray] = {}
+        for r, srcs in enumerate(self._sources):
+            for k, src in enumerate(srcs):
+                wave = src.waveform
+                vals = cache.get(id(wave))
+                if vals is None:
+                    vals = waveform_values(wave, times)
+                    cache[id(wave)] = vals
+                out[:, r, k] = vals
+        return out
+
+    def cap_voltages(self, x: np.ndarray) -> np.ndarray:
+        """(G, n_caps) capacitor branch voltages at solution ``x``."""
+        v_ext = self._extended(x)
+        return v_ext[:, self.base._cap_i] - v_ext[:, self.base._cap_j]
+
+    # ------------------------------------------------------------------ #
+    def assemble_with_companions(
+        self,
+        x: np.ndarray,
+        source_values: np.ndarray,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched assembly returning ``(A, z, fet_ieq)``.
+
+        ``x`` is ``(G, dim)``; ``source_values`` is ``(G, n_sources)``
+        (see :meth:`source_values` / :meth:`source_grid`);
+        ``cap_companion`` carries per-replica ``(geq, ieq)`` arrays of
+        shape ``(G, n_caps)``.  Returns ``A`` of shape ``(G, dim, dim)``,
+        ``z`` of shape ``(G, dim)`` and the replica-major frozen device
+        companions ``fet_ieq`` of shape ``(G * n_fets,)``.
+        """
+        a = self._base_matrix(gmin, cap_companion)
+        a_flat = a.reshape(-1)
+        z = np.zeros((self.n_replicas, self.dim))
+        if self.n_sources:
+            z[:, self._src_rows] = source_scale * source_values
+        if cap_companion is not None and self._cap_mat_k.size:
+            ieq = np.asarray(cap_companion[1]).reshape(-1)
+            np.add.at(z.reshape(-1), self._cap_rhs_row,
+                      self._cap_rhs_sign * ieq[self._cap_rhs_k])
+        ieq_f = np.empty(0)
+        if self.n_fets:
+            gm, gds, ieq_f = self._device_linearization(x)
+            np.add.at(
+                a_flat, self._fet_mat_flat,
+                self._fet_mat_cgm * gm[self._fet_mat_k]
+                + self._fet_mat_cgds * gds[self._fet_mat_k],
+            )
+            np.add.at(z.reshape(-1), self._fet_rhs_row,
+                      self._fet_rhs_sign * ieq_f[self._fet_rhs_k])
+        return a, z, ieq_f
+
+    def _base_matrix(self, gmin: float, cap_companion) -> np.ndarray:
+        """Static + gmin + capacitor-geq stack, baked across iterations."""
+        if cap_companion is None:
+            a = self._static.copy()
+            a.reshape(self.n_replicas, -1)[:, self.base._diag_flat] += gmin
+            return a
+        geq = np.asarray(cap_companion[0])
+        baked = self._baked
+        if baked is not None and baked[0] == gmin and baked[1] is geq:
+            return baked[2].copy()
+        a = self._static.copy()
+        a.reshape(self.n_replicas, -1)[:, self.base._diag_flat] += gmin
+        if self._cap_mat_k.size:
+            np.add.at(a.reshape(-1), self._cap_mat_flat,
+                      self._cap_mat_sign * geq.reshape(-1)[self._cap_mat_k])
+        self._baked = (gmin, geq, a)
+        return a.copy()
+
+    def rhs(
+        self,
+        source_values: np.ndarray,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None,
+        fet_ieq: np.ndarray,
+        source_scale: float = 1.0,
+    ) -> np.ndarray:
+        """(G, dim) RHS with *frozen* device companions ``fet_ieq``."""
+        z = np.zeros((self.n_replicas, self.dim))
+        if self.n_sources:
+            z[:, self._src_rows] = source_scale * source_values
+        if cap_companion is not None and self._cap_mat_k.size:
+            ieq = np.asarray(cap_companion[1]).reshape(-1)
+            np.add.at(z.reshape(-1), self._cap_rhs_row,
+                      self._cap_rhs_sign * ieq[self._cap_rhs_k])
+        if self.n_fets:
+            np.add.at(z.reshape(-1), self._fet_rhs_row,
+                      self._fet_rhs_sign * fet_ieq[self._fet_rhs_k])
+        return z
+
+    def _device_linearization(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(gm, gds, ieq), replica-major, from ONE stacked model call."""
+        base = self.base
+        v_ext = self._extended(x)
+        vgs = (v_ext[:, base._fet_g] - v_ext[:, base._fet_s]).reshape(-1)
+        vds = (v_ext[:, base._fet_d] - v_ext[:, base._fet_s]).reshape(-1)
+        n = vgs.size
+        vgs_all = np.concatenate([vgs, vgs + _DERIV_STEP, vgs])
+        vds_all = np.concatenate([vds, vds, vds + _DERIV_STEP])
+        ids_all = np.asarray(
+            self._stack3.ids(vgs_all, vds_all, self.temperature_k))
+        i0 = ids_all[:n]
+        gm = (ids_all[n: 2 * n] - i0) / _DERIV_STEP
+        gds = (ids_all[2 * n:] - i0) / _DERIV_STEP
+        gm = np.maximum(gm, 0.0)
+        gds = np.maximum(gds, 1e-15)
+        ieq = i0 - gm * vgs - gds * vds
+        return gm, gds, ieq
+
+    def residual(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float = GMIN_DEFAULT,
+        cap_companion: tuple[np.ndarray, np.ndarray] | None = None,
+        source_scale: float = 1.0,
+    ) -> np.ndarray:
+        """(G, dim) exact nonlinear residual ``F(x) = A(x) x - z(x)``."""
+        base = self.base
+        f = np.einsum("gij,gj->gi", self._static, x)
+        f[:, : self.n_nodes] += gmin * x[:, : self.n_nodes]
+        if self.n_sources:
+            f[:, self._src_rows] -= source_scale * self.source_values(t)
+        v_ext = self._extended(x)
+        if cap_companion is not None and self._cap_mat_k.size:
+            geq, ieq = cap_companion
+            i_cap = (np.asarray(geq)
+                     * (v_ext[:, base._cap_i] - v_ext[:, base._cap_j])
+                     + np.asarray(ieq)).reshape(-1)
+            np.add.at(f.reshape(-1), self._cap_rhs_row,
+                      -self._cap_rhs_sign * i_cap[self._cap_rhs_k])
+        if self.n_fets:
+            ids = np.asarray(self._stack1.ids(
+                (v_ext[:, base._fet_g] - v_ext[:, base._fet_s]).reshape(-1),
+                (v_ext[:, base._fet_d] - v_ext[:, base._fet_s]).reshape(-1),
+                self.temperature_k,
+            ))
+            np.add.at(f.reshape(-1), self._fet_rhs_row,
+                      -self._fet_rhs_sign * ids[self._fet_rhs_k])
+        return f

@@ -45,13 +45,13 @@ from scipy.linalg import LinAlgWarning, lu_factor, lu_solve
 
 from repro import telemetry
 from repro.errors import ConfigError, SolverBudgetError, SolverError
-from repro.spice.mna import GMIN_DEFAULT, MNASystem
+from repro.spice.mna import GMIN_DEFAULT, MNASystem, ReplicatedMNASystem
 from repro.spice.netlist import Circuit
 from repro.spice.waveform import Waveform
 
 __all__ = ["BudgetConsumption", "ConvergenceError", "OperatingPoint",
            "SolverBudget", "SolverStats", "TransientResult",
-           "dc_operating_point", "transient"]
+           "dc_operating_point", "transient", "transient_grid"]
 
 #: Newton-Raphson voltage update clamp (V) -- classic damping for FETs.
 _STEP_CLAMP = 0.25
@@ -628,3 +628,261 @@ def transient(
         dt_effective=dt_eff,
         stats=stats,
     )
+
+
+# --------------------------------------------------------------------- #
+# Batched-grid transient: all replicas of a characterization row in
+# lockstep through one block-diagonal system.
+# --------------------------------------------------------------------- #
+class _GridJacobianCache:
+    """Frozen batched Jacobian + device companions across lockstep solves.
+
+    Same modified-Newton semantics as :class:`_JacobianCache` -- a bypass
+    iteration reuses the frozen linearization and is never accepted stale
+    -- but the "LU" is the whole ``(G, dim, dim)`` assembled stack: the
+    per-replica blocks are tiny, so one batched ``np.linalg.solve`` call
+    (which refactorizes each small block inside LAPACK) costs less than
+    holding G scipy factorizations and looping ``lu_solve`` in Python.
+    One ``reuses`` tick therefore stands for G bypassed point-solves.
+    """
+
+    __slots__ = ("a", "key", "fet_ieq", "reuses")
+
+    def __init__(self):
+        self.a = None
+        self.key = None
+        self.fet_ieq = None
+        self.reuses = 0
+
+    def store(self, key, a, fet_ieq) -> None:
+        self.key = key
+        self.a = a
+        self.fet_ieq = fet_ieq
+
+    def matches(self, key) -> bool:
+        return self.a is not None and self.key == key
+
+
+def _grid_linear_solve(a: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Batched block solve; a singular replica poisons only itself.
+
+    ``np.linalg.solve`` rejects the whole batch when any block is
+    singular, so on failure the blocks are re-solved one by one and the
+    offenders come back as NaN rows -- which the masked Newton loop
+    converts into an eviction of exactly those replicas.
+    """
+    try:
+        # The explicit trailing unit axis pins the gufunc signature to a
+        # stack of column vectors on every numpy version.
+        return np.linalg.solve(a, z[:, :, None])[:, :, 0]
+    except np.linalg.LinAlgError:
+        out = np.empty_like(z)
+        for g in range(z.shape[0]):
+            try:
+                out[g] = np.linalg.solve(a[g], z[g])
+            except np.linalg.LinAlgError:
+                out[g] = np.nan
+        return out
+
+
+def _grid_newton_solve(
+    rsys: ReplicatedMNASystem,
+    x: np.ndarray,
+    source_values: np.ndarray,
+    gmin: float,
+    cap_companion: tuple[np.ndarray, np.ndarray] | None,
+    alive: np.ndarray,
+    tracker: _BudgetTracker | None,
+) -> tuple[int, np.ndarray]:
+    """One lockstep masked modified-Newton solve across all replicas.
+
+    ``x`` (``(G, dim)``) is updated in place for replicas in ``alive``.
+    Masked convergence: a replica whose fresh-Jacobian update lands under
+    ``_VTOL`` is frozen (its block stops moving and stops contributing to
+    the residual norm) while the others keep iterating; a replica whose
+    update goes non-finite, or that is still unconverged when the
+    iteration cap runs out, is dropped.  Returns ``(iterations,
+    converged)`` where ``converged`` marks the replicas that finished
+    cleanly -- the caller evicts ``alive & ~converged``.
+
+    Per-replica math (block solve, clamp, convergence test) is identical
+    to :func:`_newton_solve`, so a replica that converges here produces
+    the same solution the sequential path would on the same grid.
+    """
+    cache: _GridJacobianCache = rsys.jacobian_cache
+    key = (gmin, 1.0, cap_companion is not None)
+    linear = rsys.n_fets == 0
+    n_nodes = rsys.n_nodes
+    need = alive.copy()
+    failed = np.zeros_like(alive)
+    if not need.any():
+        return 0, np.zeros_like(alive)
+    for it in range(1, _MAX_NR_ITERATIONS + 1):
+        stale = False
+        if cache.matches(key) and (linear or it == 1):
+            z = rsys.rhs(source_values, cap_companion, cache.fet_ieq)
+            a = cache.a
+            cache.reuses += 1
+            stale = not linear
+        else:
+            a, z, fet_ieq = rsys.assemble_with_companions(
+                x, source_values, gmin=gmin, cap_companion=cap_companion)
+            cache.store(key, a, fet_ieq)
+        delta = _grid_linear_solve(a, z) - x
+        finite = np.isfinite(delta).all(axis=1)
+        newly_bad = need & ~finite
+        if newly_bad.any():
+            failed |= newly_bad
+            need &= finite
+            if not need.any():
+                return it, alive & ~failed & ~need
+        if tracker is not None:
+            tracker.charge(1)
+        if n_nodes:
+            max_dv = np.abs(delta[:, :n_nodes]).max(axis=1)
+        else:
+            max_dv = np.zeros(rsys.n_replicas)
+        over = need & (max_dv > _STEP_CLAMP)
+        if over.any():
+            delta[over, :n_nodes] *= (_STEP_CLAMP / max_dv[over])[:, None]
+        # Converged and evicted replicas are frozen: their blocks stop
+        # moving, so survivors never see a dead replica's state.
+        delta[~need] = 0.0
+        x += delta
+        if not stale:
+            need &= ~(max_dv < _VTOL)
+        if not need.any():
+            return it, alive & ~failed
+    # Iteration cap: whatever is still iterating failed to converge.
+    return _MAX_NR_ITERATIONS, alive & ~failed & ~need
+
+
+def transient_grid(
+    circuits: list[Circuit],
+    t_stop: float,
+    dt: float,
+    record: list[str] | None = None,
+    method: str = "be",
+    budget: SolverBudget | None = None,
+) -> list[TransientResult | None]:
+    """Fixed-step transient of G structurally identical circuits at once.
+
+    The replicas (same topology, per-replica element values and source
+    waveforms -- e.g. one load row of an NLDM characterization grid) are
+    tiled into a :class:`~repro.spice.mna.ReplicatedMNASystem` and
+    stepped in lockstep on one shared time grid: each Newton iteration
+    makes ONE compact-model call and ONE batched block solve for the
+    whole grid, and every source value on the grid is precomputed up
+    front, so the per-step Python overhead is paid once per *batch*
+    instead of once per point.
+
+    Masked convergence / eviction: replicas that converge within a step
+    freeze until the next step; a replica that fails (non-finite update,
+    singular block, or the iteration cap) is **evicted** -- its slot in
+    the returned list is ``None`` and the survivors continue unperturbed.
+    Callers replay evicted points through the sequential retry ladder
+    (see ``repro.cells.characterize._solve_point_resilient``), so one bad
+    corner never voids the batch.  A :class:`SolverBudget` bounds the
+    whole batch; exhaustion raises
+    :class:`~repro.errors.SolverBudgetError` (the batch, unlike a
+    replica, cannot be partially salvaged).
+
+    Returns one :class:`TransientResult` per input circuit, in order,
+    with ``None`` for evicted replicas.  All results share the batch's
+    :class:`SolverStats` object.
+    """
+    if not np.isfinite(dt) or not np.isfinite(t_stop) \
+            or dt <= 0 or t_stop <= 0:
+        raise ConfigError("t_stop and dt must be finite and positive",
+                          field="dt")
+    if method not in ("be", "trap"):
+        raise ConfigError(f"unknown integration method {method!r}",
+                          field="method")
+    if t_stop / dt > _MAX_TRANSIENT_STEPS:
+        raise ConfigError(
+            f"oversized transient: t_stop/dt = {t_stop / dt:.3g} steps "
+            f"exceeds the {_MAX_TRANSIENT_STEPS} cap", field="dt")
+    for circuit in circuits:
+        circuit.validate()
+    rsys = ReplicatedMNASystem(circuits)
+    rsys.jacobian_cache = _GridJacobianCache()
+    g = rsys.n_replicas
+    record = rsys.nodes if record is None else record
+    record_idx = [rsys.base.index(node) for node in record]  # validate early
+
+    n_steps = max(1, int(np.ceil(t_stop / dt - 1e-9)))
+    dt_eff = t_stop / n_steps
+    time = np.linspace(0.0, t_stop, n_steps + 1)
+    tracker = budget.tracker() if budget is not None else None
+    stats = SolverStats(timesteps=n_steps, dt_effective=dt_eff)
+
+    # Every source value for the whole run, evaluated once (shared
+    # waveforms once per batch): (n_steps+1, G, n_sources).
+    src_grid = rsys.source_grid(time)
+
+    x = np.zeros((g, rsys.dim))
+    alive = np.ones(g, dtype=bool)
+    solution = np.empty((n_steps + 1, g, rsys.dim))
+    with telemetry.span("spice.transient_grid", circuit=circuits[0].title,
+                        replicas=g, t_stop=t_stop, steps=n_steps) as sp:
+        its, converged = _grid_newton_solve(
+            rsys, x, src_grid[0], GMIN_DEFAULT, None, alive, tracker)
+        stats.newton_iterations += its
+        alive &= converged  # a replica that fails DC is evicted outright
+        solution[0] = x
+
+        scale = 1.0 if method == "be" else 2.0
+        geq = scale * rsys._cap_c / dt_eff  # (G, n_caps)
+        v_cap_prev = rsys.cap_voltages(x)
+        i_cap_prev = np.zeros_like(v_cap_prev)
+        for step in range(1, n_steps + 1):
+            if not alive.any():
+                break
+            if method == "be":
+                ieq = -geq * v_cap_prev
+            else:
+                ieq = -geq * v_cap_prev - i_cap_prev
+            its, converged = _grid_newton_solve(
+                rsys, x, src_grid[step], GMIN_DEFAULT, (geq, ieq),
+                alive, tracker)
+            stats.newton_iterations += its
+            alive &= converged
+            v_cap_new = rsys.cap_voltages(x)
+            if method == "trap":
+                i_cap_prev = geq * (v_cap_new - v_cap_prev) - i_cap_prev
+            v_cap_prev = v_cap_new
+            solution[step] = x
+        if tracker is not None:
+            stats.budget_charges = tracker.charges
+        stats.jacobian_reuses = rsys.jacobian_cache.reuses
+        if telemetry.enabled():
+            sp.set(newton_iterations=stats.newton_iterations,
+                   survivors=int(alive.sum()),
+                   evicted=int(g - alive.sum()),
+                   dt_effective=dt_eff)
+            _record_solver_metrics("transient_grid", stats)
+
+    extended = np.concatenate(
+        [solution, np.zeros((n_steps + 1, g, 1))], axis=2)
+    results: list[TransientResult | None] = []
+    for r in range(g):
+        if not alive[r]:
+            results.append(None)
+            continue
+        volts = {
+            n: np.ascontiguousarray(extended[:, r, i])
+            for n, i in zip(record, record_idx)
+        }
+        src_currents = {
+            s.name: np.ascontiguousarray(solution[:, r, rsys.n_nodes + k])
+            for k, s in enumerate(circuits[r].sources)
+        }
+        results.append(TransientResult(
+            time=time,
+            voltages=volts,
+            source_currents=src_currents,
+            circuit_title=circuits[r].title,
+            dt_effective=dt_eff,
+            stats=stats,
+        ))
+    return results

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DC", "Pulse", "PWL"]
+__all__ = ["DC", "Pulse", "PWL", "waveform_values"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,25 @@ class Pulse:
         if tau < self.fall:
             return self.v2 + (self.v1 - self.v2) * tau / self.fall
         return self.v1
+
+
+def waveform_values(wave, times) -> np.ndarray:
+    """Evaluate a waveform over a whole time grid in one shot.
+
+    Bit-identical per point to calling ``wave.value(t)`` in a loop (DC
+    broadcasts its level; PWL is one vectorized ``np.interp``, the same
+    call its scalar path makes).  Unknown waveform types fall back to the
+    scalar loop, so any object implementing ``value(t)`` still works.
+    The batched transient driver uses this to precompute every source
+    value for the union time grid up front.
+    """
+    times = np.asarray(times, dtype=float)
+    if isinstance(wave, DC):
+        return np.full(times.shape, float(wave.level))
+    if isinstance(wave, PWL):
+        return np.asarray(np.interp(times, wave.times, wave.values),
+                          dtype=float)
+    return np.array([wave.value(float(t)) for t in times])
 
 
 def ramp(t_start: float, duration: float, v_from: float, v_to: float) -> PWL:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.synth.netlist import GateNetlist
 from repro.synth.placement import Placement
 
@@ -122,6 +124,11 @@ def analyze(
                 )
 
     # Propagation ---------------------------------------------------------
+    # Per arc, every query that lands in the same NLDM table is batched
+    # into one array-valued lookup (see NLDMTable.lookup): one
+    # searchsorted per axis instead of one Python call per (in, out)
+    # transition pair.  Relaxation order per key matches the scalar loop
+    # this replaces, so results are identical bit for bit.
     for gate in netlist.topological_gates(library):
         cell = library[gate.cell]
         load = _net_load(netlist, gate.output, library, placement)
@@ -130,6 +137,9 @@ def analyze(
                 arc = cell.arc_from(pin)
             except KeyError:
                 continue
+            queries: dict[str, list[tuple[tuple, float, float]]] = {
+                "rise": [], "fall": []
+            }
             for in_tr in ("rise", "fall"):
                 key = (net, in_tr)
                 if key not in state:
@@ -142,12 +152,18 @@ def analyze(
                 else:
                     out_trs = ["rise", "fall"]
                 for out_tr in out_trs:
-                    d = arc.delay(out_tr, slew, load)
-                    s = arc.output_slew(out_tr, slew, load)
+                    queries[out_tr].append((key, arrival, slew))
+            for out_tr, items in queries.items():
+                if not items:
+                    continue
+                slews = np.array([slew for _, _, slew in items])
+                ds = arc.delay(out_tr, slews, load)
+                ss = arc.output_slew(out_tr, slews, load)
+                for (key, arrival, _), d, s in zip(items, ds, ss):
                     relax(
                         (gate.output, out_tr),
-                        arrival + d,
-                        s,
+                        arrival + float(d),
+                        float(s),
                         key,
                         gate.name,
                     )
